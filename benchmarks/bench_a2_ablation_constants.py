@@ -1,0 +1,155 @@
+"""Ablation A2 — the constants inside the O() notations.
+
+Three constants govern the reproduction's behavior (DESIGN.md
+substitution 3 exposes them all):
+
+* ``c_ell`` — the ICP length multiplier. Too small and phases cannot
+  reach cluster centers (progress stalls onto the slow background
+  path); too large and every phase overpays. The sweet spot sits where
+  Theorem 2's expected distance bound is covered.
+* Decay amplification — Claim 10's iteration constant. Controls MIS
+  correctness (independence violations appear when marked-neighbor
+  announcements get lost).
+* ``eed_C`` — Lemma 11's estimation constant. Controls desire-level
+  update fidelity and hence MIS round counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import TextTable, success_rate
+from repro.core import CompeteConfig, MISConfig, broadcast, compute_mis
+from repro.graphs import is_independent_set, is_maximal_independent_set
+from repro.radio import RadioNetwork
+
+from conftest import save_table
+
+
+def run_c_ell_sweep(rng) -> TextTable:
+    table = TextTable(
+        ["c_ell", "propagation rounds", "phases"],
+        title=(
+            "A2a: ICP length multiplier c_ell on a 3x40 grid "
+            "(claim: a knee — too-short phases stall, long phases overpay)"
+        ),
+    )
+    g = graphs.grid_udg(3, 40, rng)
+    for c_ell in (0.5, 1.0, 2.0, 4.0, 8.0):
+        rounds, phases = [], []
+        for _ in range(3):
+            result = broadcast(
+                g, 0, rng, config=CompeteConfig(c_ell=c_ell)
+            )
+            rounds.append(result.propagation_rounds)
+            phases.append(len(result.compete.phases))
+        table.add_row([c_ell, float(np.mean(rounds)), float(np.mean(phases))])
+    return table
+
+
+def run_decay_amplification_sweep(rng) -> TextTable:
+    table = TextTable(
+        ["amplification", "independent", "maximal", "trials"],
+        title=(
+            "A2b: Decay amplification vs MIS validity on a 64-clique "
+            "(claim: independence violations vanish as iterations grow)"
+        ),
+    )
+    g = graphs.clique(64)
+    trials = 10
+    for amp in (0.25, 0.5, 1.0, 2.0, 4.0):
+        independent, maximal = [], []
+        for _ in range(trials):
+            net = RadioNetwork(g)
+            config = MISConfig(
+                oracle_degree=True, decay_amplification=amp
+            )
+            result = compute_mis(net, rng, config)
+            independent.append(is_independent_set(g, result.mis))
+            maximal.append(is_maximal_independent_set(g, result.mis))
+        table.add_row(
+            [amp, success_rate(independent), success_rate(maximal), trials]
+        )
+    return table
+
+
+def run_eed_c_sweep(rng) -> TextTable:
+    table = TextTable(
+        ["eed_C", "mean rounds", "mean steps", "valid rate"],
+        title=(
+            "A2c: EED constant C vs MIS cost on udg(80) "
+            "(claim: small C misclassifies degrees and slows convergence; "
+            "steps grow linearly in C)"
+        ),
+    )
+    g = graphs.random_udg(80, 4.5, rng)
+    for C in (1, 2, 4, 8, 16):
+        rounds, steps, valid = [], [], []
+        for _ in range(4):
+            net = RadioNetwork(g)
+            result = compute_mis(
+                net, rng, MISConfig(oracle_degree=False, eed_C=C)
+            )
+            rounds.append(result.rounds_used)
+            steps.append(result.steps_used)
+            valid.append(
+                result.all_removed
+                and is_maximal_independent_set(g, result.mis)
+            )
+        table.add_row(
+            [
+                C,
+                float(np.mean(rounds)),
+                float(np.mean(steps)),
+                success_rate(valid),
+            ]
+        )
+    return table
+
+
+def test_a2_c_ell(benchmark, results_dir):
+    rng = np.random.default_rng(12001)
+    g = graphs.grid_udg(3, 30, rng)
+
+    benchmark.pedantic(
+        lambda: broadcast(g, 0, np.random.default_rng(5)),
+        rounds=3,
+        iterations=1,
+    )
+    table = run_c_ell_sweep(np.random.default_rng(12002))
+    save_table(results_dir, "a2a_c_ell_sweep", table.render())
+
+
+def test_a2_decay_amplification(benchmark, results_dir):
+    rng = np.random.default_rng(12003)
+    g = graphs.clique(64)
+
+    benchmark.pedantic(
+        lambda: compute_mis(
+            RadioNetwork(g),
+            np.random.default_rng(5),
+            MISConfig(oracle_degree=True),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    table = run_decay_amplification_sweep(np.random.default_rng(12004))
+    save_table(results_dir, "a2b_decay_amplification", table.render())
+
+
+def test_a2_eed_c(benchmark, results_dir):
+    rng = np.random.default_rng(12005)
+    g = graphs.random_udg(60, 3.5, rng)
+
+    benchmark.pedantic(
+        lambda: compute_mis(
+            RadioNetwork(g),
+            np.random.default_rng(5),
+            MISConfig(oracle_degree=False, eed_C=4),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    table = run_eed_c_sweep(np.random.default_rng(12006))
+    save_table(results_dir, "a2c_eed_c_sweep", table.render())

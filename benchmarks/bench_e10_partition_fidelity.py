@@ -1,0 +1,162 @@
+"""E10 — implementation fidelity: radio Partition vs centralized MPX,
+and Radio MIS vs Luby (the Section 4.1 trade).
+
+Two sub-experiments:
+
+1. Partition fidelity: the packet-level radio Partition of [18] should
+   realize the centralized MPX clustering on the same (floored) shifts —
+   measured as the fraction of nodes achieving the optimal shifted
+   distance, and the mean-distance gap.
+
+2. MIS model trade: Radio MIS pays O(log^2 n) radio steps per round to
+   replace the LOCAL model's free neighborhood exchange; Luby's LOCAL
+   algorithm uses fewer rounds but needs point-to-point messages no
+   radio network can deliver directly. The table shows rounds, radio
+   steps, and LOCAL message counts side by side.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro import baselines, graphs
+from repro.analysis import TextTable
+from repro.core import MISConfig, compute_mis, draw_shifts, partition_radio
+from repro.graphs import greedy_independent_set
+from repro.radio import RadioNetwork
+
+from conftest import save_table
+
+
+def run_partition_fidelity(rng) -> TextTable:
+    table = TextTable(
+        [
+            "graph",
+            "beta",
+            "optimal-rate",
+            "mean dist (radio)",
+            "mean dist (optimal)",
+            "steps",
+        ],
+        title=(
+            "E10a: radio Partition vs centralized MPX on shared shifts "
+            "(claim: radio achieves the optimal shifted distance for "
+            "almost all nodes)"
+        ),
+    )
+    instances = {
+        "udg(100)": graphs.random_udg(100, 5.0, rng),
+        "gnp(80,.08)": graphs.connected_gnp(80, 0.08, rng),
+        "grid 8x8": graphs.grid_udg(8, 8, rng),
+    }
+    for name, g in instances.items():
+        mis = sorted(greedy_independent_set(g, rng, strategy="random"))
+        for beta in (0.5, 0.25):
+            net = RadioNetwork(g)
+            shifts = draw_shifts(mis, beta, rng)
+            int_shifts = {c: float(int(s)) for c, s in shifts.items()}
+            radio_cl = partition_radio(
+                net, beta, mis, rng, shifts=shifts, decay_amplification=6.0
+            )
+            dist = dict(nx.all_pairs_shortest_path_length(g))
+            optimal = np.array(
+                [
+                    min(dist[v][c] - int_shifts[c] for c in mis)
+                    for v in range(net.n)
+                ]
+            )
+            achieved = np.array(
+                [
+                    dist[v][int(radio_cl.assignment[v])]
+                    - int_shifts[int(radio_cl.assignment[v])]
+                    for v in range(net.n)
+                ]
+            )
+            opt_dist = np.array(
+                [
+                    min(dist[v][c] for c in mis)
+                    for v in range(net.n)
+                ]
+            )
+            table.add_row(
+                [
+                    name,
+                    beta,
+                    float((achieved == optimal).mean()),
+                    float(radio_cl.mean_distance()),
+                    float(opt_dist.mean()),
+                    net.steps_elapsed,
+                ]
+            )
+    return table
+
+
+def run_mis_vs_luby(rng) -> TextTable:
+    table = TextTable(
+        [
+            "graph",
+            "n",
+            "radio rounds",
+            "radio steps",
+            "luby rounds",
+            "luby messages",
+        ],
+        title=(
+            "E10b: Radio MIS vs Luby-in-LOCAL (the Section 4.1 trade: "
+            "radio pays log^2 n steps per round instead of free "
+            "neighborhood exchange)"
+        ),
+    )
+    for name, g in {
+        "udg(100)": graphs.random_udg(100, 5.0, rng),
+        "gnp(100,.06)": graphs.connected_gnp(100, 0.06, rng),
+        "clique(64)": graphs.clique(64),
+    }.items():
+        net = RadioNetwork(g)
+        ours = compute_mis(
+            net, rng, MISConfig(oracle_degree=False, eed_C=8)
+        )
+        luby = baselines.luby_mis(g, rng)
+        table.add_row(
+            [
+                name,
+                g.number_of_nodes(),
+                ours.rounds_used,
+                ours.steps_used,
+                luby.rounds,
+                luby.messages,
+            ]
+        )
+    return table
+
+
+def test_e10_partition_fidelity(benchmark, results_dir):
+    rng = np.random.default_rng(10001)
+    g = graphs.random_udg(80, 4.5, rng)
+    mis = sorted(greedy_independent_set(g))
+
+    benchmark.pedantic(
+        lambda: partition_radio(
+            RadioNetwork(g), 0.3, mis, np.random.default_rng(5)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = run_partition_fidelity(np.random.default_rng(10002))
+    save_table(results_dir, "e10a_partition_fidelity", table.render())
+
+
+def test_e10_mis_vs_luby(benchmark, results_dir):
+    rng = np.random.default_rng(10003)
+    g = graphs.random_udg(80, 4.5, rng)
+
+    benchmark.pedantic(
+        lambda: baselines.luby_mis(g, np.random.default_rng(5)),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = run_mis_vs_luby(np.random.default_rng(10004))
+    save_table(results_dir, "e10b_mis_vs_luby", table.render())

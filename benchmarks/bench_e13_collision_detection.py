@@ -1,0 +1,81 @@
+"""E13 — what collision detection buys (the paper's model boundary).
+
+The paper's results hold *without* collision detection; several prior
+geometric results ([29], [12]) need it. This experiment makes the model
+boundary measurable by comparing, on diameter sweeps:
+
+* CD deterministic broadcast (energy-coded bits, ``O(D log n)``);
+* no-CD deterministic round-robin (``O(n D)`` — the deterministic
+  floor; the best known without CD is still ``Omega(n)``-ish);
+* no-CD *randomized* BGI (``O(D log n + log^2 n)``).
+
+The claim to see: randomization substitutes for collision detection —
+BGI (no CD) tracks the CD deterministic curve while the no-CD
+deterministic baseline is off by a factor ~n/log n. That is exactly why
+the paper can match geometric-class results without the CD assumption.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import baselines, graphs
+from repro.analysis import TextTable
+from repro.radio import RadioNetwork
+
+from conftest import save_table
+
+
+def run_experiment(rng) -> TextTable:
+    table = TextTable(
+        [
+            "graph",
+            "n",
+            "D",
+            "CD det steps",
+            "no-CD det steps",
+            "no-CD rand steps",
+            "CD/(D log n)",
+            "rand/(D log n)",
+        ],
+        title=(
+            "E13: the collision-detection boundary (claim: randomization "
+            "substitutes for CD; determinism without CD pays ~n per hop)"
+        ),
+    )
+    instances = {
+        "path(30)": (graphs.path(30), 29),
+        "path(60)": (graphs.path(60), 59),
+        "grid 3x20": (graphs.grid_udg(3, 20, rng), 0),
+        "grid 3x40": (graphs.grid_udg(3, 40, rng), 0),
+        "two-cliques(15)": (graphs.two_cliques_bottleneck(15), 0),
+    }
+    for name, (g, source) in instances.items():
+        n = g.number_of_nodes()
+        d = graphs.diameter(g)
+        net_cd = RadioNetwork(g)
+        cd = baselines.cd_broadcast(net_cd, source).steps
+        net_rr = RadioNetwork(g)
+        rr = baselines.round_robin_broadcast(net_rr, source).steps
+        net_bgi = RadioNetwork(g)
+        rand = baselines.bgi_broadcast(net_bgi, source, rng).steps
+        dlogn = d * math.log2(n)
+        table.add_row(
+            [name, n, d, cd, rr, rand, cd / dlogn, rand / dlogn]
+        )
+    return table
+
+
+def test_e13_collision_detection(benchmark, results_dir):
+    rng = np.random.default_rng(16001)
+    g = graphs.grid_udg(3, 20, rng)
+
+    benchmark.pedantic(
+        lambda: baselines.cd_broadcast(RadioNetwork(g), 0),
+        rounds=3,
+        iterations=1,
+    )
+    table = run_experiment(np.random.default_rng(16002))
+    save_table(results_dir, "e13_collision_detection", table.render())

@@ -1,0 +1,76 @@
+"""E1 — Theorem 14: Radio MIS runs in O(log^3 n) steps and is correct.
+
+Sweeps n across graph families (clique, G(n,p), UDG, tree), runs the
+full packet-level Radio MIS, and reports steps, steps / log^3 n (the
+claim: bounded, roughly flat in n), and validity. The pytest-benchmark
+timing covers one representative UDG run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import TextTable, fit_power_law
+from repro.core import MISConfig, compute_mis
+from repro.graphs import is_maximal_independent_set
+from repro.radio import RadioNetwork
+
+from conftest import save_table
+
+CONFIG = MISConfig(oracle_degree=False, eed_C=8)
+SIZES = [32, 64, 128, 256]
+
+
+def _families(rng):
+    return {
+        "clique": lambda n: graphs.clique(n),
+        "gnp": lambda n: graphs.connected_gnp(n, min(0.5, 8.0 / n), rng),
+        "udg": lambda n: graphs.random_udg(
+            n, side=max(2.0, math.sqrt(n) / 2.5), rng=rng
+        ),
+        "tree": lambda n: graphs.random_tree(n, rng),
+    }
+
+
+def run_experiment(rng) -> TextTable:
+    table = TextTable(
+        ["family", "n", "steps", "steps/log^3(n)", "valid", "fit exponent"],
+        title="E1: Radio MIS step scaling (claim: steps = O(log^3 n))",
+    )
+    for family, maker in _families(rng).items():
+        xs, ys = [], []
+        for n in SIZES:
+            g = maker(n)
+            net = RadioNetwork(g)
+            result = compute_mis(net, rng, CONFIG)
+            valid = result.all_removed and is_maximal_independent_set(
+                g, result.mis
+            )
+            normalized = result.steps_used / math.log2(n) ** 3
+            xs.append(math.log2(n) ** 3)
+            ys.append(result.steps_used)
+            table.add_row(
+                [family, n, result.steps_used, normalized, valid, ""]
+            )
+        fit = fit_power_law(xs, ys)
+        # Exponent ~1 against log^3 n means the claim's shape holds.
+        table.add_row([family, "fit", "", "", "", fit.exponent])
+    return table
+
+
+def test_e1_mis_scaling(benchmark, results_dir):
+    rng = np.random.default_rng(1001)
+    g = graphs.random_udg(128, side=4.5, rng=rng)
+
+    def one_run():
+        net = RadioNetwork(g)
+        return compute_mis(net, np.random.default_rng(7), CONFIG)
+
+    result = benchmark.pedantic(one_run, rounds=3, iterations=1)
+    assert result.all_removed
+
+    table = run_experiment(np.random.default_rng(1002))
+    save_table(results_dir, "e1_mis_scaling", table.render())

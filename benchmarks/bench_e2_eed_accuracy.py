@@ -1,0 +1,102 @@
+"""E2 — Lemma 11: EstimateEffectiveDegree's two-sided guarantee.
+
+Builds gadgets with controlled effective degrees (stars whose hub desire
+level sets the leaves' d_t, cliques for the high side), runs Algorithm 6
+at several values of its constant C, and measures the High/Low error
+rates in each of Lemma 11's zones:
+
+* d_t(v) >= 1    -> must return High (whp);
+* d_t(v) <= 0.01 -> must return Low (whp);
+* in between     -> unconstrained (reported for interest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import TextTable
+from repro.core import estimate_effective_degree, exact_effective_degree
+from repro.radio import RadioNetwork
+
+from conftest import save_table
+
+
+def _zone_error_rates(rng, C: int, trials: int = 5):
+    """Error rates per Lemma 11 zone.
+
+    Workload: a mixed-degree UDG (populates the High zone and the
+    unconstrained middle) plus a star whose hub has desire level 0.004
+    (every leaf then has ``d_t = 0.004 <= 0.01`` — the Low zone).
+    """
+    high_err = low_err = high_total = low_total = 0
+    for _ in range(trials):
+        g = graphs.random_udg(n=60, side=3.0, rng=rng)
+        net = RadioNetwork(g)
+        p = rng.choice([0.001, 0.25, 0.5], size=net.n)
+        active = np.ones(net.n, dtype=bool)
+        d = exact_effective_degree(net, p, active)
+        result = estimate_effective_degree(net, p, active, rng, C=C)
+        must_high = d >= 1.0
+        must_low = d <= 0.01
+        high_total += int(must_high.sum())
+        low_total += int(must_low.sum())
+        high_err += int((must_high & ~result.high).sum())
+        low_err += int((must_low & result.high).sum())
+
+        star = graphs.star(40)
+        net_star = RadioNetwork(star)
+        p_star = np.full(net_star.n, 0.004)
+        active_star = np.ones(net_star.n, dtype=bool)
+        d_star = exact_effective_degree(net_star, p_star, active_star)
+        result_star = estimate_effective_degree(
+            net_star, p_star, active_star, rng, C=C
+        )
+        must_low_star = d_star <= 0.01
+        low_total += int(must_low_star.sum())
+        low_err += int((must_low_star & result_star.high).sum())
+    return (
+        high_err / max(1, high_total),
+        low_err / max(1, low_total),
+        high_total,
+        low_total,
+    )
+
+
+def run_experiment(rng) -> TextTable:
+    table = TextTable(
+        [
+            "C",
+            "High-zone errors",
+            "Low-zone errors",
+            "high nodes",
+            "low nodes",
+        ],
+        title=(
+            "E2: EstimateEffectiveDegree accuracy by constant C "
+            "(claim: both error rates -> 0 for large C)"
+        ),
+    )
+    for C in (2, 4, 8, 16, 24):
+        high_rate, low_rate, nh, nl = _zone_error_rates(rng, C)
+        table.add_row([C, high_rate, low_rate, nh, nl])
+    return table
+
+
+def test_e2_eed_accuracy(benchmark, results_dir):
+    rng = np.random.default_rng(2001)
+    g = graphs.random_udg(n=60, side=3.0, rng=rng)
+    net = RadioNetwork(g)
+    p = np.full(net.n, 0.5)
+    active = np.ones(net.n, dtype=bool)
+
+    benchmark.pedantic(
+        lambda: estimate_effective_degree(
+            net, p, active, np.random.default_rng(5), C=8
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = run_experiment(np.random.default_rng(2002))
+    save_table(results_dir, "e2_eed_accuracy", table.render())

@@ -1,0 +1,82 @@
+"""E5 — Lemma 5: at most 0.02 log2(D) values of j are 'bad'.
+
+A j is bad when the MIS population explodes just outside the radius
+2^j log(b) around a node (the condition of Lemma 4 fails). Lemma 5
+bounds the count of bad j via the global budget alpha. This experiment
+computes, for sampled nodes across graph families, the exact bad-j count
+from the m_i histograms and compares it with Lemma 5's limit, plus the
+Theorem 2 good fraction (claim: >= 0.77 of the window).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import TextTable
+from repro.core import bad_j_report, center_distance_histogram, j_range
+from repro.graphs import greedy_independent_set
+
+from conftest import save_table
+
+
+def run_experiment(rng) -> TextTable:
+    table = TextTable(
+        [
+            "graph",
+            "node",
+            "window size",
+            "bad j",
+            "lemma5 limit",
+            "good fraction",
+        ],
+        title=(
+            "E5: bad-j counts per node (claim: <= 0.02 log2 D bad j; "
+            ">= 0.77 good fraction)"
+        ),
+    )
+    instances = {
+        "grid-udg 12x12": graphs.grid_udg(12, 12, rng),
+        "udg(150)": graphs.random_udg(150, 7.0, rng),
+        "gnp(100, .06)": graphs.connected_gnp(100, 0.06, rng),
+        "clique-chain(8,8)": graphs.clique_chain(8, 8),
+        "tree(120)": graphs.random_tree(120, rng),
+    }
+    for name, g in instances.items():
+        d = graphs.diameter(g)
+        alpha = graphs.exact_independence_number(g)
+        mis = sorted(greedy_independent_set(g, rng, strategy="random"))
+        window = j_range(d)
+        nodes = list(g.nodes)
+        sample = [nodes[int(i)] for i in rng.integers(len(nodes), size=4)]
+        for v in sample:
+            m = center_distance_histogram(g, v, mis)
+            report = bad_j_report(m, window, alpha, d)
+            table.add_row(
+                [
+                    name,
+                    v,
+                    len(window),
+                    len(report.bad),
+                    report.limit,
+                    report.good_fraction,
+                ]
+            )
+    return table
+
+
+def test_e5_bad_j(benchmark, results_dir):
+    rng = np.random.default_rng(5001)
+    g = graphs.grid_udg(12, 12, rng)
+    mis = sorted(greedy_independent_set(g))
+    d = graphs.diameter(g)
+    alpha = graphs.exact_independence_number(g)
+
+    def one_report():
+        m = center_distance_histogram(g, 0, mis)
+        return bad_j_report(m, j_range(d), alpha, d)
+
+    benchmark.pedantic(one_report, rounds=5, iterations=1)
+
+    table = run_experiment(np.random.default_rng(5002))
+    save_table(results_dir, "e5_bad_j", table.render())

@@ -1,0 +1,106 @@
+"""E9 — Section 1.3: geometric classes are growth-bounded, general ones
+are not.
+
+For every generator in :mod:`repro.graphs`, reports the headline graph
+parameters (n, D, alpha, log_D alpha), the ball-independence growth
+exponent (claim: bounded ~2 for the 2-D geometric classes, unbounded
+for stars), and the alpha = poly(D) relationship that Corollary 9's
+O(D + polylog n) running time rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.analysis import TextTable
+from repro.graphs import EuclideanBox, FlatTorus
+
+from conftest import save_table
+
+
+def _instances(rng):
+    return {
+        "udg": graphs.random_udg(150, 7.0, rng),
+        "grid-udg": graphs.grid_udg(12, 12, rng),
+        "quasi-udg": graphs.random_qudg(150, 6.0, rng, r=0.7, R=1.0),
+        "unit-ball-3d": graphs.random_unit_ball_graph(
+            EuclideanBox(dim=3, side=3.2), 150, rng
+        ),
+        "unit-ball-torus": graphs.random_unit_ball_graph(
+            FlatTorus(dim=2, side=6.0), 150, rng
+        ),
+        "geom-radio": graphs.random_geometric_radio(
+            150, 6.0, rng, range_min=0.9, range_max=1.2
+        ),
+        "clique-chain": graphs.clique_chain(10, 15),
+        "path": graphs.path(150),
+        "star": graphs.star(150),
+        "gnp": graphs.connected_gnp(150, 0.04, rng),
+        "tree": graphs.random_tree(150, rng),
+    }
+
+
+GEOMETRIC = {
+    "udg",
+    "grid-udg",
+    "quasi-udg",
+    "unit-ball-3d",
+    "unit-ball-torus",
+    "geom-radio",
+}
+
+
+def run_experiment(rng) -> TextTable:
+    table = TextTable(
+        [
+            "family",
+            "n",
+            "m",
+            "D",
+            "alpha",
+            "log_D(alpha)",
+            "growth exp",
+            "geometric",
+        ],
+        title=(
+            "E9: graph classes (claims: geometric classes have bounded "
+            "growth exponent and alpha = poly(D); star's radius-1 balls "
+            "already hold n-1 independent nodes)"
+        ),
+    )
+    for name, g in _instances(rng).items():
+        summary = graphs.summarize(g)
+        try:
+            profile = graphs.ball_independence_profile(
+                g, [1, 2, 3], rng, n_centers=6
+            )
+            exponent = graphs.growth_exponent(profile)
+        except ValueError:
+            exponent = float("nan")
+        table.add_row(
+            [
+                name,
+                summary.n,
+                summary.m,
+                summary.D,
+                summary.alpha,
+                summary.log_d_alpha,
+                exponent,
+                name in GEOMETRIC,
+            ]
+        )
+    return table
+
+
+def test_e9_graph_classes(benchmark, results_dir):
+    rng = np.random.default_rng(9001)
+
+    def summarize_udg():
+        g = graphs.random_udg(150, 7.0, np.random.default_rng(5))
+        return graphs.summarize(g)
+
+    benchmark.pedantic(summarize_udg, rounds=3, iterations=1)
+
+    table = run_experiment(np.random.default_rng(9002))
+    save_table(results_dir, "e9_graph_classes", table.render())

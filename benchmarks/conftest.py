@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eX_*.py`` module reproduces one experiment of DESIGN.md's
+index (the paper has no numeric tables/figures — the experiments measure
+its theorem claims). Conventions:
+
+* every benchmark both *times* its experiment through pytest-benchmark
+  and *prints/saves* the experiment's table — timings answer "how costly
+  is the reproduction", tables answer "does the claim hold";
+* tables are appended to ``benchmarks/results/`` so EXPERIMENTS.md can
+  be regenerated from a bench run;
+* workload sizes are chosen so the full suite finishes in minutes on a
+  laptop. Shapes, not absolute constants, are the reproduction target.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benchmark tables are saved."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_table(results_dir: pathlib.Path, name: str, rendered: str) -> None:
+    """Persist a rendered table (and echo it to stdout)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(rendered + "\n")
+    print()
+    print(rendered)

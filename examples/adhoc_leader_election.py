@@ -1,0 +1,76 @@
+"""Ad-hoc network bootstrap: leader election after deployment.
+
+Scenario: devices with heterogeneous radio ranges are scattered over an
+area (an undirected geometric radio network, paper Section 1.3) and must
+self-organize: agree on a leader with no pre-assigned identities, no
+topology knowledge, and no collision detection. This is Algorithm 3:
+random candidacy at rate Theta(log n / n), random Theta(log n)-bit IDs,
+one Compete run.
+
+The example compares the paper's election against the classic
+binary-search-over-IDs approach (O(log n) full broadcasts) and reports
+empirical success rates over repeated deployments.
+
+Run:  python examples/adhoc_leader_election.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import baselines, graphs
+from repro.analysis import TextTable, success_rate
+from repro.core import elect_leader
+from repro.radio import RadioNetwork
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    deployments = 10
+
+    table = TextTable(
+        [
+            "deployment",
+            "n",
+            "D",
+            "candidates",
+            "elected",
+            "ours rounds",
+            "binsearch steps",
+        ],
+        title="Leader election on geometric radio networks",
+    )
+
+    outcomes = []
+    for i in range(deployments):
+        graph = graphs.random_geometric_radio(
+            n=120, side=5.0, rng=rng, range_min=0.8, range_max=1.3
+        )
+        result = elect_leader(graph, rng)
+        outcomes.append(result.elected)
+
+        net = RadioNetwork(graph)
+        binsearch = baselines.binary_search_election(net, rng)
+
+        table.add_row(
+            [
+                i,
+                graph.number_of_nodes(),
+                graphs.diameter(graph),
+                len(result.candidates),
+                result.elected,
+                result.total_rounds,
+                binsearch.steps,
+            ]
+        )
+
+    table.print()
+    print(
+        f"\nempirical success rate: {success_rate(outcomes):.0%} "
+        f"(Theorem 8 guarantees success with high probability; failures "
+        f"are detectable and fixed by re-running)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The MIS lower bound, made tangible: Radio MIS plays wake-up.
+
+The paper's Omega(log^2 n) MIS lower bound (Section 1.5.1) is a
+reduction: k unknown nodes of a clique are active, and any correct MIS
+algorithm — which must work when told the network size is n, because
+the k nodes cannot distinguish n - k extra isolated nodes (footnote 3)
+— has to produce a step where exactly one active node transmits.
+
+This example plays that game three ways:
+
+1. the Decay ladder (what Algorithm 7 actually uses): robust to any k;
+2. a fixed-probability strategy: excellent at its tuned density,
+   catastrophic away from it — the reason density sweeps (and hence a
+   log n factor) are unavoidable;
+3. the real Radio MIS marking dynamics on a k-clique, reporting where
+   its first clean transmission lands relative to log^2 n.
+
+Run:  python examples/lower_bound_reduction.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis import TextTable
+from repro.core import (
+    decay_schedule,
+    expected_steps,
+    mis_as_wakeup_strategy,
+    uniform_schedule,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    n = 256
+
+    table = TextTable(
+        ["active k", "decay ladder", "fixed p=1/16", "fixed p=1/k (oracle)"],
+        title=f"Wake-up on a clique, n={n}: expected steps to first success",
+    )
+    for k in (2, 16, 64, 256):
+        table.add_row(
+            [
+                k,
+                expected_steps(k, decay_schedule(n), rng, trials=30),
+                expected_steps(
+                    k, uniform_schedule(1 / 16), rng, trials=30, max_steps=3000
+                ),
+                expected_steps(k, uniform_schedule(1 / k), rng, trials=30),
+            ]
+        )
+    table.print()
+    print(
+        "\nThe oracle-tuned column is what knowing k buys (~e steps);\n"
+        "the fixed mistuned column shows the collapse at k=256; the\n"
+        "decay ladder pays ~log(n) to be correct for every k at once."
+    )
+
+    print("\nRadio MIS as the reduction's adversary target:")
+    for k in (4, 32):
+        result = mis_as_wakeup_strategy(n=n, k=k, rng=rng)
+        print(
+            f"  k={k:>3}: first clean transmission at step "
+            f"{result.steps} (log^2 n = {math.log2(n)**2:.0f})"
+        )
+    print(
+        "\nEvery correct MIS algorithm must clear this game — which is\n"
+        "why no radio MIS algorithm can beat Omega(log^2 n), and why\n"
+        "Theorem 14's O(log^3 n) is within one log factor of optimal."
+    )
+
+
+if __name__ == "__main__":
+    main()

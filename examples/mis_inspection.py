@@ -1,0 +1,78 @@
+"""Inside Radio MIS: desire levels, golden rounds, and the removal race.
+
+The first MIS algorithm for general-graph radio networks (Section 4)
+adapts Ghaffari's desire-level dynamics. This example runs it on a
+clustered unit disk graph (dense hotspots joined in a chain — the kind
+of degree heterogeneity that defeats naive marking) and prints the
+per-round race: how many nodes marked, joined, and were removed, and how
+many golden rounds (the analysis's progress certificates, Lemma 12)
+occurred. It also contrasts with Luby's algorithm in the LOCAL model to
+show what the radio model makes hard.
+
+Run:  python examples/mis_inspection.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import baselines, graphs
+from repro.analysis import TextTable
+from repro.core import MISConfig, compute_mis
+from repro.radio import RadioNetwork
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    graph = graphs.clustered_udg(
+        n_clusters=5, cluster_size=30, rng=rng, cluster_spread=0.25
+    )
+    n = graph.number_of_nodes()
+    print(
+        f"clustered UDG: n={n}, m={graph.number_of_edges()}, "
+        f"max degree {max(d for _, d in graph.degree)}"
+    )
+
+    net = RadioNetwork(graph)
+    result = compute_mis(net, rng, MISConfig(oracle_degree=False, eed_C=8))
+
+    table = TextTable(
+        ["round", "active", "marked", "joined", "removed", "golden1", "golden2"],
+        title="\nRadio MIS round-by-round",
+    )
+    for record in result.history:
+        table.add_row(
+            [
+                record.round_index,
+                record.active_before,
+                record.marked,
+                record.joined,
+                record.removed,
+                record.golden_type1,
+                record.golden_type2,
+            ]
+        )
+    table.print()
+
+    print(
+        f"\nMIS size {result.size}, valid: "
+        f"{graphs.is_maximal_independent_set(graph, result.mis)}"
+    )
+    log3 = math.log2(n) ** 3
+    print(
+        f"steps {result.steps_used} vs log^3 n = {log3:.0f} "
+        f"(Theorem 14: O(log^3 n); ratio {result.steps_used / log3:.1f})"
+    )
+
+    luby = baselines.luby_mis(graph, rng)
+    print(
+        f"\nLuby in the LOCAL model: {luby.rounds} rounds but "
+        f"{luby.messages} point-to-point messages — the free neighborhood "
+        f"exchange radio networks cannot implement cheaply (Section 4.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

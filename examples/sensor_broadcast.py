@@ -1,0 +1,78 @@
+"""Sensor-field broadcast: the paper's headline improvement, visualized.
+
+Scenario: a long corridor of wireless sensors (a thin unit disk grid —
+think pipeline or tunnel monitoring), where the diameter D is large but
+the independence number alpha is only poly(D). The paper's algorithm
+broadcasts in O(D + polylog n) rounds (Corollary 9); the classic BGI
+Decay broadcast pays O(D log n). This example sweeps corridor lengths
+and prints both, plus the [7] baseline that parametrizes by n.
+
+Run:  python examples/sensor_broadcast.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import baselines, graphs
+from repro.analysis import TextTable
+from repro.core import CompeteConfig, broadcast
+from repro.radio import RadioNetwork
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    table = TextTable(
+        [
+            "corridor",
+            "n",
+            "D",
+            "alpha",
+            "ours(prop)",
+            "CD21(prop)",
+            "BGI(steps)",
+            "ours/D",
+            "BGI/(D log n)",
+        ],
+        title="Broadcast on sensor corridors (propagation rounds)",
+    )
+
+    for length in (20, 40, 60, 80):
+        graph = graphs.grid_udg(rows=3, cols=length, rng=rng)
+        n = graph.number_of_nodes()
+        d = graphs.diameter(graph)
+        alpha = graphs.exact_independence_number(graph)
+
+        ours = broadcast(graph, 0, rng).propagation_rounds
+        cd21 = broadcast(
+            graph, 0, rng, config=CompeteConfig(centers_mode="all")
+        ).propagation_rounds
+        net = RadioNetwork(graph)
+        bgi = baselines.bgi_broadcast(net, 0, rng).steps
+
+        table.add_row(
+            [
+                f"3x{length}",
+                n,
+                d,
+                alpha,
+                ours,
+                cd21,
+                bgi,
+                ours / d,
+                bgi / (d * math.log2(n)),
+            ]
+        )
+
+    table.print()
+    print(
+        "\nReading the table: 'ours/D' stays roughly flat (the paper's\n"
+        "O(D) leading term on growth-bounded graphs), while BGI needs\n"
+        "~(D log n) steps — the gap widens with the corridor."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` (legacy editable install) works in
+offline environments lacking PEP 517 build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — reproduction of Davies, "Uniting General-Graph and
+Geometric-Based Radio Networks via Independence Number Parametrization"
+(PODC 2023, arXiv:2303.16832).
+
+Public API layout:
+
+* :mod:`repro.radio` — the radio network model (simulator substrate);
+* :mod:`repro.graphs` — graph classes of Section 1.3 + properties;
+* :mod:`repro.core` — the paper's algorithms: Decay,
+  EstimateEffectiveDegree, Radio MIS (Theorem 14), Partition(beta, MIS),
+  Compete, broadcast (Theorem 7), leader election (Theorem 8);
+* :mod:`repro.baselines` — prior-work comparators;
+* :mod:`repro.analysis` — experiment harness helpers.
+
+Quickstart::
+
+    import numpy as np
+    from repro import graphs, radio, core
+
+    rng = np.random.default_rng(7)
+    g = graphs.random_udg(n=150, side=6.0, rng=rng)
+    net = radio.RadioNetwork(g)
+    mis = core.compute_mis(net, rng)
+    print(mis.size, "MIS nodes in", mis.steps_used, "radio steps")
+    result = core.broadcast(g, source=0, rng=rng)
+    print("broadcast rounds:", result.total_rounds)
+"""
+
+from . import analysis, baselines, core, graphs, radio
+from .core import (
+    BroadcastResult,
+    CompeteConfig,
+    CompeteResult,
+    LeaderElectionResult,
+    MISConfig,
+    MISResult,
+    broadcast,
+    compete,
+    compute_mis,
+    elect_leader,
+    partition,
+)
+from .graphs import (
+    random_geometric_radio,
+    random_qudg,
+    random_udg,
+    random_unit_ball_graph,
+)
+from .radio import Message, RadioNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BroadcastResult",
+    "CompeteConfig",
+    "CompeteResult",
+    "LeaderElectionResult",
+    "MISConfig",
+    "MISResult",
+    "Message",
+    "RadioNetwork",
+    "analysis",
+    "baselines",
+    "broadcast",
+    "compete",
+    "compute_mis",
+    "core",
+    "elect_leader",
+    "graphs",
+    "partition",
+    "radio",
+    "random_geometric_radio",
+    "random_qudg",
+    "random_udg",
+    "random_unit_ball_graph",
+]

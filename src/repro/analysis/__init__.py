@@ -1,0 +1,21 @@
+"""Experiment harness helpers shared by tests and benchmarks."""
+
+from .experiments import (
+    ScalingFit,
+    TrialStats,
+    fit_power_law,
+    geometric_sizes,
+    run_trials,
+    success_rate,
+)
+from .tables import TextTable
+
+__all__ = [
+    "ScalingFit",
+    "TextTable",
+    "TrialStats",
+    "fit_power_law",
+    "geometric_sizes",
+    "run_trials",
+    "success_rate",
+]

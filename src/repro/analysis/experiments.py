@@ -1,0 +1,111 @@
+"""Experiment harness: repeated trials, aggregation, scaling fits.
+
+The benchmarks in ``benchmarks/`` are thin: they define workloads and
+call these helpers, so that trial repetition, seeding, and slope fitting
+are uniform across experiments and unit-testable on their own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TrialStats:
+    """Aggregate of repeated scalar measurements."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "TrialStats":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot aggregate zero trials")
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            count=int(arr.size),
+        )
+
+
+def run_trials(
+    measure: Callable[[np.random.Generator], float],
+    n_trials: int,
+    seed: int,
+) -> TrialStats:
+    """Run ``measure`` with ``n_trials`` independent child generators.
+
+    Seeding: a single ``SeedSequence`` spawns one child per trial, so
+    trials are independent and the whole experiment is reproducible from
+    one integer.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    seq = np.random.SeedSequence(seed)
+    children = seq.spawn(n_trials)
+    values = [measure(np.random.default_rng(child)) for child in children]
+    return TrialStats.from_values(values)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingFit:
+    """Power-law fit ``y ~ c * x^exponent`` from log-log regression."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> ScalingFit:
+    """Least-squares fit of ``log y`` against ``log x``.
+
+    Used by scaling experiments (E1, E6) to extract measured growth
+    exponents — e.g. Radio MIS steps against ``log^3 n`` should fit with
+    exponent ~1 when x is taken to be ``log^3 n`` itself.
+    """
+    xs = np.asarray(list(xs), dtype=float)
+    ys = np.asarray(list(ys), dtype=float)
+    if xs.shape != ys.shape or xs.size < 2:
+        raise ValueError("need at least two matched (x, y) points")
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("power-law fit requires positive values")
+    lx, ly = np.log(xs), np.log(ys)
+    slope, intercept = np.polyfit(lx, ly, deg=1)
+    predicted = slope * lx + intercept
+    total = float(((ly - ly.mean()) ** 2).sum())
+    residual = float(((ly - predicted) ** 2).sum())
+    r2 = 1.0 - residual / total if total > 0 else 1.0
+    return ScalingFit(
+        exponent=float(slope),
+        coefficient=float(math.exp(intercept)),
+        r_squared=float(r2),
+    )
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of true outcomes (whp-claim verification helper)."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("cannot compute a success rate of zero outcomes")
+    return sum(1 for o in outcomes if o) / len(outcomes)
+
+
+def geometric_sizes(start: int, stop: int, points: int) -> list[int]:
+    """Geometrically spaced integer sizes for scaling sweeps."""
+    if start < 1 or stop < start or points < 1:
+        raise ValueError(
+            f"invalid sweep spec: start={start}, stop={stop}, points={points}"
+        )
+    raw = np.geomspace(start, stop, points)
+    sizes = sorted({int(round(x)) for x in raw})
+    return sizes

@@ -1,0 +1,134 @@
+"""Deterministic broadcast *with collision detection* (energy coding).
+
+The paper's algorithms work without collision detection; parts of the
+prior geometric literature (Schneider–Wattenhofer [29], Dessmark–Pelc
+[12]) assume it. This baseline shows concretely what the assumption
+buys: with CD, a listener can read one bit per two steps from pure
+*energy*, no clean reception needed, so collisions stop mattering and
+broadcast becomes deterministic and contention-free.
+
+Encoding: the ``B``-bit message is transmitted in cycles of ``B``
+frames, each frame two steps (subslot 0 and subslot 1). Every informed
+node transmits (anything) in the subslot matching the current message
+bit. A listener with CD senses energy in exactly one subslot per frame
+— that subslot *is* the bit; energy in neither subslot means no
+informed neighbor yet. Nodes that heard energy through a *complete*
+cycle decode the message and join the transmitters for the next cycle.
+
+One cycle advances the informed frontier by at least one hop, so the
+total is ``O(D * B)`` steps — with ``B = Theta(log n)``-bit messages,
+the ``O(D log n)`` deterministic-with-CD bound of [29], versus the
+``Omega(n log_{n/D} D)`` deterministic lower bound *without* CD that
+the paper quotes. E13 measures the gap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..radio.errors import BudgetExceededError, GraphContractError
+from ..radio.network import RadioNetwork
+
+
+@dataclasses.dataclass
+class CDBroadcastResult:
+    """Outcome of the collision-detection broadcast."""
+
+    source: int
+    delivered: bool
+    steps: int
+    cycles: int
+    message_bits: int
+
+
+def cd_broadcast(
+    network: RadioNetwork,
+    source: int,
+    message: int | None = None,
+    message_bits: int | None = None,
+    max_cycles: int | None = None,
+) -> CDBroadcastResult:
+    """Deterministically broadcast ``message`` using collision detection.
+
+    Parameters
+    ----------
+    network:
+        A connected radio network.
+    source:
+        The initially informed node.
+    message:
+        The payload; defaults to ``source + 1`` (a typical ID payload).
+    message_bits:
+        Encoded length; defaults to ``max(1, ceil(log2(n)) + 1)`` —
+        enough for any node ID.
+    max_cycles:
+        Budget in frame cycles; defaults to ``n + 1`` (each cycle gains
+        at least one hop and ``D <= n - 1``).
+    """
+    if not network.is_connected():
+        raise GraphContractError("broadcast requires a connected network")
+    n = network.n
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    if message is None:
+        message = source + 1
+    if message_bits is None:
+        message_bits = max(1, math.ceil(math.log2(max(2, n))) + 1)
+    if message < 0 or message >= 2**message_bits:
+        raise ValueError(
+            f"message {message} does not fit in {message_bits} bits"
+        )
+    if max_cycles is None:
+        max_cycles = n + 1
+
+    bits = [(message >> (message_bits - 1 - i)) & 1 for i in range(message_bits)]
+    informed = np.zeros(n, dtype=bool)
+    informed[source] = True
+
+    steps_before = network.steps_elapsed
+    network.trace.enter_phase("cd-broadcast")
+    cycles = 0
+    while not informed.all():
+        if cycles >= max_cycles:
+            raise BudgetExceededError(
+                f"CD broadcast incomplete after {max_cycles} cycles"
+            )
+        # Per-listener decode state for this cycle: the bits observed and
+        # whether every frame so far carried energy.
+        decoded = np.zeros((n, message_bits), dtype=np.int8)
+        complete = np.ones(n, dtype=bool)
+        for i, bit in enumerate(bits):
+            for subslot in (0, 1):
+                transmit = informed & (bit == subslot)
+                _, busy = network.deliver_detect(transmit)
+                if subslot == 0:
+                    energy0 = busy
+                else:
+                    energy1 = busy
+            saw_energy = energy0 | energy1
+            decoded[energy1, i] = 1
+            complete &= saw_energy | informed
+        # Listeners that sensed energy through the whole cycle decode and
+        # join. (The decoded value necessarily equals the message — all
+        # transmitters carry the same payload in single-source broadcast;
+        # we assert that invariant rather than assume it.)
+        joiners = complete & ~informed
+        for v in np.nonzero(joiners)[0]:
+            value = 0
+            for i in range(message_bits):
+                value = (value << 1) | int(decoded[v, i])
+            assert value == message, "energy decode mismatch"
+        informed |= joiners
+        cycles += 1
+    network.trace.enter_phase("default")
+
+    return CDBroadcastResult(
+        source=source,
+        delivered=bool(informed.all()),
+        steps=network.steps_elapsed - steps_before,
+        cycles=cycles,
+        message_bits=message_bits,
+    )

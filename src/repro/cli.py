@@ -1,0 +1,264 @@
+"""Command-line interface: run the paper's algorithms from a shell.
+
+Subcommands mirror the library's entry points:
+
+.. code-block:: bash
+
+    python -m repro mis --graph udg --n 150 --seed 7
+    python -m repro broadcast --graph grid --rows 3 --cols 40
+    python -m repro leader --graph gnp --n 100 --p 0.08
+    python -m repro partition --graph udg --n 120 --beta 0.25
+    python -m repro classes --n 150
+
+Every subcommand accepts ``--seed`` (default 0) and prints a short
+human-readable report; machine-readable output is available with
+``--json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+import numpy as np
+
+from . import graphs
+from .core import (
+    CompeteConfig,
+    MISConfig,
+    broadcast,
+    compute_mis,
+    elect_leader,
+    partition,
+)
+from .graphs import greedy_independent_set
+from .radio import RadioNetwork
+
+
+def _build_graph(args: argparse.Namespace, rng: np.random.Generator):
+    """Construct the graph a subcommand asked for."""
+    kind = args.graph
+    if kind == "udg":
+        return graphs.random_udg(args.n, side=args.side, rng=rng)
+    if kind == "grid":
+        return graphs.grid_udg(args.rows, args.cols, rng)
+    if kind == "gnp":
+        return graphs.connected_gnp(args.n, args.p, rng)
+    if kind == "chain":
+        return graphs.clique_chain(args.chains, args.clique_size)
+    if kind == "tree":
+        return graphs.random_tree(args.n, rng)
+    if kind == "path":
+        return graphs.path(args.n)
+    if kind == "clique":
+        return graphs.clique(args.n)
+    raise ValueError(f"unknown graph kind: {kind!r}")
+
+
+def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--graph",
+        default="udg",
+        choices=["udg", "grid", "gnp", "chain", "tree", "path", "clique"],
+        help="graph family (default: udg)",
+    )
+    parser.add_argument("--n", type=int, default=100, help="node count")
+    parser.add_argument(
+        "--side", type=float, default=5.0, help="UDG box side length"
+    )
+    parser.add_argument("--rows", type=int, default=3, help="grid rows")
+    parser.add_argument("--cols", type=int, default=30, help="grid cols")
+    parser.add_argument("--p", type=float, default=0.08, help="G(n,p) density")
+    parser.add_argument(
+        "--chains", type=int, default=8, help="clique-chain length"
+    )
+    parser.add_argument(
+        "--clique-size", type=int, default=10, help="clique-chain clique size"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
+
+
+def _emit(args: argparse.Namespace, report: dict[str, Any]) -> None:
+    if args.json:
+        print(json.dumps(report, default=str))
+    else:
+        for key, value in report.items():
+            print(f"{key}: {value}")
+
+
+def _cmd_mis(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    g = _build_graph(args, rng)
+    net = RadioNetwork(g)
+    config = MISConfig(oracle_degree=args.oracle_degree, eed_C=args.eed_c)
+    result = compute_mis(net, rng, config)
+    valid = graphs.is_maximal_independent_set(g, result.mis)
+    _emit(
+        args,
+        {
+            "graph": g.graph.get("family"),
+            "n": g.number_of_nodes(),
+            "mis_size": result.size,
+            "rounds": result.rounds_used,
+            "radio_steps": result.steps_used,
+            "valid": valid,
+        },
+    )
+    return 0 if valid else 1
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    g = _build_graph(args, rng)
+    config = CompeteConfig(
+        centers_mode="all" if args.baseline else "mis"
+    )
+    result = broadcast(g, args.source, rng, config=config)
+    _emit(
+        args,
+        {
+            "graph": g.graph.get("family"),
+            "n": g.number_of_nodes(),
+            "D": graphs.diameter(g),
+            "mode": config.centers_mode,
+            "delivered": result.delivered,
+            "total_rounds": result.total_rounds,
+            "setup_rounds": result.setup_rounds,
+            "propagation_rounds": result.propagation_rounds,
+        },
+    )
+    return 0 if result.delivered else 1
+
+
+def _cmd_leader(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    g = _build_graph(args, rng)
+    result = elect_leader(g, rng)
+    _emit(
+        args,
+        {
+            "graph": g.graph.get("family"),
+            "n": g.number_of_nodes(),
+            "elected": result.elected,
+            "leader": result.leader,
+            "candidates": len(result.candidates),
+            "total_rounds": result.total_rounds,
+        },
+    )
+    return 0 if result.elected else 1
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    g = _build_graph(args, rng)
+    mis = sorted(greedy_independent_set(g, rng, strategy="random"))
+    clustering = partition(g, args.beta, mis, rng)
+    _emit(
+        args,
+        {
+            "graph": g.graph.get("family"),
+            "n": g.number_of_nodes(),
+            "beta": args.beta,
+            "centers": len(mis),
+            "clusters_used": len(clustering.used_centers()),
+            "max_radius": clustering.max_radius(),
+            "mean_distance": round(clustering.mean_distance(), 3),
+        },
+    )
+    return 0
+
+
+def _cmd_classes(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    n = args.n
+    rows = []
+    for name, g in {
+        "udg": graphs.random_udg(n, max(2.0, (n / 4.0) ** 0.5), rng),
+        "quasi-udg": graphs.random_qudg(n, max(2.0, (n / 5.0) ** 0.5), rng),
+        "path": graphs.path(n),
+        "star": graphs.star(n),
+        "tree": graphs.random_tree(n, rng),
+    }.items():
+        summary = graphs.summarize(g)
+        rows.append(
+            {
+                "family": name,
+                "n": summary.n,
+                "D": summary.D,
+                "alpha": summary.alpha,
+                "log_D_alpha": round(summary.log_d_alpha, 2),
+            }
+        )
+    if args.json:
+        print(json.dumps(rows))
+    else:
+        for row in rows:
+            print(row)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Radio network algorithms parametrized by independence "
+            "number (Davies, PODC 2023 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mis = sub.add_parser("mis", help="run Radio MIS (Algorithm 7)")
+    _add_graph_options(mis)
+    mis.add_argument(
+        "--oracle-degree",
+        action="store_true",
+        help="skip EstimateEffectiveDegree (documented speed knob)",
+    )
+    mis.add_argument("--eed-c", type=int, default=8, help="Algorithm 6's C")
+    mis.set_defaults(func=_cmd_mis)
+
+    bc = sub.add_parser("broadcast", help="broadcast via Compete (Thm 7)")
+    _add_graph_options(bc)
+    bc.add_argument("--source", type=int, default=0, help="source node")
+    bc.add_argument(
+        "--baseline",
+        action="store_true",
+        help="use the [7] all-nodes-centers baseline instead",
+    )
+    bc.set_defaults(func=_cmd_broadcast)
+
+    leader = sub.add_parser("leader", help="leader election (Algorithm 3)")
+    _add_graph_options(leader)
+    leader.set_defaults(func=_cmd_leader)
+
+    part = sub.add_parser(
+        "partition", help="one Partition(beta, MIS) clustering draw"
+    )
+    _add_graph_options(part)
+    part.add_argument("--beta", type=float, default=0.25, help="shift rate")
+    part.set_defaults(func=_cmd_partition)
+
+    classes = sub.add_parser(
+        "classes", help="summarize graph classes (n, D, alpha)"
+    )
+    _add_graph_options(classes)
+    classes.set_defaults(func=_cmd_classes)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""``Compete(S)`` — the paper's Algorithm 2, round-accounted.
+
+Compete is the engine behind both broadcasting and leader election: a set
+``S`` of candidate messages propagates through the network, higher
+messages overriding lower ones, until every node knows the highest. The
+paper's version differs from Czumaj–Davies [7] (Algorithm 1) in exactly
+one structural way — clusterings use only MIS nodes as potential centers
+(``Partition(beta, MIS)``) — plus the matching shorter propagation length
+``ell = O(log_D alpha / beta)`` justified by Theorem 2.
+
+This module simulates the pipeline at **cluster-event granularity** with
+**round-accounted costs** (DESIGN.md Section 1.1): real MPX clusterings
+are drawn (real shifts, real BFS distances — the objects Theorem 2 is
+about), knowledge spreads exactly as Algorithm 9's three-pass ICP allows
+(center collects within ``ell``, redistributes within ``ell``), the
+Algorithm 8 background process is modeled as its guaranteed
+one-hop-per-``Theta(log n)``-rounds progress, and every component's
+rounds are charged to a :class:`~repro.radio.trace.CostLedger` using
+:mod:`repro.core.costmodel`. Setting ``centers_mode="all"`` reproduces
+[7] as the baseline (same code path, all-nodes center set,
+``ell = O(log_D n / beta)``), so E6's comparison is apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from ..graphs.independence import greedy_independent_set
+from ..graphs.properties import diameter as graph_diameter
+from ..radio.errors import BudgetExceededError, GraphContractError
+from ..radio.trace import CostLedger
+from .costmodel import CostModel, propagation_length
+from .cluster import Clustering
+from .mpx import beta_of_j, coarse_beta, j_range, partition
+
+
+@dataclasses.dataclass
+class CompeteConfig:
+    """Knobs of the round-accounted Compete pipeline.
+
+    Attributes
+    ----------
+    centers_mode:
+        ``"mis"`` — the paper's Algorithm 2; ``"all"`` — the [7]
+        baseline (Algorithm 1).
+    cost_model:
+        Round-cost constants (see :mod:`repro.core.costmodel`).
+    c_ell:
+        Constant inside the ICP length
+        ``ell = c_ell * log_D(alpha) / beta``. The paper's analysis
+        needs the O() constant large enough to cover Theorem 2's
+        expected distance; 4 is comfortable at simulation scales.
+    fine_per_j:
+        Fine clusterings per ``j`` per coarse cluster. Paper: ``D^0.2``;
+        capped by default at 3 (DESIGN.md substitution 2 — when the
+        sequence exhausts them, fresh clusterings are resampled, which
+        preserves the randomization they exist to provide).
+    sequence_length:
+        Length of each coarse center's random fine-clustering sequence.
+        Paper: ``D^0.99``; ``None`` uses ``ceil(D^0.99)``.
+    bg_rounds_per_hop:
+        The Algorithm 8 background process advances messages one hop per
+        ``Theta(log n)`` rounds; this is that constant times ``log2 n``.
+    max_phases:
+        Safety cap on total ICP phases before declaring failure.
+    """
+
+    centers_mode: str = "mis"
+    cost_model: CostModel = dataclasses.field(default_factory=CostModel)
+    c_ell: float = 4.0
+    fine_per_j: int = 3
+    sequence_length: int | None = None
+    bg_rounds_per_hop: float = 1.0
+    max_phases: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.centers_mode not in ("mis", "all"):
+            raise ValueError(
+                f"centers_mode must be 'mis' or 'all', got {self.centers_mode!r}"
+            )
+
+
+@dataclasses.dataclass
+class PhaseRecord:
+    """Per-phase instrumentation of a Compete run."""
+
+    phase: int
+    rounds_charged: int
+    informed_before: int
+    informed_after: int
+
+
+@dataclasses.dataclass
+class CompeteResult:
+    """Output of :func:`compete`.
+
+    ``winner`` is the highest message key; ``knowledge`` maps every node
+    to the key it ended with (equal to ``winner`` everywhere on success).
+    ``ledger`` itemizes every charged round.
+    """
+
+    winner: int
+    knowledge: dict[Hashable, int]
+    delivered: bool
+    ledger: CostLedger
+    phases: list[PhaseRecord]
+    alpha_used: int
+    mis_size: int
+
+    @property
+    def total_rounds(self) -> int:
+        """Total charged rounds (setup + propagation)."""
+        return self.ledger.total
+
+    @property
+    def propagation_rounds(self) -> int:
+        """Rounds in the ``D log_D alpha`` leading term."""
+        return self.ledger.propagation_total
+
+
+def _check_graph(graph: nx.Graph) -> int:
+    n = graph.number_of_nodes()
+    if n == 0:
+        raise GraphContractError("Compete requires a non-empty graph")
+    if list(graph.nodes) != list(range(n)):
+        raise GraphContractError(
+            "Compete expects integer node labels 0..n-1; relabel with "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    if n > 1 and not nx.is_connected(graph):
+        raise GraphContractError(
+            "broadcast/leader election require a connected graph "
+            "(paper Section 1.2)"
+        )
+    return n
+
+
+def compete(
+    graph: nx.Graph,
+    sources: dict[int, int],
+    rng: np.random.Generator,
+    config: CompeteConfig | None = None,
+    alpha: int | None = None,
+) -> CompeteResult:
+    """Run round-accounted ``Compete(S)`` until the highest message wins.
+
+    Parameters
+    ----------
+    graph:
+        Connected graph with nodes ``0..n-1``.
+    sources:
+        Mapping node -> message key for the candidate set ``S``. Keys
+        must be non-negative ints; the highest key is the winner.
+    rng:
+        Randomness source.
+    config:
+        Pipeline knobs; defaults to the paper's Algorithm 2.
+    alpha:
+        The independence-number estimate the algorithm is given (the
+        paper needs any polynomial approximation). Defaults to the size
+        of the maximal independent set the pipeline computes anyway —
+        a valid lower-bound estimate available for free.
+
+    Returns
+    -------
+    CompeteResult
+        With ``delivered`` true unless the phase cap was exhausted.
+    """
+    config = config or CompeteConfig()
+    n = _check_graph(graph)
+    if not sources:
+        raise ValueError("Compete needs at least one source message")
+    if any(key < 0 for key in sources.values()):
+        raise ValueError("message keys must be non-negative")
+    model = config.cost_model
+    ledger = CostLedger()
+    d = graph_diameter(graph)
+    d = max(2, d)  # bound formulas need D >= 2; D=1 cliques are single-hop
+
+    # --- step 1: MIS (or the all-nodes baseline) -------------------------
+    if config.centers_mode == "mis":
+        mis = sorted(greedy_independent_set(graph, rng, strategy="random"))
+        ledger.charge(model.mis_rounds(n), "ComputeMIS (Thm 14)", "setup")
+        centers = mis
+    else:
+        centers = list(range(n))
+        mis = centers
+    mis_size = len(mis)
+    alpha_used = alpha if alpha is not None else max(1, mis_size)
+    # ell's alpha argument: the paper's variant uses alpha, [7] uses n.
+    ell_alpha = alpha_used if config.centers_mode == "mis" else n
+
+    # --- steps 2-3: coarse clustering + schedules -------------------------
+    cbeta = coarse_beta(d)
+    coarse = partition(graph, cbeta, centers, rng)
+    ledger.charge(
+        model.partition_rounds(n, cbeta), "coarse Partition", "setup"
+    )
+    ledger.charge(model.schedule_rounds(n), "coarse schedules", "setup")
+
+    # --- steps 4-5: fine clusterings within each coarse cluster -----------
+    js = j_range(d)
+    fine = _build_fine_clusterings(graph, coarse, centers, js, config, rng)
+    # Coarse clusters build their clusterings in parallel; j values and
+    # repeated draws are sequential.
+    n_clusterings = len(js) * config.fine_per_j
+    for j in js:
+        ledger.charge(
+            model.partition_rounds(n, beta_of_j(j)) * config.fine_per_j,
+            f"fine Partitions (j={j})",
+            "setup",
+        )
+    ledger.charge(
+        model.schedule_rounds(n) * max(1, n_clusterings),
+        "fine schedules",
+        "setup",
+    )
+
+    # --- steps 6-7: random sequences, transmitted in coarse clusters ------
+    seq_len = (
+        config.sequence_length
+        if config.sequence_length is not None
+        else max(1, math.ceil(d**0.99))
+    )
+    ledger.charge(
+        model.sequence_rounds(n, d, seq_len), "sequence transmission", "setup"
+    )
+
+    # --- step 8: the phase loop -------------------------------------------
+    knowledge = np.full(n, -1, dtype=np.int64)
+    for node, key in sources.items():
+        knowledge[node] = max(knowledge[node], key)
+    winner = int(knowledge.max())
+
+    bg_period = max(1.0, config.bg_rounds_per_hop * math.log2(max(2, n)))
+    max_phases = (
+        config.max_phases
+        if config.max_phases is not None
+        else max(50, 60 * d)
+    )
+
+    phases: list[PhaseRecord] = []
+    bg_credit = 0.0
+    phase_index = 0
+    delivered = bool((knowledge == winner).all())
+    while not delivered:
+        if phase_index >= max_phases:
+            raise BudgetExceededError(
+                f"Compete did not deliver within {max_phases} phases "
+                f"({ledger.total} charged rounds)"
+            )
+        informed_before = int((knowledge == winner).sum())
+
+        # Each coarse cluster follows its own random sequence; a fresh
+        # position in the sequence each phase. The global phase length is
+        # the maximum ICP length among the coarse clusters' choices
+        # (synchronous rounds are network-wide).
+        phase_rounds = 0
+        for coarse_center, members in coarse.members().items():
+            j = int(js[rng.integers(len(js))])
+            beta = beta_of_j(j)
+            per_j = fine[coarse_center][j]
+            clustering = per_j[int(rng.integers(len(per_j)))]
+            ell = propagation_length(beta, ell_alpha, d, config.c_ell)
+            phase_rounds = max(phase_rounds, model.icp_rounds(ell))
+            _apply_icp_event(knowledge, clustering, ell)
+
+        ledger.charge(phase_rounds, "ICP phases", "propagation")
+
+        # Background process (Algorithm 8): guaranteed one-hop progress
+        # every bg_period rounds, accumulated across phases.
+        bg_credit += phase_rounds / bg_period
+        while bg_credit >= 1.0:
+            _apply_one_hop_exchange(graph, knowledge)
+            bg_credit -= 1.0
+
+        delivered = bool((knowledge == winner).all())
+        phases.append(
+            PhaseRecord(
+                phase=phase_index,
+                rounds_charged=phase_rounds,
+                informed_before=informed_before,
+                informed_after=int((knowledge == winner).sum()),
+            )
+        )
+        phase_index += 1
+
+    return CompeteResult(
+        winner=winner,
+        knowledge={v: int(knowledge[v]) for v in range(n)},
+        delivered=delivered,
+        ledger=ledger,
+        phases=phases,
+        alpha_used=alpha_used,
+        mis_size=mis_size,
+    )
+
+
+def _build_fine_clusterings(
+    graph: nx.Graph,
+    coarse: Clustering,
+    centers: list[int],
+    js: list[int],
+    config: CompeteConfig,
+    rng: np.random.Generator,
+) -> dict[int, dict[int, list[Clustering]]]:
+    """Algorithm 2 step 4: per coarse cluster, per ``j``, fine clusterings.
+
+    Fine clusterings partition each coarse cluster's subgraph using the
+    center candidates that fall inside it (the coarse center itself is
+    always a candidate, so the set is never empty).
+    """
+    center_set = set(centers)
+    fine: dict[int, dict[int, list[Clustering]]] = {}
+    for coarse_center, members in coarse.members().items():
+        # Relabel the coarse-cluster subgraph 0..k-1 for partition().
+        relabel = {v: i for i, v in enumerate(members)}
+        back = {i: v for v, i in relabel.items()}
+        sub_relabeled = nx.relabel_nodes(
+            graph.subgraph(members), relabel, copy=True
+        )
+        # Candidate centers inside this coarse cluster; the coarse center
+        # itself is always one (used centers own themselves in MPX).
+        local_centers = [relabel[v] for v in members if v in center_set]
+        fine[coarse_center] = {}
+        for j in js:
+            beta = beta_of_j(j)
+            draws = []
+            for _ in range(config.fine_per_j):
+                local = partition(sub_relabeled, beta, local_centers, rng)
+                draws.append(_lift_clustering(local, back, len(graph)))
+            fine[coarse_center][j] = draws
+    return fine
+
+
+def _lift_clustering(
+    local: Clustering, back: dict[int, int], n: int
+) -> Clustering:
+    """Lift a subgraph clustering to global indices.
+
+    Nodes outside the coarse cluster get assignment ``-1`` (they belong
+    to other coarse clusters' fine clusterings) and are ignored by the
+    event update.
+    """
+    assignment = np.full(n, -1, dtype=np.int64)
+    distance = np.full(n, -1, dtype=np.int64)
+    for local_v in range(local.n):
+        global_v = back[local_v]
+        assignment[global_v] = back[int(local.assignment[local_v])]
+        distance[global_v] = local.distance_to_center[local_v]
+    return Clustering(
+        beta=local.beta,
+        centers=sorted(back[c] for c in local.centers),
+        assignment=assignment,
+        distance_to_center=distance,
+        delta={back[c]: s for c, s in local.delta.items()},
+    )
+
+
+def _apply_icp_event(
+    knowledge: np.ndarray, clustering: Clustering, ell: int
+) -> None:
+    """Event-level effect of Algorithm 9 on one fine clustering.
+
+    Within each cluster, consider the members within distance ``ell`` of
+    the center (plus the center). After down/up/down passes they all know
+    the highest message any of them knew — exactly the guarantee the fast
+    schedules provide. Members beyond ``ell`` are untouched.
+    """
+    assigned = clustering.assignment >= 0
+    in_range = assigned & (clustering.distance_to_center <= ell)
+    if not in_range.any():
+        return
+    members_by_center: dict[int, list[int]] = {}
+    for v in np.nonzero(in_range)[0]:
+        members_by_center.setdefault(int(clustering.assignment[v]), []).append(
+            int(v)
+        )
+    for center, members in members_by_center.items():
+        best = int(knowledge[members].max())
+        if best >= 0:
+            np.maximum.at(knowledge, members, best)
+
+
+def _apply_one_hop_exchange(graph: nx.Graph, knowledge: np.ndarray) -> None:
+    """Event-level effect of one background hop (Algorithm 8).
+
+    Every node learns the highest message among itself and its neighbors
+    — the progress the slow background broadcast guarantees once per
+    ``Theta(log n)`` rounds.
+    """
+    updated = knowledge.copy()
+    for v in graph.nodes:
+        neighbors = list(graph.neighbors(v))
+        if neighbors:
+            updated[v] = max(int(knowledge[v]), int(knowledge[neighbors].max()))
+    knowledge[:] = updated

@@ -1,0 +1,118 @@
+"""Round-cost formulas for the round-accounted Compete pipeline.
+
+The full ``Compete`` of Algorithm 2 layers the paper's contribution (MIS
+centers + the Theorem 2 analysis) on machinery taken unchanged from prior
+work: the Partition construction of Haeupler–Wajc [18], the fast
+intra-cluster schedules of Ghaffari–Haeupler–Khabbazian [17], and the
+background boundary-crossing process of Czumaj–Davies [7]. DESIGN.md
+substitution 1 explains why those components are *charged* their
+published round costs in the event-level simulation rather than simulated
+packet-by-packet; this module is the single place all those charges are
+defined, so every constant is visible and benchmarks can itemize them.
+
+Categories follow :class:`repro.radio.trace.CostLedger`: ``setup``
+charges form the additive ``polylog n`` term of Theorems 6-8,
+``propagation`` charges form the ``D log_D alpha`` leading term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+def _log2(x: float) -> float:
+    """``log2`` clamped below at 1 (asymptotic formulas at small scales)."""
+    return max(1.0, math.log2(max(2.0, x)))
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """Round-cost constants for the accounted pipeline.
+
+    Each ``c_*`` is the constant in front of the corresponding published
+    bound. Defaults are 1 — the benchmarks compare *shapes* (growth in
+    ``D``, ``n``, ``alpha``), which constants do not affect, and keeping
+    them at 1 makes ledgers easy to read.
+    """
+
+    c_mis: float = 1.0
+    c_partition: float = 1.0
+    c_schedule: float = 1.0
+    c_sequence: float = 1.0
+    c_icp: float = 1.0
+
+    def mis_rounds(self, n: int) -> int:
+        """Theorem 14: Radio MIS costs ``O(log^3 n)`` rounds (setup)."""
+        return math.ceil(self.c_mis * _log2(n) ** 3)
+
+    def partition_rounds(self, n: int, beta: float) -> int:
+        """Section 2.2: one ``Partition(beta, MIS)`` costs
+        ``O(polylog(n) / beta)`` rounds (setup).
+
+        The concrete polylog from the [18] construction (one Decay block
+        per BFS layer over ``O(log(n)/beta)`` layers) is
+        ``O(log^2 n / beta)``.
+        """
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        return math.ceil(self.c_partition * _log2(n) ** 2 / beta)
+
+    def schedule_rounds(self, n: int) -> int:
+        """[17]/[18]: computing fast schedules inside all clusters of one
+        clustering costs ``O(log^2 n)`` rounds (setup; clusters are
+        processed in parallel)."""
+        return math.ceil(self.c_schedule * _log2(n) ** 2)
+
+    def sequence_rounds(self, n: int, diameter: int, length: int) -> int:
+        """Algorithm 2 step 7: transmitting the length-``L`` fine-clustering
+        sequence within coarse clusters (radius ``O(sqrt(D) log n)`` for
+        ``beta = D^-0.5``) via coarse schedules: ``O(sqrt(D) log n + L)``
+        rounds (setup)."""
+        if length < 0:
+            raise ValueError(f"sequence length must be >= 0, got {length}")
+        return math.ceil(
+            self.c_sequence * (math.sqrt(max(1, diameter)) * _log2(n) + length)
+        )
+
+    def icp_rounds(self, ell: int) -> int:
+        """One Intra-Cluster Propagation phase over distance ``ell``.
+
+        With the fast schedules of [17], the three broadcasts of
+        Algorithm 9 cost ``O(ell)`` rounds for cluster radii up to
+        ``ell`` — this is the per-phase charge whose sum forms the
+        ``D log_D alpha`` leading term (propagation)."""
+        return max(1, math.ceil(self.c_icp * ell))
+
+
+def propagation_length(
+    beta: float, alpha: int, diameter: int, c_ell: float = 1.0
+) -> int:
+    """The paper's ICP length ``ell = O(log_D(alpha) / beta)``.
+
+    Algorithm 2 step 8 runs ``Intra-Cluster Propagation(O(log_D alpha /
+    beta))``; the [7] baseline (Algorithm 1 step 7) uses
+    ``O(log(n) / (beta log D))`` — obtained from this function by passing
+    ``alpha = n`` (since ``log_D n = log n / log D``). The floor at
+    ``1/beta`` keeps ``ell`` at least one expected cluster radius even
+    when the clamped ``log_D`` term is 1.
+    """
+    from ..graphs.properties import log_base_d
+
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return max(1, math.ceil(c_ell * log_base_d(alpha, diameter) / beta))
+
+
+def total_bound(n: int, diameter: int, alpha: int) -> float:
+    """The headline bound ``D log_D alpha + log^4 n`` (Theorem 7 shape).
+
+    The paper leaves the polylog unoptimized ("we have not tried to
+    optimize the log^O(1) n term"); ``log^4`` covers the MIS, partition,
+    and schedule setup charges above. Benchmarks use this as the
+    normalizer when checking measured totals stay within a constant
+    factor of the claim.
+    """
+    from ..graphs.properties import log_base_d
+
+    return diameter * log_base_d(alpha, diameter) + _log2(n) ** 4

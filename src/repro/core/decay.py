@@ -1,0 +1,173 @@
+"""The Decay protocol (paper Algorithm 5, Bar-Yehuda–Goldreich–Itai).
+
+Decay is the classic single-hop transmission primitive: each node in a
+transmitting set ``S`` runs, for ``i = 1 .. log n``, a step in which it
+transmits its message with probability ``2^-i``. Whatever the unknown
+local density of ``S``, some ``i`` matches it and each node with a
+neighbor in ``S`` hears a transmission with constant probability during
+the sweep. Iterating the sweep ``O(log n)`` times amplifies this to high
+probability (paper Claim 10).
+
+This module provides the vectorized :class:`Decay` protocol (all of ``S``
+decaying concurrently) and the convenience :func:`run_decay` wrapper used
+by Radio MIS and intra-cluster propagation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any
+
+import numpy as np
+
+from ..radio.network import NO_SENDER, RadioNetwork
+from ..radio.protocol import Protocol, run_steps
+
+
+def decay_span(n_estimate: int) -> int:
+    """Number of steps in one Decay sweep: ``ceil(log2 n)``, at least 1.
+
+    ``n_estimate`` is the (linear upper estimate of the) network size the
+    ad-hoc model gives every node; the probability ladder
+    ``1/2, 1/4, ..., 2^-span`` reaches below ``1/n`` so that even
+    full-density neighborhoods get an uncontended step.
+    """
+    if n_estimate < 1:
+        raise ValueError(f"n_estimate must be >= 1, got {n_estimate}")
+    return max(1, math.ceil(math.log2(max(2, n_estimate))))
+
+
+def claim10_iterations(n_estimate: int, amplification: float = 4.0) -> int:
+    """Iteration count for Claim 10's high-probability amplification.
+
+    One sweep succeeds per listener with probability Omega(1); repeating
+    ``Theta(log n)`` times drives the failure probability to ``n^-c``.
+    ``amplification`` is the constant inside the Theta — benchmarks sweep
+    it in E3 to locate the success/failure trade-off empirically.
+    """
+    return max(1, math.ceil(amplification * math.log2(max(2, n_estimate))))
+
+
+@dataclasses.dataclass
+class DecayResult:
+    """Outcome of a Decay block.
+
+    Attributes
+    ----------
+    heard:
+        Boolean array: node heard at least one transmission during the
+        block. In a block where only members of ``S`` transmit, this is
+        exactly "node learned it has a neighbor in ``S``".
+    heard_from:
+        For each hearing node, the index of one transmitter it heard
+        (the first); ``NO_SENDER`` elsewhere.
+    messages:
+        For each hearing node, the message of that first-heard
+        transmitter; ``None`` elsewhere.
+    """
+
+    heard: np.ndarray
+    heard_from: np.ndarray
+    messages: list[Any]
+
+
+class Decay(Protocol):
+    """Vectorized concurrent Decay over a transmitting set.
+
+    Parameters
+    ----------
+    network:
+        The radio network.
+    active:
+        Boolean mask of the transmitting set ``S``. Nodes outside listen.
+    messages:
+        Optional per-node payloads for members of ``S`` (length-``n``
+        list); defaults to each node's own index.
+    iterations:
+        Number of sweeps (Claim 10 amplification).
+    n_estimate:
+        Size estimate defining the sweep length; defaults to the true
+        ``n`` (the strongest version of the known-``n`` assumption).
+
+    The protocol finishes after ``iterations * decay_span`` steps and its
+    :meth:`result` is a :class:`DecayResult`.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        active: np.ndarray,
+        messages: list[Any] | None = None,
+        iterations: int = 1,
+        n_estimate: int | None = None,
+    ) -> None:
+        super().__init__(network)
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.n,):
+            raise ValueError(
+                f"active mask has shape {active.shape}, expected ({self.n},)"
+            )
+        self.active = active.copy()
+        if messages is None:
+            messages = list(range(self.n))
+        if len(messages) != self.n:
+            raise ValueError(
+                f"messages has length {len(messages)}, expected {self.n}"
+            )
+        self.messages = list(messages)
+        self.span = decay_span(n_estimate if n_estimate is not None else self.n)
+        self.total_steps = iterations * self.span
+        self._step = 0
+        self.heard = np.zeros(self.n, dtype=bool)
+        self.heard_from = np.full(self.n, NO_SENDER, dtype=np.int64)
+        self._finished = self.total_steps == 0
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        i = (self._step % self.span) + 1  # i = 1 .. span
+        prob = 2.0**-i
+        coins = rng.random(self.n) < prob
+        return self.active & coins
+
+    def observe(self, hear_from: np.ndarray) -> None:
+        new = (hear_from != NO_SENDER) & ~self.heard
+        self.heard_from[new] = hear_from[new]
+        self.heard |= new
+        self._step += 1
+        if self._step >= self.total_steps:
+            self._finished = True
+
+    def result(self) -> DecayResult:
+        payloads: list[Any] = [None] * self.n
+        for v in np.nonzero(self.heard)[0]:
+            payloads[v] = self.messages[self.heard_from[v]]
+        return DecayResult(
+            heard=self.heard.copy(),
+            heard_from=self.heard_from.copy(),
+            messages=payloads,
+        )
+
+
+def run_decay(
+    network: RadioNetwork,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    messages: list[Any] | None = None,
+    iterations: int = 1,
+    n_estimate: int | None = None,
+) -> DecayResult:
+    """Run a full Decay block and return its :class:`DecayResult`.
+
+    This is the form in which Radio MIS consumes Decay: "marked nodes
+    perform ``O(log n)`` iterations of Decay" translates to
+    ``run_decay(network, marked, rng, iterations=claim10_iterations(n))``.
+    """
+    protocol = Decay(
+        network,
+        active,
+        messages=messages,
+        iterations=iterations,
+        n_estimate=n_estimate,
+    )
+    run_steps(protocol, rng, protocol.total_steps)
+    return protocol.result()

@@ -1,0 +1,156 @@
+"""EstimateEffectiveDegree (paper Algorithm 6).
+
+Radio MIS needs each node ``v`` to know whether its *effective degree*
+``d_t(v) = sum of p_t(u) over neighbors u`` is large or small — but exact
+effective degrees cannot be collected in a radio network. Algorithm 6
+estimates it by listening: for each density guess ``i = 0 .. log n``,
+every node transmits with probability ``p_t(v) / 2^i`` for ``C log n``
+steps; when ``2^i`` matches ``d_t(v)``, a constant fraction of those
+steps deliver a clean transmission, so hearing at least ``C log n / 33``
+transmissions at some ``i`` certifies a large effective degree
+(Lemma 11: ``d_t(v) >= 1`` implies High whp, ``d_t(v) <= 0.01`` implies
+Low whp; in between either answer is allowed).
+
+The protocol runs on *all* active nodes concurrently — each node is both
+a transmitter (perturbing others' estimates exactly as in the real
+algorithm) and a listener counting its own hears.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..radio.network import NO_SENDER, RadioNetwork
+from ..radio.protocol import Protocol, run_steps
+
+#: Lemma 11's hearing-rate threshold: High iff some round-``i`` hear count
+#: reaches ``steps_per_level / 33``.
+THRESHOLD_DIVISOR = 33.0
+
+#: Effective degree above which Lemma 11 guarantees High.
+HIGH_GUARANTEE = 1.0
+
+#: Effective degree below which Lemma 11 guarantees Low.
+LOW_GUARANTEE = 0.01
+
+
+@dataclasses.dataclass
+class EffectiveDegreeResult:
+    """Outcome of one EstimateEffectiveDegree block.
+
+    ``high`` is the per-node High/Low verdict (True = High); ``counts``
+    has shape ``(levels, n)`` with the raw per-level hear counts, kept for
+    the E2 accuracy experiment.
+    """
+
+    high: np.ndarray
+    counts: np.ndarray
+    steps_per_level: int
+
+
+class EstimateEffectiveDegree(Protocol):
+    """Vectorized Algorithm 6 over the active node set.
+
+    Parameters
+    ----------
+    network:
+        The radio network.
+    p:
+        Desire levels ``p_t(v)``; only entries of active nodes are used.
+    active:
+        Mask of nodes still in the (MIS-residual) graph. Inactive nodes
+        neither transmit nor produce a verdict.
+    C:
+        The "sufficiently large constant": each density level runs for
+        ``C * ceil(log2 n)`` steps. Larger ``C`` sharpens Lemma 11's
+        guarantee at linear cost in steps; the E2 benchmark sweeps it.
+    n_estimate:
+        Network-size estimate; defaults to the true ``n``.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        p: np.ndarray,
+        active: np.ndarray,
+        C: int = 24,
+        n_estimate: int | None = None,
+    ) -> None:
+        super().__init__(network)
+        p = np.asarray(p, dtype=np.float64)
+        active = np.asarray(active, dtype=bool)
+        if p.shape != (self.n,) or active.shape != (self.n,):
+            raise ValueError("p and active must be length-n arrays")
+        if np.any((p < 0) | (p > 1)):
+            raise ValueError("desire levels must lie in [0, 1]")
+        if C < 1:
+            raise ValueError(f"C must be >= 1, got {C}")
+        n_est = n_estimate if n_estimate is not None else self.n
+        log_n = max(1, math.ceil(math.log2(max(2, n_est))))
+
+        self.p = np.where(active, p, 0.0)
+        self.active = active.copy()
+        self.levels = log_n + 1  # i = 0 .. log n inclusive
+        self.steps_per_level = C * log_n
+        self.total_steps = self.levels * self.steps_per_level
+        self.counts = np.zeros((self.levels, self.n), dtype=np.int64)
+        self._step = 0
+        self._finished = self.total_steps == 0
+
+    def _level(self) -> int:
+        return self._step // self.steps_per_level
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        i = self._level()
+        prob = self.p / (2.0**i)
+        return self.active & (rng.random(self.n) < prob)
+
+    def observe(self, hear_from: np.ndarray) -> None:
+        i = self._level()
+        heard = (hear_from != NO_SENDER) & self.active
+        self.counts[i, heard] += 1
+        self._step += 1
+        if self._step >= self.total_steps:
+            self._finished = True
+
+    def result(self) -> EffectiveDegreeResult:
+        threshold = self.steps_per_level / THRESHOLD_DIVISOR
+        high = (self.counts >= threshold).any(axis=0) & self.active
+        return EffectiveDegreeResult(
+            high=high,
+            counts=self.counts.copy(),
+            steps_per_level=self.steps_per_level,
+        )
+
+
+def estimate_effective_degree(
+    network: RadioNetwork,
+    p: np.ndarray,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    C: int = 24,
+    n_estimate: int | None = None,
+) -> EffectiveDegreeResult:
+    """Run one full EstimateEffectiveDegree block (convenience wrapper)."""
+    protocol = EstimateEffectiveDegree(
+        network, p, active, C=C, n_estimate=n_estimate
+    )
+    run_steps(protocol, rng, protocol.total_steps)
+    return protocol.result()
+
+
+def exact_effective_degree(
+    network: RadioNetwork, p: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Oracle effective degrees ``d_t(v)`` (instrumentation only).
+
+    Used by the ``oracle_degree`` fidelity knob of Radio MIS (documented
+    in DESIGN.md substitution 3) and by golden-round instrumentation;
+    never by the faithful protocol path.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    active = np.asarray(active, dtype=bool)
+    return network.neighbor_sum(np.where(active, p, 0.0))

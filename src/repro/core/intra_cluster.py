@@ -1,0 +1,241 @@
+"""Intra-Cluster Propagation (paper Algorithms 9 and 10), packet level.
+
+Algorithm 9 moves the highest message known inside each cluster to every
+member within distance ``ell`` of the center in three pipelined passes:
+
+1. downward — the center's message flows out along BFS layers;
+2. upward — members knowing a *higher* message flow it toward the center;
+3. downward again — the center redistributes the new highest message.
+
+Passes use the slot schedules of :mod:`repro.core.schedule` (collision
+-free within clusters). Algorithm 10 is the concurrent background
+process: clusters repeatedly flip coordinated coins and run single Decay
+iterations, which works around collisions caused by nodes bordering
+*other* clusters — those are real in this simulation, exactly the
+failure mode the background exists for.
+
+Knowledge is represented as an ``int64`` array of message keys with
+``-1`` meaning "knows nothing"; keys are ordered, and bigger overrides
+smaller (the ``Compete`` override rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..radio.network import NO_SENDER, RadioNetwork
+from ..radio.protocol import Protocol, TimeMultiplexer, run_steps
+from .cluster import Clustering
+from .schedule import ClusterSchedule
+
+
+@dataclasses.dataclass
+class ICPResult:
+    """Outcome of one packet-level Intra-Cluster Propagation run."""
+
+    knowledge: np.ndarray
+    steps: int
+
+
+class _SlotPassProtocol(Protocol):
+    """One sequence of (layer, color) slots over clusters in lockstep.
+
+    ``layers`` lists the layer indices in firing order (ascending for a
+    downward pass, descending for upward); each layer expands into its
+    color slots. Nodes with no knowledge stay silent even when their slot
+    fires.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        schedule: ClusterSchedule,
+        knowledge: np.ndarray,
+        layers: list[int],
+    ) -> None:
+        super().__init__(network)
+        self.schedule = schedule
+        self.knowledge = knowledge  # shared, mutated in place
+        self.slots: list[tuple[int, int]] = [
+            (layer, color)
+            for layer in layers
+            for color in range(schedule.n_colors)
+        ]
+        self._cursor = 0
+        self._tx_snapshot: np.ndarray | None = None
+        self._finished = not self.slots
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        layer, color = self.slots[self._cursor]
+        mask = self.schedule.slot_members(layer, color) & (self.knowledge >= 0)
+        self._tx_snapshot = self.knowledge.copy()
+        return mask
+
+    def observe(self, hear_from: np.ndarray) -> None:
+        assert self._tx_snapshot is not None
+        heard = hear_from != NO_SENDER
+        senders = hear_from[heard]
+        values = self._tx_snapshot[senders]
+        np.maximum.at(self.knowledge, np.nonzero(heard)[0], values)
+        self._cursor += 1
+        if self._cursor >= len(self.slots):
+            self._finished = True
+
+    def result(self) -> np.ndarray:
+        return self.knowledge
+
+
+class DecayBackground(Protocol):
+    """Algorithm 10: the Decay background process of ICP.
+
+    Runs forever (until the multiplexer's main process completes): cycling
+    ``i = 1 .. log n``, each cluster flips a coordinated coin with
+    probability ``2^-i``; on heads its knowledge-bearing members perform
+    one Decay iteration (a ``log n``-step sweep), on tails they stay
+    silent for the same duration. Listeners everywhere adopt the highest
+    message they hear — this is what carries messages across cluster
+    boundaries despite schedule collisions.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        clustering: Clustering,
+        knowledge: np.ndarray,
+        n_estimate: int | None = None,
+    ) -> None:
+        super().__init__(network)
+        self.clustering = clustering
+        self.knowledge = knowledge  # shared, mutated in place
+        n_est = n_estimate if n_estimate is not None else self.n
+        self.span = max(1, math.ceil(math.log2(max(2, n_est))))
+        self._i = 1
+        self._step_in_block = 0
+        self._cluster_on: dict[int, bool] = {}
+        self._tx_snapshot: np.ndarray | None = None
+
+    def _refresh_cluster_coins(self, rng: np.random.Generator) -> None:
+        prob = 2.0**-self._i
+        self._cluster_on = {
+            int(c): bool(rng.random() < prob)
+            for c in self.clustering.used_centers()
+        }
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        if self._step_in_block == 0:
+            self._refresh_cluster_coins(rng)
+        # Decay iteration step: within an on-cluster, knowledge-bearing
+        # nodes transmit with probability 2^-(step+1).
+        prob = 2.0 ** -(self._step_in_block + 1)
+        on = np.array(
+            [
+                self._cluster_on.get(int(c), False)
+                for c in self.clustering.assignment
+            ],
+            dtype=bool,
+        )
+        mask = on & (self.knowledge >= 0) & (rng.random(self.n) < prob)
+        self._tx_snapshot = self.knowledge.copy()
+        return mask
+
+    def observe(self, hear_from: np.ndarray) -> None:
+        assert self._tx_snapshot is not None
+        heard = hear_from != NO_SENDER
+        senders = hear_from[heard]
+        values = self._tx_snapshot[senders]
+        np.maximum.at(self.knowledge, np.nonzero(heard)[0], values)
+        self._step_in_block += 1
+        if self._step_in_block >= self.span:
+            self._step_in_block = 0
+            self._i += 1
+            if self._i > self.span:
+                self._i = 1
+
+    def result(self) -> np.ndarray:
+        return self.knowledge
+
+
+class ICPProtocol(Protocol):
+    """Full Algorithm 9: down / up / down slot passes over distance ``ell``.
+
+    Layers beyond ``ell`` never fire — the paper's
+    ``Intra-Cluster Propagation(ell)`` only serves nodes within distance
+    ``ell`` of their center; deeper nodes rely on later phases (their
+    clusters were built with a different random shift) and the
+    background.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        schedule: ClusterSchedule,
+        knowledge: np.ndarray,
+        ell: int,
+    ) -> None:
+        super().__init__(network)
+        if ell < 1:
+            raise ValueError(f"ell must be >= 1, got {ell}")
+        depth = min(ell, schedule.n_layers - 1)
+        down = list(range(0, depth + 1))
+        up = list(range(depth, -1, -1))
+        self._passes = [
+            _SlotPassProtocol(network, schedule, knowledge, down),
+            _SlotPassProtocol(network, schedule, knowledge, up),
+            _SlotPassProtocol(network, schedule, knowledge, down),
+        ]
+        self._stage = 0
+        self.knowledge = knowledge
+
+    @property
+    def finished(self) -> bool:
+        return self._stage >= len(self._passes)
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        return self._passes[self._stage].transmit_mask(rng)
+
+    def observe(self, hear_from: np.ndarray) -> None:
+        current = self._passes[self._stage]
+        current.observe(hear_from)
+        if current.finished:
+            self._stage += 1
+
+    def result(self) -> np.ndarray:
+        return self.knowledge
+
+
+def intra_cluster_propagation(
+    network: RadioNetwork,
+    clustering: Clustering,
+    schedule: ClusterSchedule,
+    knowledge: np.ndarray,
+    ell: int,
+    rng: np.random.Generator,
+    with_background: bool = True,
+) -> ICPResult:
+    """Run one packet-level ICP phase, mutating and returning knowledge.
+
+    When ``with_background`` is set (the default, matching the paper),
+    the Algorithm 10 background process is time-multiplexed with the slot
+    passes, doubling the step count but carrying messages across cluster
+    boundaries.
+    """
+    knowledge = np.asarray(knowledge, dtype=np.int64).copy()
+    main = ICPProtocol(network, schedule, knowledge, ell)
+    steps_before = network.steps_elapsed
+    network.trace.enter_phase("icp")
+    if with_background:
+        background = DecayBackground(network, clustering, knowledge)
+        muxed = TimeMultiplexer(network, main, background)
+        # The multiplexer runs main on even steps; give it twice the slots.
+        total = 2 * sum(len(p.slots) for p in main._passes) + 2
+        run_steps(muxed, rng, total)
+    else:
+        total = sum(len(p.slots) for p in main._passes)
+        run_steps(main, rng, total)
+    network.trace.enter_phase("default")
+    return ICPResult(
+        knowledge=knowledge, steps=network.steps_elapsed - steps_before
+    )

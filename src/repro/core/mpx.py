@@ -1,0 +1,174 @@
+"""Miller–Peng–Xu clustering with exponential shifts (paper Section 2.2).
+
+The clustering process: each potential center ``v`` draws
+``delta_v ~ Exponential(beta)``; each node ``u`` joins the cluster of the
+center ``v`` minimizing ``dist(u, v) - delta_v``. The paper's single
+change to the pipeline of [7] is the *center set*: ``Partition(beta, MIS)``
+draws centers only from a maximal independent set instead of all nodes,
+which is what converts the ``log_D n`` of [7, Thm 2.2] into the paper's
+``log_D alpha`` (Theorem 2).
+
+This module computes the clustering centrally (shifted multi-source
+Dijkstra); :mod:`repro.core.partition_radio` is the packet-level radio
+implementation, and tests check the two agree in distribution. The radio
+round cost of constructing a clustering is charged by
+:mod:`repro.core.costmodel` in the round-accounted pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable
+
+import networkx as nx
+import numpy as np
+
+from .cluster import Clustering
+
+
+def draw_shifts(
+    centers: Iterable[int], beta: float, rng: np.random.Generator
+) -> dict[int, float]:
+    """Draw ``delta_v ~ Exponential(beta)`` for each center.
+
+    ``beta`` is the *rate*: mean shift ``1/beta``. Smaller ``beta`` means
+    larger shifts and hence larger clusters (diameter ``O(log n / beta)``
+    whp).
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    centers = list(centers)
+    shifts = rng.exponential(scale=1.0 / beta, size=len(centers))
+    return {c: float(s) for c, s in zip(centers, shifts)}
+
+
+def partition(
+    graph: nx.Graph,
+    beta: float,
+    centers: Iterable[int],
+    rng: np.random.Generator,
+    shifts: dict[int, float] | None = None,
+) -> Clustering:
+    """``Partition(beta, centers)`` — one MPX clustering draw.
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph with nodes labeled ``0..n-1`` (as produced by the
+        generators in :mod:`repro.graphs`). Every node must be within
+        finite distance of some center — guaranteed when centers form a
+        maximal independent set (every node is in it or adjacent to it)
+        or when the graph is connected.
+    beta:
+        Exponential shift rate.
+    centers:
+        Candidate center indices; the paper's variant passes the MIS,
+        the [7] baseline passes all nodes.
+    rng:
+        Randomness for the shift draws.
+    shifts:
+        Pre-drawn shifts (for paired comparisons across center sets or
+        for the radio implementation to reuse); drawn fresh if omitted.
+
+    Returns
+    -------
+    Clustering
+        Every node assigned to the center minimizing
+        ``dist(u, v) - delta_v``, ties broken by center index (the
+        consistent tiebreak that keeps clusters connected).
+    """
+    centers = sorted(set(int(c) for c in centers))
+    if not centers:
+        raise ValueError("need at least one center")
+    n = graph.number_of_nodes()
+    if set(graph.nodes) != set(range(n)):
+        raise ValueError(
+            "partition expects integer node labels 0..n-1; relabel with "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    if shifts is None:
+        shifts = draw_shifts(centers, beta, rng)
+    else:
+        missing = [c for c in centers if c not in shifts]
+        if missing:
+            raise ValueError(f"shifts missing for centers: {missing[:5]}")
+
+    # Multi-source Dijkstra on shifted keys. Center c starts at key
+    # -delta_c; unit edge weights. Lexicographic (key, center) priority
+    # realizes the consistent tiebreak.
+    INF = math.inf
+    best_key = np.full(n, INF, dtype=np.float64)
+    best_center = np.full(n, -1, dtype=np.int64)
+    hops = np.full(n, -1, dtype=np.int64)
+
+    heap: list[tuple[float, int, int, int]] = []
+    for c in centers:
+        key = -shifts[c]
+        heapq.heappush(heap, (key, c, c, 0))
+        # Do not pre-commit best_key: a center can be captured by another
+        # center whose shifted ball covers it more deeply.
+
+    while heap:
+        key, center, u, hop = heapq.heappop(heap)
+        if best_center[u] != -1 and (
+            key > best_key[u]
+            or (key == best_key[u] and center >= best_center[u])
+        ):
+            continue
+        best_key[u] = key
+        best_center[u] = center
+        hops[u] = hop
+        for w in graph.neighbors(u):
+            candidate = key + 1.0
+            if best_center[w] == -1 or candidate < best_key[w] or (
+                candidate == best_key[w] and center < best_center[w]
+            ):
+                heapq.heappush(heap, (candidate, center, w, hop + 1))
+
+    if (best_center == -1).any():
+        unreached = int((best_center == -1).sum())
+        raise ValueError(
+            f"{unreached} nodes unreachable from any center; partition "
+            "requires centers to dominate every component"
+        )
+
+    return Clustering(
+        beta=beta,
+        centers=centers,
+        assignment=best_center,
+        distance_to_center=hops,
+        delta=dict(shifts),
+    )
+
+
+def j_range(diameter: int) -> list[int]:
+    """The integer ``j`` range of Compete: ``0.01 log D <= j <= 0.1 log D``.
+
+    For the small diameters reachable in simulation this window can be
+    empty or a single point; we widen it to always contain at least
+    ``[1, max(2, ...)]`` so fine clusterings exist at every scale, and
+    record in EXPERIMENTS.md that constants-level widening is a
+    simulation-scale accommodation (the paper's range is asymptotic).
+    """
+    if diameter < 2:
+        return [1]
+    log_d = math.log2(diameter)
+    lo = max(1, math.ceil(0.01 * log_d))
+    hi = max(lo + 1, math.floor(0.1 * log_d))
+    # At simulation scales 0.1 log2(D) < 2, so extend the window upward a
+    # little; betas stay in (0, 1/2] which is all the analysis needs.
+    hi = max(hi, min(lo + 3, math.floor(log_d)))
+    return list(range(lo, hi + 1))
+
+
+def beta_of_j(j: int) -> float:
+    """``beta = 2^-j`` (the fine-clustering parameter scale)."""
+    if j < 0:
+        raise ValueError(f"j must be >= 0, got {j}")
+    return 2.0**-j
+
+
+def coarse_beta(diameter: int) -> float:
+    """The coarse clustering parameter ``beta = D^-0.5`` of Compete."""
+    return max(2, diameter) ** -0.5

@@ -1,0 +1,117 @@
+"""Graph classes and structural properties (paper Section 1.3).
+
+Generators for every geometric-derived class the paper discusses (unit
+disk, quasi unit disk, unit ball, quasi unit ball, geometric radio
+networks) and the general-graph families its general results address,
+plus independence-number and growth-boundedness tooling.
+"""
+
+from .general import (
+    barbell,
+    caterpillar,
+    clique,
+    clique_chain,
+    connected_gnp,
+    cycle,
+    lollipop,
+    path,
+    random_tree,
+    star,
+)
+from .hard_instances import (
+    layered_barrier,
+    star_of_cliques,
+    two_cliques_bottleneck,
+)
+from .geometric_radio import (
+    directed_geometric_radio,
+    random_geometric_radio,
+    undirected_geometric_radio,
+)
+from .independence import (
+    alpha_estimate,
+    exact_independence_number,
+    greedy_independent_set,
+    independence_number_bounds,
+    is_independent_set,
+    is_maximal_independent_set,
+)
+from .metrics import (
+    EuclideanBox,
+    FlatTorus,
+    ManhattanBox,
+    MetricSpace,
+    estimate_doubling_constant,
+)
+from .properties import (
+    GraphSummary,
+    ball,
+    ball_independence_profile,
+    diameter,
+    growth_exponent,
+    log_base_d,
+    summarize,
+)
+from .quasi_udg import (
+    bernoulli_rule,
+    distance_threshold_rule,
+    parity_rule,
+    qudg_from_points,
+    random_qudg,
+)
+from .udg import clustered_udg, granularity, grid_udg, random_udg, udg_from_points
+from .unit_ball import (
+    quasi_unit_ball_graph,
+    random_unit_ball_graph,
+    unit_ball_graph,
+)
+
+__all__ = [
+    "EuclideanBox",
+    "FlatTorus",
+    "GraphSummary",
+    "ManhattanBox",
+    "MetricSpace",
+    "alpha_estimate",
+    "ball",
+    "ball_independence_profile",
+    "barbell",
+    "bernoulli_rule",
+    "caterpillar",
+    "clique",
+    "clique_chain",
+    "clustered_udg",
+    "connected_gnp",
+    "cycle",
+    "diameter",
+    "directed_geometric_radio",
+    "distance_threshold_rule",
+    "estimate_doubling_constant",
+    "exact_independence_number",
+    "granularity",
+    "greedy_independent_set",
+    "grid_udg",
+    "growth_exponent",
+    "independence_number_bounds",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "layered_barrier",
+    "lollipop",
+    "log_base_d",
+    "parity_rule",
+    "path",
+    "qudg_from_points",
+    "quasi_unit_ball_graph",
+    "random_geometric_radio",
+    "random_qudg",
+    "random_tree",
+    "random_udg",
+    "random_unit_ball_graph",
+    "star",
+    "star_of_cliques",
+    "summarize",
+    "two_cliques_bottleneck",
+    "udg_from_points",
+    "undirected_geometric_radio",
+    "unit_ball_graph",
+]

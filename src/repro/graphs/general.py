@@ -1,0 +1,165 @@
+"""General-graph families for the general-graph results.
+
+The paper's algorithms run on arbitrary undirected graphs; the
+independence-number parametrization means their behavior is governed by
+``alpha`` relative to ``D``. These generators span the interesting
+regimes:
+
+* ``alpha`` tiny, ``D`` large — :func:`clique_chain` (alpha ~ D, the
+  "general graph that behaves geometrically" case);
+* ``alpha`` huge, ``D`` tiny — :func:`star` and dense :func:`connected_gnp`
+  (where the parametrization degenerates to the [7] bound);
+* ``alpha ~ n/2``, ``D ~ n`` — :func:`path`, :func:`random_tree`;
+* pathological mixtures — :func:`barbell`, :func:`caterpillar`,
+  :func:`lollipop`.
+
+All generators label nodes ``0..n-1`` and tag ``G.graph["family"]``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def _tagged(graph: nx.Graph, family: str) -> nx.Graph:
+    relabeled = nx.convert_node_labels_to_integers(graph)
+    relabeled.graph["family"] = family
+    return relabeled
+
+
+def path(n: int) -> nx.Graph:
+    """Path on ``n`` nodes: ``D = n - 1``, ``alpha = ceil(n/2)``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return _tagged(nx.path_graph(n), "path")
+
+
+def cycle(n: int) -> nx.Graph:
+    """Cycle on ``n`` nodes: ``D = floor(n/2)``, ``alpha = floor(n/2)``."""
+    if n < 3:
+        raise ValueError(f"cycle needs n >= 3, got {n}")
+    return _tagged(nx.cycle_graph(n), "cycle")
+
+
+def clique(n: int) -> nx.Graph:
+    """Clique on ``n`` nodes: ``D = 1``, ``alpha = 1``.
+
+    Single-hop networks; MIS on a clique is equivalent to leader election
+    (paper Section 1.5.1), making cliques the canonical MIS stress test.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return _tagged(nx.complete_graph(n), "clique")
+
+
+def star(n: int) -> nx.Graph:
+    """Star with ``n - 1`` leaves: ``D = 2``, ``alpha = n - 1``.
+
+    The extreme high-``alpha`` instance: here the independence-number
+    parametrization gives no advantage over the ``n`` parametrization.
+    """
+    if n < 2:
+        raise ValueError(f"star needs n >= 2, got {n}")
+    return _tagged(nx.star_graph(n - 1), "star")
+
+
+def connected_gnp(
+    n: int,
+    p: float,
+    rng: np.random.Generator,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Erdos-Renyi ``G(n, p)`` conditioned on connectivity (by resampling).
+
+    Above the connectivity threshold ``p ~ ln(n)/n`` this succeeds
+    quickly; far below it a ``ValueError`` reports the failure rather
+    than silently altering the distribution.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    for _ in range(max_attempts):
+        seed = int(rng.integers(2**31 - 1))
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        if n == 1 or nx.is_connected(graph):
+            return _tagged(graph, "gnp")
+    raise ValueError(
+        f"no connected G({n}, {p}) in {max_attempts} attempts; "
+        "p is likely below the connectivity threshold"
+    )
+
+
+def random_tree(n: int, rng: np.random.Generator) -> nx.Graph:
+    """Uniformly random labeled tree on ``n`` nodes."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n <= 2:
+        return _tagged(nx.path_graph(n), "tree")
+    seed = int(rng.integers(2**31 - 1))
+    return _tagged(nx.random_labeled_tree(n, seed=seed), "tree")
+
+
+def clique_chain(n_cliques: int, clique_size: int) -> nx.Graph:
+    """Chain of cliques joined by single bridge edges.
+
+    ``alpha = n_cliques`` (one node per clique) while ``D ~ 2 n_cliques``
+    and ``n = n_cliques * clique_size``: a *general* (non-geometric) graph
+    with ``alpha = Θ(D)``, i.e. exactly the regime where the paper's
+    ``O(D log_D alpha)`` bound beats the ``O(D log_D n)`` of [7]. The
+    headline E6 benchmark sweeps this family.
+    """
+    if n_cliques < 1 or clique_size < 1:
+        raise ValueError("need at least one clique of at least one node")
+    graph = nx.Graph()
+    for c in range(n_cliques):
+        members = [c * clique_size + i for i in range(clique_size)]
+        graph.add_nodes_from(members)
+        graph.add_edges_from(
+            (members[i], members[j])
+            for i in range(clique_size)
+            for j in range(i + 1, clique_size)
+        )
+        if c > 0:
+            # Bridge from the last node of the previous clique.
+            graph.add_edge(c * clique_size - 1, members[0])
+    return _tagged(graph, "clique-chain")
+
+
+def barbell(bell_size: int, bridge_length: int) -> nx.Graph:
+    """Two cliques joined by a path: ``alpha ~ bridge/2 + 2``."""
+    if bell_size < 2:
+        raise ValueError(f"bells need >= 2 nodes, got {bell_size}")
+    if bridge_length < 0:
+        raise ValueError(f"bridge length must be >= 0, got {bridge_length}")
+    return _tagged(nx.barbell_graph(bell_size, bridge_length), "barbell")
+
+
+def lollipop(clique_size: int, path_length: int) -> nx.Graph:
+    """Clique with a path attached (asymmetric alpha-vs-D structure)."""
+    if clique_size < 2:
+        raise ValueError(f"clique needs >= 2 nodes, got {clique_size}")
+    if path_length < 0:
+        raise ValueError(f"path length must be >= 0, got {path_length}")
+    return _tagged(nx.lollipop_graph(clique_size, path_length), "lollipop")
+
+
+def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
+    """Path of ``spine`` nodes, each with ``legs_per_node`` pendant leaves.
+
+    ``alpha = spine * legs_per_node`` (all the leaves, for
+    ``legs_per_node >= 1``) with ``D = spine + 1``: tunable ``alpha/D``
+    ratio at fixed shape.
+    """
+    if spine < 1:
+        raise ValueError(f"spine must be >= 1, got {spine}")
+    if legs_per_node < 0:
+        raise ValueError(f"legs_per_node must be >= 0, got {legs_per_node}")
+    graph = nx.path_graph(spine)
+    next_label = spine
+    for v in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(v, next_label)
+            next_label += 1
+    return _tagged(graph, "caterpillar")

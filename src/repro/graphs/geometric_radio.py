@@ -1,0 +1,115 @@
+"""Geometric radio network generators.
+
+Geometric radio networks (paper Section 1.3) give each node ``v`` a
+position and a range ``r_v``; a *directed* edge goes from ``v`` to ``u``
+when their distance is at most ``r_v``. They are growth-bounded when the
+ratio between the largest and smallest range is constant. The paper's
+scope is undirected graphs, so it restricts to the subclass of geometric
+radio networks that are undirected — realized here by keeping exactly the
+*mutual* pairs (distance at most ``min(r_u, r_v)``), which is the maximal
+undirected subgraph of the directed reachability relation.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def directed_geometric_radio(
+    points: np.ndarray, ranges: np.ndarray
+) -> nx.DiGraph:
+    """The raw *directed* geometric radio network of points and ranges.
+
+    Provided for completeness and for tests that check the undirected
+    extraction; the algorithms in this package do not run on directed
+    graphs (matching the paper's scope).
+    """
+    points = np.asarray(points, dtype=float)
+    ranges = np.asarray(ranges, dtype=float)
+    if len(points) != len(ranges):
+        raise ValueError(
+            f"{len(points)} points but {len(ranges)} ranges; must match"
+        )
+    if np.any(ranges <= 0):
+        raise ValueError("all ranges must be positive")
+    n = len(points)
+    digraph = nx.DiGraph(family="geometric-radio-directed")
+    for i in range(n):
+        digraph.add_node(
+            i, pos=tuple(float(x) for x in points[i]), range=float(ranges[i])
+        )
+    if n > 1:
+        diff = points[:, None, :] - points[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        reach = dist <= ranges[:, None]
+        np.fill_diagonal(reach, False)
+        rows, cols = np.nonzero(reach)
+        digraph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return digraph
+
+
+def undirected_geometric_radio(
+    points: np.ndarray, ranges: np.ndarray
+) -> nx.Graph:
+    """Undirected geometric radio network: mutual-reachability edges only.
+
+    An edge ``{u, v}`` exists iff each endpoint is within the other's
+    range, i.e. ``dist(u, v) <= min(r_u, r_v)``. This is the subclass the
+    paper's algorithms address.
+    """
+    points = np.asarray(points, dtype=float)
+    ranges = np.asarray(ranges, dtype=float)
+    if len(points) != len(ranges):
+        raise ValueError(
+            f"{len(points)} points but {len(ranges)} ranges; must match"
+        )
+    if np.any(ranges <= 0):
+        raise ValueError("all ranges must be positive")
+    n = len(points)
+    graph = nx.Graph(family="geometric-radio")
+    for i in range(n):
+        graph.add_node(
+            i, pos=tuple(float(x) for x in points[i]), range=float(ranges[i])
+        )
+    if n > 1:
+        diff = points[:, None, :] - points[None, :, :]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        mutual = dist <= np.minimum(ranges[:, None], ranges[None, :])
+        np.fill_diagonal(mutual, False)
+        rows, cols = np.nonzero(np.triu(mutual, k=1))
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph
+
+
+def random_geometric_radio(
+    n: int,
+    side: float,
+    rng: np.random.Generator,
+    range_min: float = 0.8,
+    range_max: float = 1.2,
+    connected: bool = True,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Random undirected geometric radio network.
+
+    Uniform points in ``[0, side]^2`` with per-node ranges uniform in
+    ``[range_min, range_max]``; a bounded ratio ``range_max/range_min``
+    keeps the class growth-bounded (paper Section 1.3).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 < range_min <= range_max:
+        raise ValueError(
+            f"need 0 < range_min <= range_max, got {range_min}, {range_max}"
+        )
+    for _ in range(max_attempts):
+        points = rng.uniform(0.0, side, size=(n, 2))
+        ranges = rng.uniform(range_min, range_max, size=n)
+        graph = undirected_geometric_radio(points, ranges)
+        if not connected or n == 1 or nx.is_connected(graph):
+            return graph
+    raise ValueError(
+        f"could not sample a connected geometric radio network with n={n}, "
+        f"side={side} in {max_attempts} attempts; increase density"
+    )

@@ -1,0 +1,128 @@
+"""Adversarial instances from the radio broadcast lower-bound literature.
+
+The `Omega(D log(n/D))` broadcast lower bounds ([1, 22], paper Section
+1.5.1) rest on *layered* constructions: the message must traverse D
+layers, and inside each layer an adversarially chosen subset is
+connected to the next layer, forcing the algorithm to re-solve a
+hitting/wake-up-style problem per layer. These generators build the
+randomized analogue of those instances so the benchmarks can exercise
+broadcast algorithms on topologies *designed* to be hard, not just on
+friendly geometric ones.
+
+Note the scope: the lower bounds are for models without spontaneous
+transmissions; the paper's algorithm (which uses spontaneous
+transmissions) may legitimately beat them — observing that is part of
+the reproduction's story.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+
+def layered_barrier(
+    n_layers: int,
+    width: int,
+    rng: np.random.Generator,
+    active_fraction: float = 0.3,
+) -> nx.Graph:
+    """Layered lower-bound-style instance.
+
+    ``n_layers`` layers of ``width`` nodes sit between a source and a
+    sink. Consecutive layers are joined through a random *active subset*
+    of the earlier layer (each node active with ``active_fraction``;
+    at least one forced): active nodes connect to every node of the next
+    layer, inactive ones connect only within their own layer's chain.
+    A broadcast must therefore get a clean transmission out of each
+    layer's unknown active subset to advance — the per-layer hitting
+    problem of [22].
+
+    Nodes: ``0`` is the source, ``1 + layer * width + i`` are layer
+    nodes, and the last node is the sink. The graph is connected.
+    """
+    if n_layers < 1 or width < 1:
+        raise ValueError("need at least one layer of at least one node")
+    if not 0.0 < active_fraction <= 1.0:
+        raise ValueError(
+            f"active_fraction must be in (0, 1], got {active_fraction}"
+        )
+    graph = nx.Graph(family="layered-barrier")
+    source = 0
+    graph.add_node(source)
+
+    def layer_nodes(layer: int) -> list[int]:
+        return [1 + layer * width + i for i in range(width)]
+
+    previous = [source]
+    prev_active = [source]
+    for layer in range(n_layers):
+        members = layer_nodes(layer)
+        graph.add_nodes_from(members)
+        # Chain inside the layer keeps it connected regardless of the
+        # active pattern.
+        for a, b in zip(members, members[1:]):
+            graph.add_edge(a, b)
+        # Every active node of the previous stage reaches this whole
+        # layer (the adversary's fan-out).
+        for u in prev_active:
+            for v in members:
+                graph.add_edge(u, v)
+        active_mask = rng.random(width) < active_fraction
+        if not active_mask.any():
+            active_mask[int(rng.integers(width))] = True
+        prev_active = [m for m, a in zip(members, active_mask) if a]
+        previous = members
+
+    sink = 1 + n_layers * width
+    graph.add_node(sink)
+    for u in prev_active:
+        graph.add_edge(u, sink)
+    return graph
+
+
+def two_cliques_bottleneck(clique_size: int) -> nx.Graph:
+    """Two cliques joined by a single edge — the contention bottleneck.
+
+    A broadcast crossing the bridge must silence an entire clique except
+    the bridge endpoint; Decay-style backoff handles it in O(log n),
+    while naive strategies stall. ``alpha = 2``, ``D = 3``.
+    """
+    if clique_size < 2:
+        raise ValueError(f"cliques need >= 2 nodes, got {clique_size}")
+    graph = nx.disjoint_union(
+        nx.complete_graph(clique_size), nx.complete_graph(clique_size)
+    )
+    graph.add_edge(clique_size - 1, clique_size)
+    graph.graph["family"] = "two-cliques"
+    return graph
+
+
+def star_of_cliques(
+    n_cliques: int, clique_size: int
+) -> nx.Graph:
+    """Cliques hanging off a central hub — heterogeneous contention.
+
+    The hub neighbors one delegate per clique; informing the hub's other
+    delegates is easy, but pushing into each clique faces that clique's
+    full contention. ``alpha = n_cliques + 1`` (one non-delegate per
+    clique, plus the hub itself, which only touches delegates);
+    ``D = 4``.
+    """
+    if n_cliques < 1 or clique_size < 2:
+        raise ValueError("need >= 1 cliques of >= 2 nodes")
+    graph = nx.Graph(family="star-of-cliques")
+    hub = 0
+    graph.add_node(hub)
+    next_label = 1
+    for _ in range(n_cliques):
+        members = list(range(next_label, next_label + clique_size))
+        next_label += clique_size
+        graph.add_nodes_from(members)
+        graph.add_edges_from(
+            (members[i], members[j])
+            for i in range(clique_size)
+            for j in range(i + 1, clique_size)
+        )
+        graph.add_edge(hub, members[0])
+    return graph

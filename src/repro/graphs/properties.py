@@ -1,0 +1,161 @@
+"""Structural graph properties used throughout the reproduction.
+
+Covers the quantities the paper's bounds are stated in — diameter ``D``,
+independence number ``alpha`` (see :mod:`repro.graphs.independence`) —
+and the growth-boundedness notion of Section 1.3: a graph is
+(polynomially) growth-bounded if independent sets inside ``d``-hop
+neighborhoods have ``poly(d)`` size. The E9 experiment uses
+:func:`ball_independence_profile` and :func:`growth_exponent` to verify
+that every geometric generator produces growth-bounded graphs and that
+``alpha = poly(D)`` holds for them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from .independence import exact_independence_number, greedy_independent_set
+
+
+def diameter(graph: nx.Graph) -> int:
+    """Graph diameter ``D``; raises on disconnected input.
+
+    The paper assumes nodes know (a linear upper estimate of) ``D``; the
+    simulation hands algorithms the exact value, which is the strongest
+    version of that assumption and therefore safe for reproducing upper
+    bounds.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    if graph.number_of_nodes() == 1:
+        return 0
+    if not nx.is_connected(graph):
+        raise ValueError("diameter requires a connected graph")
+    return nx.diameter(graph)
+
+
+def ball(graph: nx.Graph, center: Hashable, radius: int) -> set[Hashable]:
+    """The ``radius``-hop closed neighborhood of ``center``."""
+    return set(
+        nx.single_source_shortest_path_length(graph, center, cutoff=radius)
+    )
+
+
+def ball_independence_profile(
+    graph: nx.Graph,
+    radii: list[int],
+    rng: np.random.Generator,
+    n_centers: int = 10,
+    exact_limit: int = 120,
+) -> dict[int, int]:
+    """Max independent-set size inside ``d``-hop balls, per radius.
+
+    For each radius ``d`` in ``radii``, samples ``n_centers`` centers and
+    reports the largest independent set found in any of their ``d``-hop
+    balls: exactly when the ball has at most ``exact_limit`` nodes,
+    otherwise via greedy lower bound (profile then *underestimates*,
+    which is conservative for growth-boundedness claims — we are checking
+    the profile stays small).
+    """
+    nodes = list(graph.nodes)
+    if not nodes:
+        return {d: 0 for d in radii}
+    centers = [
+        nodes[int(i)] for i in rng.integers(len(nodes), size=min(n_centers, len(nodes)))
+    ]
+    profile: dict[int, int] = {}
+    for d in radii:
+        best = 0
+        for center in centers:
+            members = ball(graph, center, d)
+            sub = graph.subgraph(members)
+            if len(members) <= exact_limit:
+                size = exact_independence_number(sub, max_nodes=exact_limit)
+            else:
+                size = len(greedy_independent_set(sub))
+            best = max(best, size)
+        profile[d] = best
+    return profile
+
+
+def growth_exponent(profile: dict[int, int]) -> float:
+    """Least-squares slope of ``log(IS size)`` against ``log(radius)``.
+
+    For a polynomially growth-bounded family the slope is bounded by the
+    polynomial's degree (2 for unit disk graphs); families that are not
+    growth-bounded show slopes that grow with the graph size instead of
+    stabilizing.
+    """
+    points = [
+        (math.log(d), math.log(size))
+        for d, size in profile.items()
+        if d >= 1 and size >= 1
+    ]
+    if len(points) < 2:
+        raise ValueError("need at least two usable (radius, size) points")
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    slope, _ = np.polyfit(xs, ys, deg=1)
+    return float(slope)
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphSummary:
+    """Headline parameters of a graph, as used in the paper's bounds."""
+
+    n: int
+    m: int
+    D: int
+    alpha: int
+    log_d_alpha: float
+    family: str
+
+    def row(self) -> str:
+        """One formatted table row (used by the E9 bench)."""
+        return (
+            f"{self.family:<18} n={self.n:<6} m={self.m:<7} D={self.D:<5} "
+            f"alpha={self.alpha:<6} log_D(alpha)={self.log_d_alpha:6.2f}"
+        )
+
+
+def summarize(graph: nx.Graph, alpha: int | None = None) -> GraphSummary:
+    """Compute the :class:`GraphSummary` of a connected graph.
+
+    ``alpha`` may be passed in when already known (e.g. from
+    :func:`~repro.graphs.independence.independence_number_bounds` on large
+    instances); otherwise it is computed exactly.
+    """
+    d = diameter(graph)
+    if alpha is None:
+        alpha = exact_independence_number(graph)
+    log_d_alpha = log_base_d(alpha, d)
+    return GraphSummary(
+        n=graph.number_of_nodes(),
+        m=graph.number_of_edges(),
+        D=d,
+        alpha=alpha,
+        log_d_alpha=log_d_alpha,
+        family=str(graph.graph.get("family", "unknown")),
+    )
+
+
+def log_base_d(alpha: int, d: int) -> float:
+    """``log_D(alpha)``, the paper's key quantity, with guarded edges.
+
+    Clamped below at 1 so that bound formulas like ``D * log_D(alpha)``
+    never drop below the trivial ``Omega(D)`` term: the paper's bounds are
+    ``O(D log_D alpha + polylog n)`` with an implicit floor of ``D``
+    rounds, and ``log_D alpha < 1`` (i.e. ``alpha < D``) is exactly the
+    regime where the floor binds.
+    """
+    if d <= 1:
+        # Single-hop graphs: the leading term is constant.
+        return 1.0
+    if alpha <= 1:
+        return 1.0
+    return max(1.0, math.log(alpha) / math.log(d))

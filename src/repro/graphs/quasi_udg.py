@@ -1,0 +1,129 @@
+"""Quasi unit disk graph generators.
+
+Quasi unit disk graphs (paper Section 1.3) relax the unit disk edge rule:
+for parameters ``r < R``, nodes closer than ``r`` *must* be adjacent,
+nodes farther than ``R`` *must not* be, and pairs in the annulus
+``(r, R]`` may or may not be — the adversary (or, here, a configurable
+rule) decides. With ``R/r`` constant they remain growth-bounded: any
+independent set within graph distance ``d`` of a node fits in a disk of
+radius ``dR`` with pairwise separation ``> r``, so has ``O((dR/r)^2)``
+size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import networkx as nx
+import numpy as np
+from scipy.spatial import cKDTree
+
+AnnulusRule = Callable[[int, int, float, np.random.Generator], bool]
+"""Decides whether an annulus pair ``(u, v)`` at distance ``d`` gets an edge."""
+
+
+def bernoulli_rule(p: float) -> AnnulusRule:
+    """Annulus rule: include each annulus edge independently w.p. ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+
+    def rule(u: int, v: int, d: float, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < p)
+
+    return rule
+
+
+def distance_threshold_rule(threshold: float) -> AnnulusRule:
+    """Annulus rule: include the edge iff distance is below ``threshold``.
+
+    With ``threshold`` between ``r`` and ``R`` this gives a *deterministic*
+    quasi-UDG (it is simply a UDG with radius ``threshold``), useful as a
+    degenerate sanity case in tests.
+    """
+
+    def rule(u: int, v: int, d: float, rng: np.random.Generator) -> bool:
+        return d < threshold
+
+    return rule
+
+
+def parity_rule() -> AnnulusRule:
+    """Adversarial-flavored deterministic rule: edge iff ``u + v`` is even.
+
+    Produces annulus decisions uncorrelated with geometry, exercising the
+    "may or may not be an edge" freedom of the definition without
+    randomness (handy for reproducible adversarial tests).
+    """
+
+    def rule(u: int, v: int, d: float, rng: np.random.Generator) -> bool:
+        return (u + v) % 2 == 0
+
+    return rule
+
+
+def qudg_from_points(
+    points: np.ndarray,
+    r: float,
+    R: float,
+    rng: np.random.Generator,
+    annulus_rule: AnnulusRule | None = None,
+) -> nx.Graph:
+    """Build a quasi unit disk graph over a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` position array.
+    r, R:
+        Inner (must-connect) and outer (may-connect) radii, ``0 < r <= R``.
+    annulus_rule:
+        Decides annulus pairs; defaults to :func:`bernoulli_rule` with
+        probability 0.5.
+    """
+    if not 0 < r <= R:
+        raise ValueError(f"need 0 < r <= R, got r={r}, R={R}")
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) point array, got {points.shape}")
+    if annulus_rule is None:
+        annulus_rule = bernoulli_rule(0.5)
+
+    n = len(points)
+    graph = nx.Graph(family="quasi-udg", r=float(r), R=float(R))
+    for i in range(n):
+        graph.add_node(i, pos=(float(points[i, 0]), float(points[i, 1])))
+    if n > 1:
+        tree = cKDTree(points)
+        for i, j in tree.query_pairs(r=R):
+            d = float(np.linalg.norm(points[i] - points[j]))
+            if d <= r or annulus_rule(int(i), int(j), d, rng):
+                graph.add_edge(int(i), int(j))
+    return graph
+
+
+def random_qudg(
+    n: int,
+    side: float,
+    rng: np.random.Generator,
+    r: float = 0.7,
+    R: float = 1.0,
+    annulus_rule: AnnulusRule | None = None,
+    connected: bool = True,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Random quasi unit disk graph on uniform points in ``[0, side]^2``.
+
+    Mirrors :func:`repro.graphs.udg.random_udg`; see there for the
+    ``connected`` retry semantics.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    for _ in range(max_attempts):
+        points = rng.uniform(0.0, side, size=(n, 2))
+        graph = qudg_from_points(points, r=r, R=R, rng=rng, annulus_rule=annulus_rule)
+        if not connected or n == 1 or nx.is_connected(graph):
+            return graph
+    raise ValueError(
+        f"could not sample a connected quasi-UDG with n={n}, side={side}, "
+        f"r={r}, R={R} in {max_attempts} attempts; increase density"
+    )

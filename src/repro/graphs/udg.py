@@ -1,0 +1,155 @@
+"""Unit disk graph generators.
+
+Unit disk graphs (paper Section 1.3): nodes have positions in the
+two-dimensional Euclidean plane and two nodes are adjacent iff their
+distance is at most the communication radius (1 after rescaling). They
+are the canonical geometric wireless model and are growth-bounded: an
+independent set inside the ``r``-hop neighborhood of any node has
+``O(r^2)`` size (disk packing).
+
+All generators store positions in the node attribute ``"pos"`` so
+downstream code (granularity, plotting, quasi-UDG comparisons) can reuse
+them, and tag the graph with ``G.graph["family"]``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from scipy.spatial import cKDTree
+
+
+def udg_from_points(points: np.ndarray, radius: float = 1.0) -> nx.Graph:
+    """Build the unit disk graph of a point set.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of positions.
+    radius:
+        Communication radius; nodes within ``radius`` (inclusive) are
+        adjacent.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) point array, got {points.shape}")
+    n = len(points)
+    graph = nx.Graph(family="udg", radius=float(radius))
+    for i in range(n):
+        graph.add_node(i, pos=(float(points[i, 0]), float(points[i, 1])))
+    if n > 1:
+        tree = cKDTree(points)
+        for i, j in tree.query_pairs(r=radius):
+            graph.add_edge(int(i), int(j))
+    return graph
+
+
+def random_udg(
+    n: int,
+    side: float,
+    rng: np.random.Generator,
+    radius: float = 1.0,
+    connected: bool = True,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Random unit disk graph: ``n`` uniform points in ``[0, side]^2``.
+
+    Parameters
+    ----------
+    n, side, radius:
+        Point count, box side length, communication radius. Density is
+        controlled by ``n / side**2``; diameter grows with ``side``.
+    connected:
+        If true (default), resample until the graph is connected — the
+        broadcast and leader election problems require connectivity. With
+        reasonable density this succeeds in a few attempts; after
+        ``max_attempts`` failures a ``ValueError`` explains that the
+        density is too low.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    for _ in range(max_attempts):
+        points = rng.uniform(0.0, side, size=(n, 2))
+        graph = udg_from_points(points, radius=radius)
+        if not connected or n == 1 or nx.is_connected(graph):
+            return graph
+    raise ValueError(
+        f"could not sample a connected UDG with n={n}, side={side}, "
+        f"radius={radius} in {max_attempts} attempts; increase density"
+    )
+
+
+def grid_udg(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    spacing: float = 0.9,
+    jitter: float = 0.05,
+    radius: float = 1.0,
+) -> nx.Graph:
+    """Perturbed-grid unit disk graph.
+
+    Points on a ``rows x cols`` grid with the given spacing, each
+    perturbed by uniform jitter. With ``spacing < radius`` the grid is
+    connected by construction (up to jitter), giving deterministic-ish
+    diameter ``Θ(rows + cols)`` — the workhorse for diameter sweeps in
+    the E6 broadcast experiment.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if jitter < 0 or jitter >= (radius - spacing) / 2 + spacing:
+        # A loose sanity check; heavy jitter can disconnect the grid.
+        raise ValueError(f"jitter {jitter} too large for spacing {spacing}")
+    xs, ys = np.meshgrid(np.arange(cols), np.arange(rows))
+    base = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float) * spacing
+    noise = rng.uniform(-jitter, jitter, size=base.shape)
+    graph = udg_from_points(base + noise, radius=radius)
+    graph.graph["family"] = "grid-udg"
+    return graph
+
+
+def clustered_udg(
+    n_clusters: int,
+    cluster_size: int,
+    rng: np.random.Generator,
+    cluster_spread: float = 0.3,
+    chain_spacing: float = 0.8,
+    radius: float = 1.0,
+) -> nx.Graph:
+    """Chain of dense point clusters — high degree, large diameter.
+
+    Cluster centers sit on a line ``chain_spacing`` apart; each cluster's
+    points are Gaussian around its center. This produces UDGs where the
+    maximum degree is much larger than needed for connectivity, the regime
+    where Decay-style backoff matters.
+    """
+    if n_clusters < 1 or cluster_size < 1:
+        raise ValueError("need at least one cluster with at least one point")
+    blocks = []
+    for c in range(n_clusters):
+        center = np.array([c * chain_spacing, 0.0])
+        blocks.append(
+            center + rng.normal(scale=cluster_spread, size=(cluster_size, 2))
+        )
+    graph = udg_from_points(np.concatenate(blocks, axis=0), radius=radius)
+    graph.graph["family"] = "clustered-udg"
+    return graph
+
+
+def granularity(graph: nx.Graph) -> float:
+    """Granularity ``g`` of a UDG: inverse minimum pairwise distance.
+
+    Defined by Emek et al. (paper Section 1.5.2); their deterministic
+    bound ``Θ(min{D + g^2, D log g})`` is one of the comparisons the
+    README discusses. Requires the graph to carry ``"pos"`` attributes.
+    """
+    positions = np.array([graph.nodes[v]["pos"] for v in graph.nodes], dtype=float)
+    n = len(positions)
+    if n < 2:
+        raise ValueError("granularity needs at least two nodes")
+    tree = cKDTree(positions)
+    distances, _ = tree.query(positions, k=2)
+    min_dist = float(distances[:, 1].min())
+    if min_dist == 0.0:
+        raise ValueError("coincident points: granularity is unbounded")
+    return 1.0 / min_dist

@@ -1,0 +1,100 @@
+"""Unit ball graph generators over arbitrary metric spaces.
+
+Unit ball graphs (paper Section 1.3) generalize unit disk graphs: nodes
+live in any metric space and are adjacent iff their distance is at most 1
+(after rescaling). They are growth-bounded whenever the metric space is
+doubling, with independent sets in ``d``-hop neighborhoods of size
+``d^O(b)`` for doubling constant ``b``. Quasi unit ball graphs relax the
+edge rule with inner/outer radii exactly as quasi unit disk graphs do.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from .metrics import MetricSpace
+
+
+def unit_ball_graph(
+    space: MetricSpace,
+    points: np.ndarray,
+    radius: float = 1.0,
+) -> nx.Graph:
+    """Build the unit ball graph of a point set in ``space``.
+
+    Nodes ``0..n-1`` carry their coordinates in the ``"pos"`` attribute.
+    """
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    graph = nx.Graph(family="unit-ball", radius=float(radius))
+    for i in range(n):
+        graph.add_node(i, pos=tuple(float(x) for x in points[i]))
+    if n > 1:
+        dist = space.pairwise_distances(points)
+        rows, cols = np.nonzero(np.triu(dist <= radius, k=1))
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph
+
+
+def random_unit_ball_graph(
+    space: MetricSpace,
+    n: int,
+    rng: np.random.Generator,
+    radius: float = 1.0,
+    connected: bool = True,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Unit ball graph on ``n`` points sampled uniformly from ``space``.
+
+    Retries until connected when ``connected`` is set, mirroring
+    :func:`repro.graphs.udg.random_udg`.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    for _ in range(max_attempts):
+        points = space.sample(n, rng)
+        graph = unit_ball_graph(space, points, radius=radius)
+        if not connected or n == 1 or nx.is_connected(graph):
+            return graph
+    raise ValueError(
+        f"could not sample a connected unit ball graph with n={n} in "
+        f"{max_attempts} attempts; enlarge radius or shrink the space"
+    )
+
+
+def quasi_unit_ball_graph(
+    space: MetricSpace,
+    points: np.ndarray,
+    r: float,
+    R: float,
+    rng: np.random.Generator,
+    annulus_probability: float = 0.5,
+) -> nx.Graph:
+    """Quasi unit ball graph: must-connect below ``r``, never above ``R``.
+
+    Annulus pairs (distance in ``(r, R]``) get an edge independently with
+    ``annulus_probability`` — the Bernoulli instantiation of the
+    definition's adversarial freedom.
+    """
+    if not 0 < r <= R:
+        raise ValueError(f"need 0 < r <= R, got r={r}, R={R}")
+    if not 0.0 <= annulus_probability <= 1.0:
+        raise ValueError(
+            f"annulus probability must be in [0, 1], got {annulus_probability}"
+        )
+    points = np.asarray(points, dtype=float)
+    n = len(points)
+    graph = nx.Graph(family="quasi-unit-ball", r=float(r), R=float(R))
+    for i in range(n):
+        graph.add_node(i, pos=tuple(float(x) for x in points[i]))
+    if n > 1:
+        dist = space.pairwise_distances(points)
+        upper = np.triu(np.ones_like(dist, dtype=bool), k=1)
+        must = upper & (dist <= r)
+        annulus = upper & (dist > r) & (dist <= R)
+        coin = rng.random(size=dist.shape) < annulus_probability
+        chosen = must | (annulus & coin)
+        rows, cols = np.nonzero(chosen)
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph

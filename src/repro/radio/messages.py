@@ -1,0 +1,68 @@
+"""Message representation for radio network protocols.
+
+The ``Compete`` procedure of Czumaj and Davies (and of the paper) relies on
+messages having a consistent *lexicographic total order*: when two messages
+meet, the higher one overrides the lower. The concrete order does not
+matter for correctness so long as every node applies the same one; we use
+a ``(priority, payload)`` tuple order, which covers both use cases in the
+paper:
+
+* broadcasting — a single source message, order irrelevant;
+* leader election — candidate IDs as priorities, highest ID wins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Any
+
+
+@functools.total_ordering
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """An immutable, totally ordered protocol message.
+
+    Parameters
+    ----------
+    priority:
+        Primary sort key. For leader election this is the candidate ID;
+        for broadcast it may be anything consistent.
+    payload:
+        Application data carried by the message. Compared as a tiebreak
+        via ``repr`` so that the order is total even for unorderable
+        payloads.
+    origin:
+        Label of the node that created the message (for tracing).
+    """
+
+    priority: int
+    payload: Any = None
+    origin: Any = None
+
+    def _key(self) -> tuple[int, str]:
+        return (self.priority, repr(self.payload))
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+def highest(messages: list[Message]) -> Message | None:
+    """Return the lexicographically highest message, or ``None`` if empty.
+
+    This is the override rule used throughout ``Compete``: whenever a node
+    knows several messages, only the highest survives.
+    """
+    if not messages:
+        return None
+    return max(messages)

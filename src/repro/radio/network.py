@@ -1,0 +1,256 @@
+"""The synchronous radio network simulator.
+
+This is the substrate every packet-level algorithm in this package runs
+on. It implements exactly the model of the paper (Section 1.1):
+
+* time is divided into synchronous steps;
+* in each step every node either **transmits** a message or **listens**;
+* a listening node hears a message **iff exactly one of its neighbors
+  transmits** in that step — otherwise (zero or several transmitting
+  neighbors) it hears nothing;
+* there is **no collision detection**: a listener cannot distinguish
+  silence from a collision;
+* a transmitting node hears nothing in that step (it is not listening).
+
+The simulator is *ad-hoc faithful by convention*: it exposes global graph
+knowledge (it must, to compute deliveries), but protocol implementations in
+:mod:`repro.core` only consult per-node state plus what each node heard,
+never the topology. Tests in ``tests/test_adhoc_discipline.py`` enforce
+this for the core protocols.
+
+Performance: delivery is computed with one sparse matrix-vector product
+per step (scipy CSR), so packet-level runs of hundreds of thousands of
+steps on graphs with thousands of nodes are practical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from .errors import GraphContractError, InvalidActionError
+from .trace import StepTrace
+
+#: Sentinel in ``hear_from`` arrays meaning "heard nothing this step".
+NO_SENDER = -1
+
+
+class RadioNetwork:
+    """A radio network over an undirected :class:`networkx.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology. Must be a non-empty undirected graph.
+        Self-loops are rejected (a node interfering with itself has no
+        sensible semantics in the model). Connectivity is *not* required
+        here — MIS is defined on disconnected graphs — but the broadcast
+        and leader election entry points check it themselves.
+    trace:
+        Optional :class:`StepTrace` to record activity into. A fresh one
+        is created if omitted; it is available as :attr:`trace`.
+
+    Notes
+    -----
+    Nodes are internally indexed ``0..n-1`` in the iteration order of
+    ``graph.nodes``. :meth:`index_of` / :meth:`label_of` convert between
+    user labels and internal indices; vectorized protocols work with
+    indices throughout.
+    """
+
+    def __init__(self, graph: nx.Graph, trace: StepTrace | None = None) -> None:
+        if graph.number_of_nodes() == 0:
+            raise GraphContractError("radio network requires a non-empty graph")
+        if graph.is_directed():
+            raise GraphContractError(
+                "the paper's model (and this simulator) is undirected; "
+                "got a directed graph"
+            )
+        if any(u == v for u, v in graph.edges):
+            raise GraphContractError("self-loops are not allowed")
+
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self._labels: list[Hashable] = list(graph.nodes)
+        self._index: dict[Hashable, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        adj = nx.to_scipy_sparse_array(graph, nodelist=self._labels, format="csr")
+        # Binary adjacency as float64 so matvecs count transmitters.
+        self._adj: sp.csr_array = (adj != 0).astype(np.float64)
+        self._ids = np.arange(self.n, dtype=np.float64)
+        self.degrees = np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+        self.trace = trace if trace is not None else StepTrace()
+        self.steps_elapsed = 0
+
+    # ------------------------------------------------------------------
+    # label <-> index conversion
+    # ------------------------------------------------------------------
+    def index_of(self, label: Hashable) -> int:
+        """Internal index of the node with this label."""
+        return self._index[label]
+
+    def label_of(self, index: int) -> Hashable:
+        """User-facing label of the node with this internal index."""
+        return self._labels[index]
+
+    def labels(self) -> list[Hashable]:
+        """All node labels in internal index order."""
+        return list(self._labels)
+
+    def indices_of(self, labels: Iterable[Hashable]) -> np.ndarray:
+        """Vectorized :meth:`index_of`."""
+        return np.array([self._index[label] for label in labels], dtype=np.int64)
+
+    def neighbors_of(self, index: int) -> np.ndarray:
+        """Indices of the neighbors of node ``index``."""
+        start, end = self._adj.indptr[index], self._adj.indptr[index + 1]
+        return self._adj.indices[start:end].astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # the radio step
+    # ------------------------------------------------------------------
+    def deliver(self, transmit: np.ndarray) -> np.ndarray:
+        """Execute one radio step given a boolean transmit mask.
+
+        Parameters
+        ----------
+        transmit:
+            Boolean array of length ``n``; ``True`` where the node
+            transmits this step, ``False`` where it listens.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array ``hear_from`` of length ``n``. For each node
+            ``v``, ``hear_from[v]`` is the index of the unique transmitting
+            neighbor ``v`` heard, or :data:`NO_SENDER` if ``v`` transmitted
+            itself, had no transmitting neighbor, or suffered a collision
+            (two or more transmitting neighbors).
+        """
+        transmit = np.asarray(transmit)
+        if transmit.shape != (self.n,):
+            raise InvalidActionError(
+                f"transmit mask has shape {transmit.shape}, expected ({self.n},)"
+            )
+        if transmit.dtype != np.bool_:
+            raise InvalidActionError(
+                f"transmit mask must be boolean, got dtype {transmit.dtype}"
+            )
+
+        tvec = transmit.astype(np.float64)
+        counts = self._adj @ tvec
+        # For listeners with exactly one transmitting neighbor, the sum of
+        # transmitting neighbor indices *is* that neighbor's index.
+        idsums = self._adj @ (tvec * self._ids)
+
+        hear_from = np.full(self.n, NO_SENDER, dtype=np.int64)
+        heard = (~transmit) & (counts == 1.0)
+        hear_from[heard] = np.rint(idsums[heard]).astype(np.int64)
+
+        self.steps_elapsed += 1
+        self.trace.record_step(
+            transmissions=int(transmit.sum()), receptions=int(heard.sum())
+        )
+        return hear_from
+
+    def deliver_detect(
+        self, transmit: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One radio step in the *with collision detection* model variant.
+
+        The paper's model is explicitly without collision detection
+        (Section 1.1); this entry point exists for the baselines from the
+        literature that *require* CD (Schneider–Wattenhofer [29],
+        Dessmark–Pelc [12]) so the E13 experiment can measure what CD
+        buys. Algorithms in :mod:`repro.core` never call it.
+
+        Returns
+        -------
+        (hear_from, busy):
+            ``hear_from`` as in :meth:`deliver`; ``busy`` is a boolean
+            array marking listeners that sensed energy — at least one
+            transmitting neighbor, whether or not the transmission was
+            clean. A CD-capable listener distinguishes silence
+            (``busy`` false), clean reception (``hear_from != NO_SENDER``)
+            and collision (``busy`` true, nothing heard).
+        """
+        transmit = np.asarray(transmit)
+        if transmit.shape != (self.n,):
+            raise InvalidActionError(
+                f"transmit mask has shape {transmit.shape}, expected ({self.n},)"
+            )
+        if transmit.dtype != np.bool_:
+            raise InvalidActionError(
+                f"transmit mask must be boolean, got dtype {transmit.dtype}"
+            )
+        counts = self._adj @ transmit.astype(np.float64)
+        busy = (~transmit) & (counts >= 1.0)
+        hear_from = self.deliver(transmit)
+        return hear_from, busy
+
+    def step(self, actions: Mapping[Hashable, Any]) -> dict[Hashable, Any]:
+        """Label-based convenience wrapper around :meth:`deliver`.
+
+        Parameters
+        ----------
+        actions:
+            Mapping from node label to the message it transmits this step.
+            Nodes absent from the mapping listen. Message values may be
+            anything except ``None`` (``None`` would be indistinguishable
+            from "heard nothing" in the return value).
+
+        Returns
+        -------
+        dict
+            Mapping from listener label to the message it heard; nodes
+            that heard nothing are absent.
+        """
+        transmit = np.zeros(self.n, dtype=bool)
+        messages: list[Any] = [None] * self.n
+        for label, message in actions.items():
+            if message is None:
+                raise InvalidActionError(
+                    f"node {label!r} tried to transmit None; use any other "
+                    "sentinel for contentless transmissions"
+                )
+            i = self._index[label]
+            transmit[i] = True
+            messages[i] = message
+
+        hear_from = self.deliver(transmit)
+        received: dict[Hashable, Any] = {}
+        for i in np.nonzero(hear_from != NO_SENDER)[0]:
+            received[self._labels[i]] = messages[hear_from[i]]
+        return received
+
+    # ------------------------------------------------------------------
+    # convenience graph facts (used by generators/tests, not protocols)
+    # ------------------------------------------------------------------
+    def neighbor_sum(self, values: np.ndarray) -> np.ndarray:
+        """For each node, the sum of ``values`` over its neighbors.
+
+        Global knowledge: this is *not* available to protocol logic in the
+        ad-hoc model. It exists for instrumentation (golden-round
+        tracking), oracle fidelity knobs that are explicitly documented as
+        such (``oracle_degree`` in Radio MIS), and tests.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n,):
+            raise InvalidActionError(
+                f"values has shape {values.shape}, expected ({self.n},)"
+            )
+        return self._adj @ values
+
+    def is_connected(self) -> bool:
+        """Whether the underlying graph is connected."""
+        return nx.is_connected(self.graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RadioNetwork(n={self.n}, m={self.graph.number_of_edges()}, "
+            f"steps={self.steps_elapsed})"
+        )

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Conventions: every randomized test takes its generator from the ``rng``
+fixture (seeded per test name for reproducibility) or constructs one from
+an explicit seed. Graph fixtures are small enough for packet-level
+simulation to stay fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.radio import RadioNetwork
+
+
+@pytest.fixture
+def rng(request) -> np.random.Generator:
+    """Per-test deterministic generator (seeded from the test's own id)."""
+    digest = hashlib.sha256(request.node.nodeid.encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+@pytest.fixture
+def path5() -> nx.Graph:
+    """A 5-node path."""
+    return graphs.path(5)
+
+
+@pytest.fixture
+def clique6() -> nx.Graph:
+    """A 6-node clique."""
+    return graphs.clique(6)
+
+
+@pytest.fixture
+def star8() -> nx.Graph:
+    """A star with 7 leaves."""
+    return graphs.star(8)
+
+
+@pytest.fixture
+def small_udg(rng) -> nx.Graph:
+    """A connected ~40-node unit disk graph."""
+    return graphs.random_udg(n=40, side=3.0, rng=rng)
+
+
+@pytest.fixture
+def medium_udg(rng) -> nx.Graph:
+    """A connected ~120-node unit disk graph with moderate diameter."""
+    return graphs.random_udg(n=120, side=5.0, rng=rng)
+
+
+@pytest.fixture
+def net_path5(path5) -> RadioNetwork:
+    """Radio network on the 5-path."""
+    return RadioNetwork(path5)
+
+
+@pytest.fixture
+def net_clique6(clique6) -> RadioNetwork:
+    """Radio network on the 6-clique."""
+    return RadioNetwork(clique6)

@@ -1,0 +1,165 @@
+"""Tests for the baseline algorithms (BGI, binary-search election, Luby,
+analytic bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import baselines, graphs
+from repro.graphs import is_maximal_independent_set
+from repro.radio import GraphContractError, RadioNetwork
+
+
+class TestBGIBroadcast:
+    def test_delivers_on_udg(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        net = RadioNetwork(g)
+        result = baselines.bgi_broadcast(net, 0, rng)
+        assert result.delivered
+        assert result.steps == net.steps_elapsed
+
+    def test_delivers_on_path(self, rng):
+        g = graphs.path(30)
+        net = RadioNetwork(g)
+        result = baselines.bgi_broadcast(net, 0, rng)
+        assert result.delivered
+
+    def test_informed_history_monotone(self, rng):
+        g = graphs.connected_gnp(40, 0.15, rng)
+        net = RadioNetwork(g)
+        result = baselines.bgi_broadcast(net, 0, rng)
+        history = result.informed_history
+        assert history[0] == 1
+        assert all(a <= b for a, b in zip(history, history[1:]))
+        assert history[-1] == 40
+
+    def test_multi_source(self, rng):
+        g = graphs.path(30)
+        net = RadioNetwork(g)
+        result = baselines.bgi_broadcast(net, 0, rng, sources=[0, 29])
+        assert result.delivered
+
+    def test_rejects_disconnected(self, rng):
+        import networkx as nx
+
+        net = RadioNetwork(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphContractError):
+            baselines.bgi_broadcast(net, 0, rng)
+
+    def test_steps_grow_with_diameter(self, rng):
+        steps = []
+        for length in (10, 60):
+            net = RadioNetwork(graphs.path(length))
+            steps.append(baselines.bgi_broadcast(net, 0, rng).steps)
+        assert steps[1] > steps[0]
+
+    def test_steps_roughly_d_log_n(self, rng):
+        # On a path, steps / (D log n) should be a modest constant.
+        n = 60
+        net = RadioNetwork(graphs.path(n))
+        result = baselines.bgi_broadcast(net, 0, rng)
+        normalizer = (n - 1) * math.log2(n)
+        assert result.steps <= 6 * normalizer
+
+
+class TestBinarySearchElection:
+    def test_elects_unique_max(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        net = RadioNetwork(g)
+        result = baselines.binary_search_election(net, rng)
+        assert result.elected
+        assert 0 <= result.leader < net.n
+
+    def test_phase_count_logarithmic_in_id_space(self, rng):
+        g = graphs.connected_gnp(30, 0.2, rng)
+        net = RadioNetwork(g)
+        result = baselines.binary_search_election(net, rng, id_bits=12)
+        assert result.phases <= 12
+
+    def test_leader_holds_max_id(self, rng):
+        g = graphs.path(20)
+        net = RadioNetwork(g)
+        result = baselines.binary_search_election(net, rng)
+        assert result.leader_id >= 0
+
+    def test_more_expensive_than_single_broadcast(self, rng):
+        g = graphs.path(25)
+        net_bc = RadioNetwork(g)
+        bc = baselines.bgi_broadcast(net_bc, 0, rng)
+        net_le = RadioNetwork(g)
+        le = baselines.binary_search_election(net_le, rng)
+        assert le.steps > bc.steps
+
+    def test_rejects_disconnected(self, rng):
+        import networkx as nx
+
+        net = RadioNetwork(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphContractError):
+            baselines.binary_search_election(net, rng)
+
+
+class TestLubyMIS:
+    def test_valid_mis_on_families(self, rng):
+        for g in (
+            graphs.clique(20),
+            graphs.path(25),
+            graphs.random_udg(50, 3.5, rng),
+            graphs.connected_gnp(40, 0.15, rng),
+        ):
+            result = baselines.luby_mis(g, rng)
+            assert result.valid
+            assert is_maximal_independent_set(g, result.mis)
+
+    def test_rounds_logarithmic(self, rng):
+        g = graphs.connected_gnp(200, 0.05, rng)
+        result = baselines.luby_mis(g, rng)
+        assert result.rounds <= 8 * math.ceil(math.log2(200)) + 8
+
+    def test_counts_messages(self, rng):
+        g = graphs.clique(10)
+        result = baselines.luby_mis(g, rng)
+        # Round 1 alone exchanges 2 * |E| = 90 messages on a 10-clique.
+        assert result.messages >= 90
+
+    def test_empty_graph(self, rng):
+        import networkx as nx
+
+        result = baselines.luby_mis(nx.Graph(), rng)
+        assert result.mis == set()
+        assert result.valid
+
+
+class TestAnalyticBounds:
+    def test_paper_beats_cd21_when_alpha_small(self):
+        n, d = 10**5, 500
+        assert baselines.paper_bound(n, d, alpha=d) < (
+            baselines.czumaj_davies_bound(n, d)
+        )
+
+    def test_paper_matches_cd21_when_alpha_is_n(self):
+        n, d = 10**5, 500
+        ours = baselines.paper_bound(n, d, alpha=n)
+        theirs = baselines.czumaj_davies_bound(n, d)
+        assert ours == pytest.approx(theirs, rel=0.01)
+
+    def test_bgi_dominated_at_large_d(self):
+        n = 10**6
+        d = 10**4
+        assert baselines.paper_bound(n, d, alpha=d) < baselines.bgi_bound(n, d)
+
+    def test_lower_bounds_below_upper_bounds(self):
+        n, d = 10**4, 100
+        assert baselines.broadcast_lower_bound(n, d) <= baselines.bgi_bound(n, d)
+        assert baselines.spontaneous_lower_bound(d) <= baselines.paper_bound(
+            n, d, alpha=d
+        )
+
+    def test_mis_bounds_order(self):
+        n = 10**5
+        assert baselines.mis_lower_bound(n) < baselines.mis_paper_bound(n)
+
+    def test_ghaffari_haeupler_le_positive(self):
+        assert baselines.ghaffari_haeupler_le_bound(10**4, 50) > 0

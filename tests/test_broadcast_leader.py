@@ -1,0 +1,126 @@
+"""Tests for broadcasting (Theorem 7) and leader election (Theorem 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import (
+    CompeteConfig,
+    broadcast,
+    candidate_probability,
+    elect_leader,
+    id_bits,
+)
+
+
+class TestBroadcast:
+    def test_delivers_on_udg(self, rng):
+        g = graphs.random_udg(70, 4.0, rng)
+        result = broadcast(g, 0, rng)
+        assert result.delivered
+        assert result.source == 0
+
+    def test_delivers_from_any_source(self, rng):
+        g = graphs.clique_chain(4, 6)
+        for source in (0, 11, 23):
+            assert broadcast(g, source, rng).delivered
+
+    def test_rejects_unknown_source(self, rng):
+        with pytest.raises(ValueError):
+            broadcast(graphs.path(5), 99, rng)
+
+    def test_round_breakdown_consistent(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        result = broadcast(g, 0, rng)
+        assert (
+            result.total_rounds
+            == result.setup_rounds + result.propagation_rounds
+        )
+
+    def test_baseline_mode_passthrough(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        result = broadcast(
+            g, 0, rng, config=CompeteConfig(centers_mode="all")
+        )
+        assert result.delivered
+
+    def test_alpha_passthrough(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        result = broadcast(g, 0, rng, alpha=12)
+        assert result.compete.alpha_used == 12
+
+
+class TestLeaderElectionParameters:
+    def test_candidate_probability_shape(self):
+        # Theta(log n / n): decreasing in n, capped at 1.
+        assert candidate_probability(2) == 1.0 or candidate_probability(2) <= 1.0
+        assert candidate_probability(100) < candidate_probability(10)
+        assert candidate_probability(10**6) < 0.001
+
+    def test_candidate_probability_validation(self):
+        with pytest.raises(ValueError):
+            candidate_probability(0)
+
+    def test_id_bits_grows_logarithmically(self):
+        assert id_bits(2**10) == 30
+        assert id_bits(2**20) == 60
+        assert id_bits(2) >= 4
+
+    def test_expected_candidates_theta_log_n(self, rng):
+        n = 500
+        p = candidate_probability(n)
+        draws = rng.random((200, n)) < p
+        mean_candidates = draws.sum(axis=1).mean()
+        log_n = np.log2(n)
+        assert 0.5 * log_n <= mean_candidates <= 2.0 * log_n
+
+
+class TestLeaderElection:
+    def test_elects_on_udg(self, rng):
+        g = graphs.random_udg(80, 4.5, rng)
+        result = elect_leader(g, rng)
+        # whp success; with these sizes failures are rare but legal —
+        # rerun once on failure like a real deployment would.
+        if not result.elected:
+            result = elect_leader(g, rng)
+        assert result.elected
+        assert result.leader in result.candidates
+        assert result.candidates[result.leader] == result.leader_id
+
+    def test_everyone_learns_the_winner(self, rng):
+        g = graphs.connected_gnp(50, 0.12, rng)
+        result = elect_leader(g, rng)
+        if result.elected:
+            assert all(
+                k == result.leader_id
+                for k in result.compete.knowledge.values()
+            )
+
+    def test_success_rate_high(self, rng):
+        g = graphs.clique_chain(4, 6)
+        outcomes = [
+            elect_leader(g, np.random.default_rng(seed)).elected
+            for seed in range(12)
+        ]
+        assert np.mean(outcomes) >= 0.75
+
+    def test_no_candidates_reports_failure(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result = elect_leader(g, rng, c_cand=1e-9)
+        assert not result.elected
+        assert result.leader is None
+        assert result.total_rounds == 0
+
+    def test_rounds_charged_on_success(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        result = elect_leader(g, rng)
+        if result.elected:
+            assert result.total_rounds > 0
+
+    def test_candidate_count_reasonable(self, rng):
+        g = graphs.connected_gnp(100, 0.08, rng)
+        result = elect_leader(g, rng)
+        # Theta(log n) candidates: allow a wide but bounded window.
+        assert 0 <= len(result.candidates) <= 40

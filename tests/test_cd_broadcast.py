@@ -1,0 +1,126 @@
+"""Tests for the collision-detection model variant and CD broadcast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import baselines, graphs
+from repro.radio import (
+    GraphContractError,
+    InvalidActionError,
+    NO_SENDER,
+    RadioNetwork,
+)
+
+
+class TestDeliverDetect:
+    def test_busy_on_collision(self):
+        g = graphs.path(3)  # 0 - 1 - 2
+        net = RadioNetwork(g)
+        transmit = np.zeros(3, dtype=bool)
+        transmit[net.index_of(0)] = True
+        transmit[net.index_of(2)] = True
+        hear_from, busy = net.deliver_detect(transmit)
+        middle = net.index_of(1)
+        # Two transmitting neighbors: nothing heard, but energy sensed.
+        assert hear_from[middle] == NO_SENDER
+        assert busy[middle]
+
+    def test_busy_on_clean_reception(self):
+        g = graphs.path(2)
+        net = RadioNetwork(g)
+        transmit = np.zeros(2, dtype=bool)
+        transmit[net.index_of(0)] = True
+        hear_from, busy = net.deliver_detect(transmit)
+        listener = net.index_of(1)
+        assert hear_from[listener] == net.index_of(0)
+        assert busy[listener]
+
+    def test_silence_is_not_busy(self):
+        g = graphs.path(3)
+        net = RadioNetwork(g)
+        _, busy = net.deliver_detect(np.zeros(3, dtype=bool))
+        assert not busy.any()
+
+    def test_transmitters_never_busy(self):
+        g = graphs.clique(4)
+        net = RadioNetwork(g)
+        _, busy = net.deliver_detect(np.ones(4, dtype=bool))
+        assert not busy.any()
+
+    def test_shape_validation(self):
+        net = RadioNetwork(graphs.path(4))
+        with pytest.raises(InvalidActionError):
+            net.deliver_detect(np.zeros(3, dtype=bool))
+
+
+class TestCDBroadcast:
+    def test_delivers_on_path(self):
+        net = RadioNetwork(graphs.path(15))
+        result = baselines.cd_broadcast(net, 0)
+        assert result.delivered
+
+    def test_delivers_on_udg(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        net = RadioNetwork(g)
+        result = baselines.cd_broadcast(net, 0)
+        assert result.delivered
+
+    def test_delivers_through_contention(self):
+        # Two big cliques joined by a bridge: the worst case for
+        # collision-prone strategies is trivial with CD.
+        g = graphs.two_cliques_bottleneck(20)
+        net = RadioNetwork(g)
+        result = baselines.cd_broadcast(net, 0)
+        assert result.delivered
+
+    def test_steps_formula(self):
+        # steps = cycles * bits * 2 subslots.
+        net = RadioNetwork(graphs.path(10))
+        result = baselines.cd_broadcast(net, 0)
+        assert result.steps == result.cycles * result.message_bits * 2
+
+    def test_deterministic(self):
+        g = graphs.path(12)
+        counts = set()
+        for _ in range(3):
+            net = RadioNetwork(g)
+            counts.add(baselines.cd_broadcast(net, 5).steps)
+        assert len(counts) == 1
+
+    def test_cycles_track_eccentricity(self):
+        # From one end of a path, the frontier moves >= 1 hop per cycle
+        # and exactly 1 on a path: cycles == eccentricity of the source.
+        n = 12
+        net = RadioNetwork(graphs.path(n))
+        result = baselines.cd_broadcast(net, 0)
+        assert result.cycles == n - 1
+
+    def test_custom_message_roundtrip(self):
+        net = RadioNetwork(graphs.path(6))
+        result = baselines.cd_broadcast(net, 0, message=37, message_bits=8)
+        assert result.delivered
+        assert result.message_bits == 8
+
+    def test_message_must_fit(self):
+        net = RadioNetwork(graphs.path(4))
+        with pytest.raises(ValueError):
+            baselines.cd_broadcast(net, 0, message=9, message_bits=3)
+
+    def test_rejects_disconnected(self):
+        import networkx as nx
+
+        net = RadioNetwork(nx.Graph([(0, 1), (2, 3)]))
+        with pytest.raises(GraphContractError):
+            baselines.cd_broadcast(net, 0)
+
+    def test_faster_than_round_robin_without_cd(self):
+        # The point of E13: determinism is cheap with CD, expensive
+        # without (round-robin pays ~n per hop in the adverse direction).
+        g = graphs.path(25)
+        net_cd = RadioNetwork(g)
+        cd = baselines.cd_broadcast(net_cd, 24)
+        net_rr = RadioNetwork(g)
+        rr = baselines.round_robin_broadcast(net_rr, 24)
+        assert cd.steps < rr.steps

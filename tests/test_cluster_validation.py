@@ -1,0 +1,104 @@
+"""Edge-case tests for the Clustering type and schedule corner cases."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import Clustering, build_schedule, partition
+from repro.graphs import greedy_independent_set
+
+
+class TestClusteringValidate:
+    def test_valid_clustering_passes(self, rng):
+        g = graphs.random_udg(30, 2.5, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.3, mis, rng)
+        clustering.validate(g, None)  # should not raise
+
+    def test_assignment_to_non_center_caught(self):
+        g = graphs.path(4)
+        broken = Clustering(
+            beta=0.5,
+            centers=[0],
+            assignment=np.array([0, 0, 3, 3]),  # 3 is not a center
+            distance_to_center=np.array([0, 1, 0, 0]),
+            delta={0: 1.0},
+        )
+        with pytest.raises(AssertionError):
+            broken.validate(g, None)
+
+    def test_disconnected_cluster_caught(self):
+        g = graphs.path(5)
+        broken = Clustering(
+            beta=0.5,
+            centers=[0, 2],
+            # Cluster of 0 is {0, 4}: not connected in the path.
+            assignment=np.array([0, 2, 2, 2, 0]),
+            distance_to_center=np.array([0, 1, 0, 1, 4]),
+            delta={0: 1.0, 2: 1.0},
+        )
+        with pytest.raises(AssertionError):
+            broken.validate(g, None)
+
+    def test_members_and_used_centers_agree(self, rng):
+        g = graphs.connected_gnp(30, 0.15, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.4, mis, rng)
+        assert sorted(clustering.members()) == clustering.used_centers()
+
+    def test_n_property(self, rng):
+        g = graphs.path(7)
+        clustering = partition(g, 0.5, [0, 6], rng)
+        assert clustering.n == 7
+
+
+class TestScheduleCornerCases:
+    def test_singleton_clusters(self, rng):
+        # beta huge -> shifts ~0 -> every center keeps only itself and
+        # its captured neighbors; many near-singleton clusters.
+        g = graphs.clique(6)
+        clustering = partition(g, 50.0, list(range(6)), rng)
+        schedule = build_schedule(g, clustering)
+        assert schedule.n_layers >= 1
+        assert schedule.n_colors >= 1
+
+    def test_single_cluster_path(self, rng):
+        g = graphs.path(9)
+        clustering = partition(g, 0.5, [4], rng)
+        schedule = build_schedule(g, clustering)
+        # Layers reflect BFS depth from the middle of the path.
+        assert schedule.n_layers == 5
+        # A path's square has clique number 3, so >= 3 colors.
+        assert schedule.n_colors >= 3
+
+    def test_two_node_graph(self, rng):
+        g = graphs.path(2)
+        clustering = partition(g, 0.5, [0], rng)
+        schedule = build_schedule(g, clustering)
+        assert schedule.layer[0] == 0
+        assert schedule.layer[1] == 1
+
+
+class TestPartitionDegenerateBetas:
+    def test_tiny_beta_single_cluster_often(self, rng):
+        # beta -> 0 means enormous shifts: typically one center swallows
+        # the graph.
+        g = graphs.path(20)
+        clustering = partition(g, 1e-6, [0, 10, 19], rng)
+        assert len(clustering.used_centers()) >= 1
+
+    def test_huge_beta_every_center_survives(self, rng):
+        g = graphs.path(20)
+        centers = [0, 5, 10, 15, 19]
+        clustering = partition(g, 100.0, centers, rng)
+        # With negligible shifts, every center owns at least itself.
+        assert clustering.used_centers() == centers
+
+    def test_beta_reproducibility_with_seed(self):
+        g = graphs.path(15)
+        a = partition(g, 0.3, [0, 7, 14], np.random.default_rng(3))
+        b = partition(g, 0.3, [0, 7, 14], np.random.default_rng(3))
+        assert (a.assignment == b.assignment).all()

@@ -1,0 +1,127 @@
+"""Edge-case and failure-path tests for the Compete pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import CompeteConfig, broadcast, compete, elect_leader
+from repro.radio import BudgetExceededError
+
+
+class TestPhaseCap:
+    def test_tiny_phase_cap_raises(self, rng):
+        g = graphs.grid_udg(3, 20, rng)
+        config = CompeteConfig(max_phases=1)
+        with pytest.raises(BudgetExceededError):
+            compete(g, {0: 1}, rng, config=config)
+
+    def test_error_message_mentions_rounds(self, rng):
+        g = graphs.grid_udg(3, 15, rng)
+        config = CompeteConfig(max_phases=1)
+        with pytest.raises(BudgetExceededError, match="rounds"):
+            compete(g, {0: 1}, rng, config=config)
+
+
+class TestConfigKnobs:
+    def test_sequence_length_respected(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        config = CompeteConfig(sequence_length=7)
+        result = compete(g, {0: 1}, rng, config=config)
+        seq_charge = [
+            r for r in result.ledger.by_reason() if "sequence" in r
+        ]
+        assert seq_charge  # the charge exists and used the given length
+
+    def test_fine_per_j_configurable(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        for fine_per_j in (1, 4):
+            result = compete(
+                g, {0: 1}, rng, config=CompeteConfig(fine_per_j=fine_per_j)
+            )
+            assert result.delivered
+
+    def test_bg_rounds_per_hop_slows_background(self, rng):
+        # A much slower background cannot make delivery faster; on a
+        # background-dependent graph (boundaries everywhere) it shows up
+        # as more phases. We only assert delivery still happens.
+        g = graphs.clique_chain(5, 5)
+        slow = compete(
+            g, {0: 1}, rng, config=CompeteConfig(bg_rounds_per_hop=4.0)
+        )
+        assert slow.delivered
+
+    def test_cost_model_constants_scale_ledger(self, rng):
+        from repro.core import CostModel
+
+        g = graphs.random_udg(40, 3.0, rng)
+        cheap = compete(g, {0: 1}, np.random.default_rng(3))
+        pricey = compete(
+            g,
+            {0: 1},
+            np.random.default_rng(3),
+            config=CompeteConfig(cost_model=CostModel(c_mis=5.0)),
+        )
+        from repro.core import CostModel as CM
+
+        mis_cheap = cheap.ledger.by_reason()["ComputeMIS (Thm 14)"]
+        mis_pricey = pricey.ledger.by_reason()["ComputeMIS (Thm 14)"]
+        assert mis_cheap == CM().mis_rounds(40)
+        assert mis_pricey == CM(c_mis=5.0).mis_rounds(40)
+
+
+class TestSourceConfigurations:
+    def test_all_nodes_as_sources(self, rng):
+        g = graphs.random_udg(30, 2.5, rng)
+        sources = {v: v for v in g.nodes}
+        result = compete(g, sources, rng)
+        assert result.winner == 29
+        assert result.delivered
+
+    def test_duplicate_keys_allowed(self, rng):
+        g = graphs.path(15)
+        result = compete(g, {0: 5, 14: 5}, rng)
+        assert result.winner == 5
+        assert result.delivered
+
+    def test_source_already_everywhere(self, rng):
+        # Degenerate: every node already knows the winner at phase 0.
+        g = graphs.path(10)
+        sources = {v: 1 for v in g.nodes}
+        result = compete(g, sources, rng)
+        assert result.delivered
+        assert len(result.phases) == 0
+
+
+class TestLeaderElectionKnobs:
+    def test_everyone_candidate_still_elects(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result = elect_leader(g, rng, c_cand=1e9)  # probability caps at 1
+        assert len(result.candidates) == 40
+        # Unique max over 40 random ids whp; allow the rare collision.
+        if result.elected:
+            assert result.leader is not None
+
+    def test_alpha_passthrough_to_compete(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result = elect_leader(g, rng, alpha=9)
+        if result.compete is not None:
+            assert result.compete.alpha_used == 9
+
+
+class TestBroadcastOnHardInstances:
+    def test_layered_barrier(self, rng):
+        g = graphs.layered_barrier(3, 5, rng)
+        import networkx as nx
+
+        g = nx.convert_node_labels_to_integers(g)
+        assert broadcast(g, 0, rng).delivered
+
+    def test_star_of_cliques(self, rng):
+        g = graphs.star_of_cliques(3, 6)
+        assert broadcast(g, 0, rng).delivered
+
+    def test_two_cliques(self, rng):
+        g = graphs.two_cliques_bottleneck(10)
+        assert broadcast(g, 0, rng).delivered

@@ -1,0 +1,92 @@
+"""Tests for the round-cost formulas of the accounted pipeline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import CostModel, propagation_length, total_bound
+
+
+class TestCostModel:
+    def test_mis_rounds_cubic_in_log(self):
+        model = CostModel()
+        assert model.mis_rounds(2**10) == 1000  # (log2 1024)^3
+
+    def test_partition_rounds_scale_inverse_beta(self):
+        model = CostModel()
+        assert model.partition_rounds(256, 0.5) * 2 == pytest.approx(
+            model.partition_rounds(256, 0.25), rel=0.01
+        )
+
+    def test_partition_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            CostModel().partition_rounds(100, 0.0)
+
+    def test_schedule_rounds_polylog(self):
+        model = CostModel()
+        assert model.schedule_rounds(2**8) == 64
+
+    def test_sequence_rounds_additive_length(self):
+        model = CostModel()
+        base = model.sequence_rounds(256, 100, 0)
+        assert model.sequence_rounds(256, 100, 50) == base + 50
+
+    def test_sequence_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            CostModel().sequence_rounds(100, 10, -1)
+
+    def test_icp_rounds_linear_in_ell(self):
+        model = CostModel()
+        assert model.icp_rounds(40) == 40
+        assert model.icp_rounds(0) == 1  # floor at one round
+
+    def test_constants_scale_linearly(self):
+        cheap = CostModel()
+        pricey = CostModel(c_mis=3.0)
+        assert pricey.mis_rounds(2**10) == 3 * cheap.mis_rounds(2**10)
+
+
+class TestPropagationLength:
+    def test_inverse_beta_scaling(self):
+        a = propagation_length(0.5, alpha=100, diameter=10)
+        b = propagation_length(0.25, alpha=100, diameter=10)
+        assert b == pytest.approx(2 * a, rel=0.1)
+
+    def test_alpha_n_reduces_to_cd21_form(self):
+        # With alpha = n the length matches log(n)/log(D) / beta.
+        n, d, beta = 4096, 16, 0.25
+        ell = propagation_length(beta, alpha=n, diameter=d)
+        assert ell == math.ceil((math.log(n) / math.log(d)) / beta)
+
+    def test_alpha_smaller_than_n_gives_shorter_phases(self):
+        d, beta = 32, 0.125
+        short = propagation_length(beta, alpha=64, diameter=d)
+        long = propagation_length(beta, alpha=10**6, diameter=d)
+        assert short < long
+
+    def test_floor_at_one_over_beta_regime(self):
+        # alpha < D clamps log_D alpha to 1: ell = ceil(1/beta).
+        assert propagation_length(0.25, alpha=3, diameter=100) == 4
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            propagation_length(0.0, alpha=10, diameter=10)
+
+
+class TestTotalBound:
+    def test_growth_bounded_graphs_get_linear_leading_term(self):
+        # alpha = D^2 (UDG-like): bound ~ 2D + polylog.
+        d = 64
+        bound = total_bound(n=5000, diameter=d, alpha=d**2)
+        assert bound == pytest.approx(2 * d + math.log2(5000) ** 4, rel=0.01)
+
+    def test_general_graph_reduces_to_cd21(self):
+        n, d = 2**16, 16
+        bound = total_bound(n=n, diameter=d, alpha=n)
+        expected = d * (math.log(n) / math.log(d)) + math.log2(n) ** 4
+        assert bound == pytest.approx(expected, rel=0.01)
+
+    def test_monotone_in_alpha(self):
+        assert total_bound(1000, 50, 100) <= total_bound(1000, 50, 1000)

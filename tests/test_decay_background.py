@@ -1,0 +1,67 @@
+"""Direct tests for the ICP Decay background process (Algorithm 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import graphs
+from repro.core import partition
+from repro.core.intra_cluster import DecayBackground
+from repro.graphs import greedy_independent_set
+from repro.radio import RadioNetwork, run_steps
+
+
+def _setup(rng, n=40, side=3.0, beta=0.3):
+    g = graphs.random_udg(n, side, rng)
+    net = RadioNetwork(g)
+    mis = sorted(greedy_independent_set(g))
+    clustering = partition(g, beta, mis, rng)
+    return g, net, clustering
+
+
+class TestDecayBackground:
+    def test_never_finishes(self, rng):
+        g, net, clustering = _setup(rng)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        background = DecayBackground(net, clustering, knowledge)
+        run_steps(background, rng, 50)
+        assert not background.finished
+
+    def test_silent_when_nothing_known(self, rng):
+        g, net, clustering = _setup(rng)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        background = DecayBackground(net, clustering, knowledge)
+        for _ in range(20):
+            assert not background.transmit_mask(rng).any()
+            background.observe(np.full(net.n, -1, dtype=np.int64))
+
+    def test_eventually_crosses_cluster_boundaries(self, rng):
+        # Left to itself long enough, the background alone floods the
+        # graph one Decay hop at a time — the slow path Compete's
+        # analysis falls back on at coarse boundaries.
+        g, net, clustering = _setup(rng)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        knowledge[0] = 7
+        background = DecayBackground(net, clustering, knowledge)
+        run_steps(background, rng, 30_000)
+        informed = int((background.knowledge == 7).sum())
+        assert informed == net.n
+
+    def test_knowledge_monotone(self, rng):
+        g, net, clustering = _setup(rng)
+        knowledge = rng.integers(-1, 4, size=net.n).astype(np.int64)
+        before = knowledge.copy()
+        background = DecayBackground(net, clustering, knowledge)
+        run_steps(background, rng, 500)
+        assert (background.knowledge >= before).all()
+
+    def test_cluster_coins_are_coordinated(self, rng):
+        # All members of a cluster share the on/off coin per block: a
+        # structural property the protocol needs so schedules and
+        # background do not self-collide chaotically.
+        g, net, clustering = _setup(rng)
+        knowledge = np.zeros(net.n, dtype=np.int64)
+        background = DecayBackground(net, clustering, knowledge)
+        background.transmit_mask(rng)  # triggers coin refresh
+        coins = background._cluster_on
+        assert set(coins) == set(clustering.used_centers())

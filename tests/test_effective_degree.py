@@ -1,0 +1,153 @@
+"""Tests for EstimateEffectiveDegree (Algorithm 6 / Lemma 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core.effective_degree import (
+    EstimateEffectiveDegree,
+    estimate_effective_degree,
+    exact_effective_degree,
+)
+from repro.radio import RadioNetwork
+
+
+class TestExactOracle:
+    def test_exact_effective_degree_star(self):
+        g = graphs.star(6)
+        net = RadioNetwork(g)
+        p = np.full(6, 0.5)
+        active = np.ones(6, dtype=bool)
+        d = exact_effective_degree(net, p, active)
+        hub = net.index_of(0)
+        assert d[hub] == pytest.approx(0.5 * 5)
+        leaf = net.index_of(1)
+        assert d[leaf] == pytest.approx(0.5)
+
+    def test_inactive_neighbors_excluded(self):
+        g = graphs.star(6)
+        net = RadioNetwork(g)
+        p = np.full(6, 0.5)
+        active = np.ones(6, dtype=bool)
+        active[net.index_of(1)] = False
+        d = exact_effective_degree(net, p, active)
+        assert d[net.index_of(0)] == pytest.approx(0.5 * 4)
+
+
+class TestLemma11:
+    """High-degree nodes get High; low-degree nodes get Low (whp)."""
+
+    def test_high_effective_degree_returns_high(self, rng):
+        # Hub of a star with p = 1/2 leaves: d_t(hub) = 16 * 0.5 = 8 >= 1.
+        g = graphs.star(17)
+        net = RadioNetwork(g)
+        p = np.full(net.n, 0.5)
+        active = np.ones(net.n, dtype=bool)
+        result = estimate_effective_degree(net, p, active, rng, C=24)
+        assert result.high[net.index_of(0)]
+
+    def test_low_effective_degree_returns_low(self, rng):
+        # Leaves of a star where the hub has tiny desire level:
+        # d_t(leaf) = p_hub = 0.004 <= 0.01.
+        g = graphs.star(9)
+        net = RadioNetwork(g)
+        p = np.full(net.n, 0.004)
+        active = np.ones(net.n, dtype=bool)
+        result = estimate_effective_degree(net, p, active, rng, C=24)
+        for leaf in range(1, 9):
+            assert not result.high[net.index_of(leaf)]
+
+    def test_isolated_node_low(self, rng):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from([0, 1])
+        g.add_edge(0, 1)
+        g.add_node(2)
+        net = RadioNetwork(g)
+        p = np.full(3, 0.5)
+        active = np.ones(3, dtype=bool)
+        result = estimate_effective_degree(net, p, active, rng, C=16)
+        assert not result.high[net.index_of(2)]
+
+    def test_clique_all_high(self, rng):
+        # In a 32-clique at p = 1/2, every d_t(v) = 15.5 >= 1.
+        g = graphs.clique(32)
+        net = RadioNetwork(g)
+        p = np.full(32, 0.5)
+        active = np.ones(32, dtype=bool)
+        result = estimate_effective_degree(net, p, active, rng, C=24)
+        assert result.high.all()
+
+    def test_accuracy_against_oracle(self, rng):
+        # On a random UDG with mixed desire levels, the estimate must agree
+        # with the oracle outside Lemma 11's (0.01, 1) dead zone.
+        g = graphs.random_udg(n=60, side=3.0, rng=rng)
+        net = RadioNetwork(g)
+        p = rng.choice([0.001, 0.5], size=net.n, p=[0.5, 0.5])
+        active = np.ones(net.n, dtype=bool)
+        d = exact_effective_degree(net, p, active)
+        result = estimate_effective_degree(net, p, active, rng, C=24)
+        must_high = d >= 1.0
+        must_low = d <= 0.01
+        # Allow a small number of whp failures across 60 nodes.
+        high_errors = int((must_high & ~result.high).sum())
+        low_errors = int((must_low & result.high).sum())
+        assert high_errors <= 2
+        assert low_errors <= 2
+
+
+class TestProtocolMechanics:
+    def test_inactive_nodes_have_no_verdict(self, rng):
+        g = graphs.clique(8)
+        net = RadioNetwork(g)
+        p = np.full(8, 0.5)
+        active = np.ones(8, dtype=bool)
+        active[0] = False
+        result = estimate_effective_degree(net, p, active, rng, C=8)
+        assert not result.high[0]
+
+    def test_counts_shape(self, rng):
+        g = graphs.path(8)
+        net = RadioNetwork(g)
+        protocol = EstimateEffectiveDegree(
+            net, np.full(8, 0.5), np.ones(8, dtype=bool), C=4
+        )
+        assert protocol.counts.shape == (protocol.levels, 8)
+
+    def test_total_steps_formula(self):
+        g = graphs.path(16)
+        net = RadioNetwork(g)
+        protocol = EstimateEffectiveDegree(
+            net, np.full(16, 0.5), np.ones(16, dtype=bool), C=4
+        )
+        # levels = log2(16) + 1 = 5, steps/level = 4 * 4 = 16.
+        assert protocol.levels == 5
+        assert protocol.steps_per_level == 16
+        assert protocol.total_steps == 80
+
+    def test_rejects_invalid_p(self):
+        g = graphs.path(4)
+        net = RadioNetwork(g)
+        with pytest.raises(ValueError):
+            EstimateEffectiveDegree(
+                net, np.full(4, 1.5), np.ones(4, dtype=bool)
+            )
+
+    def test_rejects_invalid_C(self):
+        g = graphs.path(4)
+        net = RadioNetwork(g)
+        with pytest.raises(ValueError):
+            EstimateEffectiveDegree(
+                net, np.full(4, 0.5), np.ones(4, dtype=bool), C=0
+            )
+
+    def test_rejects_bad_shapes(self):
+        g = graphs.path(4)
+        net = RadioNetwork(g)
+        with pytest.raises(ValueError):
+            EstimateEffectiveDegree(
+                net, np.full(3, 0.5), np.ones(4, dtype=bool)
+            )

@@ -1,0 +1,72 @@
+"""Guard tests for the example scripts.
+
+Examples are run manually (some take minutes), but the test suite still
+guards against drift: each script must compile, import only things the
+package actually exports, and expose a ``main`` entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+EXPECTED = {
+    "quickstart.py",
+    "sensor_broadcast.py",
+    "adhoc_leader_election.py",
+    "mis_inspection.py",
+    "lower_bound_reduction.py",
+}
+
+
+def _example_files() -> list[pathlib.Path]:
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExampleScripts:
+    def test_expected_examples_present(self):
+        names = {p.name for p in _example_files()}
+        assert EXPECTED <= names
+
+    @pytest.mark.parametrize(
+        "path", _example_files(), ids=lambda p: p.name
+    )
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(
+            str(path), cfile=str(tmp_path / (path.name + "c")), doraise=True
+        )
+
+    @pytest.mark.parametrize(
+        "path", _example_files(), ids=lambda p: p.name
+    )
+    def test_has_main_and_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path.name} needs a docstring"
+        functions = {
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{path.name} needs a main()"
+
+    @pytest.mark.parametrize(
+        "path", _example_files(), ids=lambda p: p.name
+    )
+    def test_imports_resolve(self, path):
+        """Every ``from repro...`` import in an example must exist."""
+        import importlib
+
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                if not node.module.startswith("repro"):
+                    continue
+                module = importlib.import_module(node.module)
+                for alias in node.names:
+                    assert hasattr(module, alias.name), (
+                        f"{path.name}: {node.module}.{alias.name} missing"
+                    )

@@ -1,0 +1,310 @@
+"""Tests for the graph generators (UDG, quasi-UDG, unit ball, geometric
+radio, general families) — structural invariants of every class."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.graphs import EuclideanBox, FlatTorus, ManhattanBox
+
+
+class TestUDG:
+    def test_edge_rule_is_distance_threshold(self, rng):
+        points = rng.uniform(0, 3, size=(25, 2))
+        g = graphs.udg_from_points(points, radius=1.0)
+        for u, v in g.edges:
+            assert np.linalg.norm(points[u] - points[v]) <= 1.0
+        for u in range(25):
+            for v in range(u + 1, 25):
+                if np.linalg.norm(points[u] - points[v]) <= 1.0:
+                    assert g.has_edge(u, v)
+
+    def test_random_udg_connected(self, rng):
+        g = graphs.random_udg(n=60, side=4.0, rng=rng)
+        assert nx.is_connected(g)
+
+    def test_random_udg_unconnected_allowed(self, rng):
+        g = graphs.random_udg(n=10, side=50.0, rng=rng, connected=False)
+        assert g.number_of_nodes() == 10
+
+    def test_random_udg_too_sparse_raises(self, rng):
+        with pytest.raises(ValueError):
+            graphs.random_udg(n=5, side=100.0, rng=rng, max_attempts=3)
+
+    def test_positions_stored(self, rng):
+        g = graphs.random_udg(n=10, side=2.0, rng=rng)
+        assert all("pos" in g.nodes[v] for v in g.nodes)
+
+    def test_family_tag(self, rng):
+        assert graphs.random_udg(20, 2.0, rng).graph["family"] == "udg"
+
+    def test_grid_udg_shape(self, rng):
+        g = graphs.grid_udg(4, 6, rng)
+        assert g.number_of_nodes() == 24
+        assert nx.is_connected(g)
+
+    def test_grid_udg_diameter_scales_with_size(self, rng):
+        small = graphs.grid_udg(2, 5, rng)
+        large = graphs.grid_udg(2, 15, rng)
+        assert nx.diameter(large) > nx.diameter(small)
+
+    def test_clustered_udg_node_count(self, rng):
+        g = graphs.clustered_udg(3, 10, rng)
+        assert g.number_of_nodes() == 30
+
+    def test_granularity_positive(self, rng):
+        g = graphs.random_udg(n=30, side=3.0, rng=rng)
+        assert graphs.granularity(g) > 0
+
+    def test_granularity_needs_two_nodes(self, rng):
+        g = graphs.udg_from_points(np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            graphs.granularity(g)
+
+    def test_rejects_bad_point_shape(self):
+        with pytest.raises(ValueError):
+            graphs.udg_from_points(np.zeros((4, 3)))
+
+
+class TestQuasiUDG:
+    def test_inner_radius_edges_mandatory(self, rng):
+        points = rng.uniform(0, 3, size=(30, 2))
+        g = graphs.qudg_from_points(points, r=0.7, R=1.0, rng=rng)
+        for u in range(30):
+            for v in range(u + 1, 30):
+                d = np.linalg.norm(points[u] - points[v])
+                if d <= 0.7:
+                    assert g.has_edge(u, v)
+                if d > 1.0:
+                    assert not g.has_edge(u, v)
+
+    def test_bernoulli_rule_extremes(self, rng):
+        points = rng.uniform(0, 2.5, size=(30, 2))
+        g_none = graphs.qudg_from_points(
+            points, 0.5, 1.0, rng, annulus_rule=graphs.bernoulli_rule(0.0)
+        )
+        g_all = graphs.qudg_from_points(
+            points, 0.5, 1.0, rng, annulus_rule=graphs.bernoulli_rule(1.0)
+        )
+        assert g_none.number_of_edges() <= g_all.number_of_edges()
+
+    def test_p1_rule_equals_udg_with_outer_radius(self, rng):
+        points = rng.uniform(0, 2.5, size=(25, 2))
+        qudg = graphs.qudg_from_points(
+            points, 0.5, 1.0, rng, annulus_rule=graphs.bernoulli_rule(1.0)
+        )
+        udg = graphs.udg_from_points(points, radius=1.0)
+        assert set(qudg.edges) == set(udg.edges)
+
+    def test_threshold_rule_is_deterministic_udg(self, rng):
+        points = rng.uniform(0, 2.5, size=(25, 2))
+        rule = graphs.distance_threshold_rule(0.8)
+        qudg = graphs.qudg_from_points(points, 0.5, 1.0, rng, annulus_rule=rule)
+        udg = graphs.udg_from_points(points, radius=0.8)
+        # Edge sets agree up to boundary ties (d exactly 0.8), measure zero.
+        assert set(qudg.edges) == set(udg.edges)
+
+    def test_parity_rule_reproducible(self, rng):
+        points = rng.uniform(0, 2.5, size=(20, 2))
+        rule = graphs.parity_rule()
+        g1 = graphs.qudg_from_points(points, 0.5, 1.0, rng, annulus_rule=rule)
+        g2 = graphs.qudg_from_points(points, 0.5, 1.0, rng, annulus_rule=rule)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_random_qudg_connected(self, rng):
+        g = graphs.random_qudg(n=60, side=4.0, rng=rng)
+        assert nx.is_connected(g)
+
+    def test_invalid_radii_raise(self, rng):
+        with pytest.raises(ValueError):
+            graphs.qudg_from_points(np.zeros((3, 2)), r=1.0, R=0.5, rng=rng)
+
+    def test_bernoulli_rule_validates_probability(self):
+        with pytest.raises(ValueError):
+            graphs.bernoulli_rule(1.5)
+
+
+class TestUnitBall:
+    def test_euclidean_unit_ball_matches_udg(self, rng):
+        space = EuclideanBox(dim=2, side=3.0)
+        points = space.sample(25, rng)
+        ubg = graphs.unit_ball_graph(space, points)
+        udg = graphs.udg_from_points(points)
+        assert set(ubg.edges) == set(udg.edges)
+
+    def test_manhattan_differs_from_euclidean(self, rng):
+        # L1 balls are smaller than L2 would suggest at the corners; with
+        # enough points the edge sets differ.
+        euclid = EuclideanBox(dim=2, side=2.0)
+        manhattan = ManhattanBox(dim=2, side=2.0)
+        points = euclid.sample(40, rng)
+        g_l2 = graphs.unit_ball_graph(euclid, points)
+        g_l1 = graphs.unit_ball_graph(manhattan, points)
+        # L1 distance >= L2 distance, so L1 edges are a subset.
+        assert set(g_l1.edges) <= set(g_l2.edges)
+
+    def test_torus_wraps(self, rng):
+        space = FlatTorus(dim=2, side=10.0)
+        points = np.array([[0.1, 5.0], [9.9, 5.0]])  # close across the seam
+        g = graphs.unit_ball_graph(space, points)
+        assert g.has_edge(0, 1)
+
+    def test_3d_unit_ball(self, rng):
+        space = EuclideanBox(dim=3, side=2.0)
+        g = graphs.random_unit_ball_graph(space, 40, rng)
+        assert nx.is_connected(g)
+
+    def test_quasi_unit_ball_annulus_rules(self, rng):
+        space = EuclideanBox(dim=2, side=2.5)
+        points = space.sample(30, rng)
+        g0 = graphs.quasi_unit_ball_graph(
+            space, points, r=0.5, R=1.0, rng=rng, annulus_probability=0.0
+        )
+        g1 = graphs.quasi_unit_ball_graph(
+            space, points, r=0.5, R=1.0, rng=rng, annulus_probability=1.0
+        )
+        assert set(g0.edges) <= set(g1.edges)
+
+    def test_quasi_unit_ball_validates(self, rng):
+        space = EuclideanBox()
+        with pytest.raises(ValueError):
+            graphs.quasi_unit_ball_graph(
+                space, np.zeros((3, 2)), r=2.0, R=1.0, rng=rng
+            )
+
+
+class TestGeometricRadio:
+    def test_directed_edges_follow_ranges(self, rng):
+        points = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ranges = np.array([1.5, 0.5])
+        dg = graphs.directed_geometric_radio(points, ranges)
+        assert dg.has_edge(0, 1)  # 0 reaches 1
+        assert not dg.has_edge(1, 0)  # 1's range too short
+
+    def test_undirected_keeps_mutual_pairs_only(self, rng):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 0.9]])
+        ranges = np.array([1.5, 0.5, 1.0])
+        g = graphs.undirected_geometric_radio(points, ranges)
+        assert not g.has_edge(0, 1)  # asymmetric pair dropped
+        assert g.has_edge(0, 2)  # mutual
+
+    def test_undirected_is_subgraph_of_directed(self, rng):
+        points = rng.uniform(0, 3, size=(20, 2))
+        ranges = rng.uniform(0.8, 1.2, size=20)
+        g = graphs.undirected_geometric_radio(points, ranges)
+        dg = graphs.directed_geometric_radio(points, ranges)
+        for u, v in g.edges:
+            assert dg.has_edge(u, v) and dg.has_edge(v, u)
+
+    def test_random_geometric_radio_connected(self, rng):
+        g = graphs.random_geometric_radio(n=60, side=4.0, rng=rng)
+        assert nx.is_connected(g)
+
+    def test_equal_ranges_reduce_to_udg(self, rng):
+        points = rng.uniform(0, 3, size=(25, 2))
+        ranges = np.ones(25)
+        g = graphs.undirected_geometric_radio(points, ranges)
+        udg = graphs.udg_from_points(points, radius=1.0)
+        assert set(g.edges) == set(udg.edges)
+
+    def test_rejects_nonpositive_ranges(self):
+        with pytest.raises(ValueError):
+            graphs.undirected_geometric_radio(
+                np.zeros((2, 2)), np.array([1.0, 0.0])
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            graphs.undirected_geometric_radio(np.zeros((3, 2)), np.ones(2))
+
+
+class TestGeneralFamilies:
+    def test_path_parameters(self):
+        g = graphs.path(9)
+        assert nx.diameter(g) == 8
+        assert graphs.exact_independence_number(g) == 5
+
+    def test_cycle_parameters(self):
+        g = graphs.cycle(10)
+        assert nx.diameter(g) == 5
+        assert graphs.exact_independence_number(g) == 5
+
+    def test_clique_parameters(self):
+        g = graphs.clique(7)
+        assert nx.diameter(g) == 1
+        assert graphs.exact_independence_number(g) == 1
+
+    def test_star_parameters(self):
+        g = graphs.star(9)
+        assert nx.diameter(g) == 2
+        assert graphs.exact_independence_number(g) == 8
+
+    def test_connected_gnp_is_connected(self, rng):
+        g = graphs.connected_gnp(50, 0.15, rng)
+        assert nx.is_connected(g)
+
+    def test_connected_gnp_below_threshold_raises(self, rng):
+        with pytest.raises(ValueError):
+            graphs.connected_gnp(200, 0.001, rng, max_attempts=3)
+
+    def test_random_tree_is_tree(self, rng):
+        g = graphs.random_tree(30, rng)
+        assert nx.is_tree(g)
+
+    def test_clique_chain_alpha_equals_chain_length(self):
+        g = graphs.clique_chain(n_cliques=5, clique_size=6)
+        assert g.number_of_nodes() == 30
+        assert nx.is_connected(g)
+        assert graphs.exact_independence_number(g) == 5
+
+    def test_clique_chain_diameter_scales(self):
+        short = graphs.clique_chain(3, 4)
+        long = graphs.clique_chain(9, 4)
+        assert nx.diameter(long) > nx.diameter(short)
+
+    def test_caterpillar_alpha(self):
+        g = graphs.caterpillar(spine=6, legs_per_node=3)
+        assert g.number_of_nodes() == 6 + 18
+        assert graphs.exact_independence_number(g) == 18
+
+    def test_barbell_and_lollipop_connected(self):
+        assert nx.is_connected(graphs.barbell(5, 4))
+        assert nx.is_connected(graphs.lollipop(5, 6))
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            graphs.path(0)
+        with pytest.raises(ValueError):
+            graphs.cycle(2)
+        with pytest.raises(ValueError):
+            graphs.star(1)
+        with pytest.raises(ValueError):
+            graphs.clique_chain(0, 3)
+
+    def test_all_families_tagged(self, rng):
+        for g, family in [
+            (graphs.path(4), "path"),
+            (graphs.cycle(4), "cycle"),
+            (graphs.clique(4), "clique"),
+            (graphs.star(4), "star"),
+            (graphs.random_tree(8, rng), "tree"),
+            (graphs.clique_chain(2, 3), "clique-chain"),
+            (graphs.barbell(3, 2), "barbell"),
+            (graphs.lollipop(3, 2), "lollipop"),
+            (graphs.caterpillar(3, 1), "caterpillar"),
+        ]:
+            assert g.graph["family"] == family
+
+    def test_integer_labels_zero_based(self, rng):
+        for g in [
+            graphs.path(5),
+            graphs.clique_chain(2, 4),
+            graphs.caterpillar(3, 2),
+            graphs.random_tree(7, rng),
+        ]:
+            assert set(g.nodes) == set(range(g.number_of_nodes()))

@@ -1,0 +1,144 @@
+"""Tests for structural properties: diameter, growth-boundedness,
+metric-space doubling, graph summaries."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import graphs
+from repro.graphs import (
+    EuclideanBox,
+    FlatTorus,
+    ball,
+    ball_independence_profile,
+    diameter,
+    estimate_doubling_constant,
+    growth_exponent,
+    log_base_d,
+    summarize,
+)
+
+
+class TestDiameter:
+    def test_known_diameters(self):
+        assert diameter(graphs.path(6)) == 5
+        assert diameter(graphs.clique(6)) == 1
+        assert diameter(graphs.star(6)) == 2
+
+    def test_single_node(self):
+        g = nx.Graph()
+        g.add_node(0)
+        assert diameter(g) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            diameter(nx.Graph())
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            diameter(nx.Graph([(0, 1), (2, 3)]))
+
+
+class TestBall:
+    def test_ball_on_path(self):
+        g = graphs.path(7)
+        assert ball(g, 3, 0) == {3}
+        assert ball(g, 3, 1) == {2, 3, 4}
+        assert ball(g, 3, 10) == set(range(7))
+
+    def test_ball_radius_zero_everywhere(self):
+        g = graphs.clique(5)
+        for v in g.nodes:
+            assert ball(g, v, 0) == {v}
+
+
+class TestGrowthBoundedness:
+    def test_udg_profile_is_polynomial(self, rng):
+        g = graphs.random_udg(n=150, side=7.0, rng=rng)
+        profile = ball_independence_profile(g, [1, 2, 4], rng, n_centers=6)
+        exponent = growth_exponent(profile)
+        # UDGs are growth-bounded with exponent <= 2 (disk packing);
+        # sampling noise allows a little slack.
+        assert exponent <= 2.6
+
+    def test_profile_monotone_radii(self, rng):
+        g = graphs.random_udg(n=80, side=5.0, rng=rng)
+        profile = ball_independence_profile(g, [1, 2, 3], rng, n_centers=5)
+        assert profile[1] <= profile[2] <= profile[3]
+
+    def test_star_profile_explodes_at_radius_one(self, rng):
+        # A star is NOT growth-bounded as a family: radius 1 already
+        # contains an (n-1)-size independent set.
+        g = graphs.star(40)
+        profile = ball_independence_profile(g, [1], rng, n_centers=40)
+        assert profile[1] == 39
+
+    def test_growth_exponent_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent({1: 3})
+
+    def test_empty_graph_profile(self, rng):
+        assert ball_independence_profile(nx.Graph(), [1, 2], rng) == {1: 0, 2: 0}
+
+
+class TestDoublingConstant:
+    def test_euclidean_plane_doubling_small(self, rng):
+        b = estimate_doubling_constant(
+            EuclideanBox(dim=2, side=1.0), rng, n_points=150, n_trials=8
+        )
+        # The plane's doubling constant is 7; the empirical estimate on a
+        # finite sample must be bounded by a small constant.
+        assert 1 <= b <= 16
+
+    def test_torus_doubling_small(self, rng):
+        b = estimate_doubling_constant(
+            FlatTorus(dim=2, side=1.0), rng, n_points=120, n_trials=6
+        )
+        assert 1 <= b <= 16
+
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            EuclideanBox(dim=0)
+        with pytest.raises(ValueError):
+            FlatTorus(side=-1.0)
+
+
+class TestLogBaseD:
+    def test_basic_value(self):
+        # log_16(256) = 2
+        assert log_base_d(256, 16) == pytest.approx(2.0)
+
+    def test_clamped_below_at_one(self):
+        assert log_base_d(2, 1000) == 1.0
+        assert log_base_d(1, 50) == 1.0
+
+    def test_single_hop_graphs(self):
+        assert log_base_d(100, 1) == 1.0
+
+    def test_alpha_equals_n_reduces_to_cd21(self):
+        # With alpha = n the parametrization reproduces log_D n exactly.
+        import math
+
+        n, d = 1000, 10
+        assert log_base_d(n, d) == pytest.approx(math.log(n) / math.log(d))
+
+
+class TestSummarize:
+    def test_summary_fields(self, rng):
+        g = graphs.random_udg(n=40, side=3.0, rng=rng)
+        s = summarize(g)
+        assert s.n == 40
+        assert s.m == g.number_of_edges()
+        assert s.D == diameter(g)
+        assert s.alpha == graphs.exact_independence_number(g)
+        assert s.family == "udg"
+
+    def test_summary_accepts_precomputed_alpha(self):
+        s = summarize(graphs.path(6), alpha=3)
+        assert s.alpha == 3
+
+    def test_row_renders(self):
+        s = summarize(graphs.clique(5))
+        row = s.row()
+        assert "clique" in row and "D=1" in row

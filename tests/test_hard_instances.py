@@ -1,0 +1,110 @@
+"""Tests for the adversarial instance generators, and that the paper's
+algorithms survive them."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import baselines, graphs
+from repro.core import MISConfig, broadcast, compute_mis
+from repro.graphs import (
+    exact_independence_number,
+    is_maximal_independent_set,
+    layered_barrier,
+    star_of_cliques,
+    two_cliques_bottleneck,
+)
+from repro.radio import RadioNetwork
+
+
+class TestLayeredBarrier:
+    def test_connected_with_source_and_sink(self, rng):
+        g = layered_barrier(4, 6, rng)
+        assert nx.is_connected(g)
+        assert 0 in g
+        assert 1 + 4 * 6 in g  # the sink
+
+    def test_node_count(self, rng):
+        g = layered_barrier(3, 5, rng)
+        assert g.number_of_nodes() == 1 + 3 * 5 + 1
+
+    def test_diameter_scales_with_layers(self, rng):
+        short = layered_barrier(2, 5, rng)
+        long = layered_barrier(10, 5, rng)
+        assert nx.diameter(long) > nx.diameter(short)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            layered_barrier(0, 5, rng)
+        with pytest.raises(ValueError):
+            layered_barrier(3, 5, rng, active_fraction=0.0)
+
+    def test_broadcast_crosses_the_barrier(self, rng):
+        g = layered_barrier(4, 6, rng)
+        g = nx.convert_node_labels_to_integers(g)
+        result = broadcast(g, 0, rng)
+        assert result.delivered
+
+    def test_bgi_crosses_the_barrier(self, rng):
+        g = layered_barrier(4, 6, rng)
+        net = RadioNetwork(g)
+        assert baselines.bgi_broadcast(net, 0, rng).delivered
+
+
+class TestTwoCliques:
+    def test_structure(self):
+        g = two_cliques_bottleneck(10)
+        assert g.number_of_nodes() == 20
+        assert nx.diameter(g) == 3
+        assert exact_independence_number(g) == 2
+
+    def test_broadcast_through_bottleneck(self, rng):
+        g = two_cliques_bottleneck(15)
+        result = broadcast(g, 0, rng)
+        assert result.delivered
+
+    def test_mis_on_bottleneck(self, rng):
+        g = two_cliques_bottleneck(12)
+        net = RadioNetwork(g)
+        result = compute_mis(net, rng, MISConfig(oracle_degree=True))
+        assert is_maximal_independent_set(g, result.mis)
+        assert result.size <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_cliques_bottleneck(1)
+
+
+class TestStarOfCliques:
+    def test_structure(self):
+        g = star_of_cliques(5, 8)
+        assert g.number_of_nodes() == 1 + 5 * 8
+        assert nx.is_connected(g)
+        assert nx.diameter(g) == 4
+
+    def test_alpha_counts_cliques_plus_hub(self):
+        # One non-delegate per clique plus the hub (adjacent only to
+        # delegates) is a maximum independent set.
+        assert exact_independence_number(star_of_cliques(6, 5)) == 7
+
+    def test_broadcast_from_hub(self, rng):
+        g = star_of_cliques(4, 8)
+        result = broadcast(g, 0, rng)
+        assert result.delivered
+
+    def test_broadcast_from_deep_member(self, rng):
+        g = star_of_cliques(4, 8)
+        result = broadcast(g, g.number_of_nodes() - 1, rng)
+        assert result.delivered
+
+    def test_mis_valid(self, rng):
+        g = star_of_cliques(5, 6)
+        net = RadioNetwork(g)
+        result = compute_mis(net, rng, MISConfig(oracle_degree=True))
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            star_of_cliques(0, 5)

@@ -1,0 +1,142 @@
+"""Tests for independence-number computation and MIS validity checks."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.graphs import (
+    alpha_estimate,
+    exact_independence_number,
+    greedy_independent_set,
+    independence_number_bounds,
+    is_independent_set,
+    is_maximal_independent_set,
+)
+
+
+class TestExactAlpha:
+    def test_known_values(self):
+        assert exact_independence_number(graphs.clique(5)) == 1
+        assert exact_independence_number(graphs.star(10)) == 9
+        assert exact_independence_number(graphs.path(7)) == 4
+        assert exact_independence_number(graphs.cycle(8)) == 4
+        assert exact_independence_number(graphs.cycle(9)) == 4
+
+    def test_empty_graph(self):
+        assert exact_independence_number(nx.Graph()) == 0
+
+    def test_edgeless_graph(self):
+        g = nx.empty_graph(6)
+        assert exact_independence_number(g) == 6
+
+    def test_disconnected_sums_components(self):
+        g = nx.disjoint_union(graphs.clique(4), graphs.path(5))
+        assert exact_independence_number(g) == 1 + 3
+
+    def test_petersen_graph(self):
+        # alpha(Petersen) = 4, a classic.
+        assert exact_independence_number(nx.petersen_graph()) == 4
+
+    def test_complete_bipartite(self):
+        assert exact_independence_number(nx.complete_bipartite_graph(3, 7)) == 7
+
+    def test_max_nodes_guard(self):
+        g = nx.empty_graph(50)
+        with pytest.raises(ValueError):
+            exact_independence_number(g, max_nodes=10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=25), st.integers(0, 2**31 - 1))
+    def test_matches_bruteforce_on_random_graphs(self, n, seed):
+        g = nx.gnp_random_graph(n, 0.3, seed=seed)
+        ours = exact_independence_number(g)
+        # networkx complement + max clique as an independent oracle.
+        complement = nx.complement(g)
+        clique, _ = nx.max_weight_clique(complement, weight=None)
+        assert ours == len(clique)
+
+
+class TestGreedy:
+    def test_greedy_is_maximal(self, rng):
+        g = graphs.connected_gnp(40, 0.15, rng)
+        for strategy in ("min-degree", "random"):
+            result = greedy_independent_set(g, rng, strategy=strategy)
+            assert is_maximal_independent_set(g, result)
+
+    def test_greedy_on_empty_graph(self):
+        assert greedy_independent_set(nx.Graph()) == set()
+
+    def test_random_strategy_needs_rng(self):
+        with pytest.raises(ValueError):
+            greedy_independent_set(graphs.path(4), strategy="random")
+
+    def test_unknown_strategy(self, rng):
+        with pytest.raises(ValueError):
+            greedy_independent_set(graphs.path(4), rng, strategy="banana")
+
+    def test_min_degree_optimal_on_star(self):
+        # Min-degree greedy takes all the leaves of a star.
+        assert len(greedy_independent_set(graphs.star(12))) == 11
+
+
+class TestBounds:
+    def test_bounds_sandwich_exact(self, rng):
+        for _ in range(5):
+            g = graphs.connected_gnp(30, 0.2, rng)
+            lower, upper = independence_number_bounds(g, rng)
+            exact = exact_independence_number(g)
+            assert lower <= exact <= upper
+
+    def test_bounds_tight_on_clique(self, rng):
+        lower, upper = independence_number_bounds(graphs.clique(8), rng)
+        assert lower == upper == 1
+
+    def test_bounds_tight_on_star(self, rng):
+        lower, upper = independence_number_bounds(graphs.star(10), rng)
+        assert lower == upper == 9
+
+    def test_bounds_on_empty(self, rng):
+        assert independence_number_bounds(nx.Graph(), rng) == (0, 0)
+
+    def test_alpha_estimate_is_positive_and_feasible(self, rng):
+        g = graphs.random_udg(50, 4.0, rng)
+        est = alpha_estimate(g, rng)
+        assert 1 <= est <= exact_independence_number(g)
+
+
+class TestValidityPredicates:
+    def test_independent_set_detection(self):
+        g = graphs.path(5)
+        assert is_independent_set(g, {0, 2, 4})
+        assert not is_independent_set(g, {0, 1})
+        assert is_independent_set(g, set())
+
+    def test_maximality_detection(self):
+        g = graphs.path(5)
+        assert is_maximal_independent_set(g, {0, 2, 4})
+        assert is_maximal_independent_set(g, {1, 3})
+        assert not is_maximal_independent_set(g, {0})  # 2, 3, 4 undominated
+
+    def test_non_independent_cannot_be_maximal(self):
+        g = graphs.path(4)
+        assert not is_maximal_independent_set(g, {0, 1})
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=30), st.integers(0, 2**31 - 1))
+    def test_greedy_always_valid_mis(self, n, seed):
+        g = nx.gnp_random_graph(n, 0.25, seed=seed)
+        mis = greedy_independent_set(g)
+        assert is_maximal_independent_set(g, mis)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=2, max_value=24), st.integers(0, 2**31 - 1))
+    def test_any_mis_lower_bounds_alpha(self, n, seed):
+        g = nx.gnp_random_graph(n, 0.3, seed=seed)
+        rng = np.random.default_rng(seed)
+        mis = greedy_independent_set(g, rng, strategy="random")
+        assert len(mis) <= exact_independence_number(g)

@@ -1,0 +1,183 @@
+"""Tests for Radio MIS (Algorithm 7 / Theorem 14) — correctness across
+graph classes, golden-round instrumentation, and step accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import MISConfig, compute_mis, mis_round_budget
+from repro.graphs import is_independent_set, is_maximal_independent_set
+from repro.radio import RadioNetwork
+
+FAST = MISConfig(oracle_degree=True)
+FULL = MISConfig(oracle_degree=False, eed_C=8)
+
+
+def _run(graph, rng, config=FAST):
+    net = RadioNetwork(graph)
+    return compute_mis(net, rng, config), net
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda rng: graphs.clique(20),
+            lambda rng: graphs.path(25),
+            lambda rng: graphs.star(20),
+            lambda rng: graphs.cycle(16),
+            lambda rng: graphs.random_udg(50, 3.5, rng),
+            lambda rng: graphs.connected_gnp(40, 0.15, rng),
+            lambda rng: graphs.random_tree(35, rng),
+            lambda rng: graphs.clique_chain(4, 6),
+        ],
+        ids=[
+            "clique", "path", "star", "cycle", "udg", "gnp", "tree", "chain",
+        ],
+    )
+    def test_outputs_maximal_independent_set(self, maker, rng):
+        g = maker(rng)
+        result, _ = _run(g, rng)
+        assert result.all_removed
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_full_protocol_on_udg(self, rng):
+        g = graphs.random_udg(45, 3.0, rng)
+        result, _ = _run(g, rng, FULL)
+        assert result.all_removed
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_full_protocol_on_clique(self, rng):
+        g = graphs.clique(24)
+        result, _ = _run(g, rng, FULL)
+        assert result.all_removed
+        # Clique MIS has exactly one node (and equals leader election).
+        assert result.size == 1
+
+    def test_disconnected_graph_supported(self, rng):
+        import networkx as nx
+
+        g = nx.disjoint_union(graphs.clique(8), graphs.path(9))
+        result, _ = _run(g, rng)
+        assert is_maximal_independent_set(g, result.mis)
+
+    def test_single_node(self, rng):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        result, _ = _run(g, rng)
+        assert result.mis == {0}
+
+    def test_edgeless_graph_takes_everyone(self, rng):
+        import networkx as nx
+
+        g = nx.empty_graph(12)
+        result, _ = _run(g, rng)
+        assert result.mis == set(range(12))
+
+    def test_independence_holds_even_midrun(self, rng):
+        # Even if the budget is too small for maximality, the output set
+        # must be independent (independence never depends on completion).
+        g = graphs.random_udg(60, 4.0, rng)
+        tight = MISConfig(oracle_degree=True, round_factor=0.5)
+        result, _ = _run(g, rng, tight)
+        assert is_independent_set(g, result.mis)
+
+
+class TestRoundAndStepAccounting:
+    def test_round_budget_formula(self):
+        assert mis_round_budget(2, 10.0) == 10
+        assert mis_round_budget(1024, 13.0) == 130
+
+    def test_rounds_within_budget(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result, _ = _run(g, rng)
+        assert result.rounds_used <= mis_round_budget(40, FAST.round_factor)
+
+    def test_steps_counted_on_network(self, rng):
+        g = graphs.path(16)
+        result, net = _run(g, rng)
+        assert result.steps_used == net.steps_elapsed
+
+    def test_full_mode_steps_dominated_by_eed(self, rng):
+        # The O(log^2 n) EED blocks dominate each round's step cost.
+        g = graphs.random_udg(40, 3.0, rng)
+        result, net = _run(g, rng, FULL)
+        eed_steps = net.trace.steps_in_phase("mis/eed")
+        assert eed_steps > net.trace.steps_in_phase("mis/decay-marked")
+
+    def test_oracle_mode_cheaper_than_full(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        fast, _ = _run(g, rng, FAST)
+        full, _ = _run(g, rng, FULL)
+        assert fast.steps_used < full.steps_used
+
+    def test_steps_scale_polylog(self, rng):
+        # Steps / log^3 n should not grow with n (Theorem 14's shape).
+        ratios = []
+        for n, side in [(30, 2.5), (120, 5.0)]:
+            g = graphs.random_udg(n, side, rng)
+            result, _ = _run(g, rng, FULL)
+            ratios.append(result.steps_used / math.log2(n) ** 3)
+        assert ratios[1] < ratios[0] * 4  # far from e.g. linear growth
+
+
+class TestHistoryAndGoldenRounds:
+    def test_history_records_every_round(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result, _ = _run(g, rng)
+        assert len(result.history) == result.rounds_used
+        assert all(r.active_before >= 0 for r in result.history)
+
+    def test_joined_totals_match_mis_size(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        result, _ = _run(g, rng)
+        assert sum(r.joined for r in result.history) == result.size
+
+    def test_active_is_nonincreasing(self, rng):
+        g = graphs.connected_gnp(40, 0.2, rng)
+        result, _ = _run(g, rng)
+        counts = [r.active_before for r in result.history]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_golden_rounds_recorded(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        result, _ = _run(g, rng)
+        # Lemma 12: every node is removed or sees golden rounds; in a run
+        # that removed everyone, at least some golden rounds must occur.
+        total_golden = result.golden_type1.sum() + result.golden_type2.sum()
+        assert total_golden > 0
+
+    def test_golden_tracking_can_be_disabled(self, rng):
+        g = graphs.path(16)
+        config = MISConfig(oracle_degree=True, record_golden=False)
+        result, _ = _run(g, rng, config)
+        assert result.golden_type1.sum() == 0
+        assert result.golden_type2.sum() == 0
+
+    def test_stop_when_done_disabled_runs_full_budget(self, rng):
+        g = graphs.path(8)
+        config = MISConfig(oracle_degree=True, stop_when_done=False)
+        result, _ = _run(g, rng, config)
+        assert result.rounds_used == mis_round_budget(8, config.round_factor)
+
+
+class TestDeterminismAndSeeding:
+    def test_same_seed_same_output(self):
+        g = graphs.clique_chain(3, 5)
+        r1, _ = _run(g, np.random.default_rng(42))
+        r2, _ = _run(g, np.random.default_rng(42))
+        assert r1.mis == r2.mis
+
+    def test_different_seeds_can_differ(self):
+        g = graphs.clique(30)
+        outcomes = {
+            frozenset(_run(g, np.random.default_rng(seed))[0].mis)
+            for seed in range(6)
+        }
+        assert len(outcomes) > 1

@@ -1,0 +1,184 @@
+"""Tests for MPX clustering: Partition(beta, centers) and its invariants."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import graphs
+from repro.core import beta_of_j, coarse_beta, draw_shifts, j_range, partition
+from repro.graphs import greedy_independent_set
+
+
+class TestPartitionBasics:
+    def test_every_node_assigned_to_a_center(self, rng):
+        g = graphs.random_udg(50, 3.5, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.3, mis, rng)
+        assert set(clustering.assignment.tolist()) <= set(mis)
+        assert (clustering.distance_to_center >= 0).all()
+
+    def test_assignment_minimizes_shifted_distance(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        mis = sorted(greedy_independent_set(g))
+        shifts = draw_shifts(mis, 0.3, rng)
+        clustering = partition(g, 0.3, mis, rng, shifts=shifts)
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for v in g.nodes:
+            chosen = int(clustering.assignment[v])
+            best = min(dist[v][c] - shifts[c] for c in mis)
+            achieved = dist[v][chosen] - shifts[chosen]
+            assert achieved == pytest.approx(best)
+
+    def test_distance_to_center_is_true_hop_distance(self, rng):
+        g = graphs.connected_gnp(35, 0.15, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.25, mis, rng)
+        dist = dict(nx.all_pairs_shortest_path_length(g))
+        for v in g.nodes:
+            c = int(clustering.assignment[v])
+            assert clustering.distance_to_center[v] == dist[v][c]
+
+    def test_clusters_are_connected(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.25, mis, rng)
+        clustering.validate(g, None)
+
+    def test_used_centers_own_themselves(self, rng):
+        g = graphs.connected_gnp(40, 0.12, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.3, mis, rng)
+        for c in clustering.used_centers():
+            assert clustering.assignment[c] == c
+            assert clustering.distance_to_center[c] == 0
+
+    def test_all_nodes_as_centers_supported(self, rng):
+        # The [7]/[18] baseline mode.
+        g = graphs.random_udg(40, 3.0, rng)
+        clustering = partition(g, 0.3, list(g.nodes), rng)
+        assert clustering.n == 40
+
+    def test_single_center_captures_everything(self, rng):
+        g = graphs.path(12)
+        clustering = partition(g, 0.5, [0], rng)
+        assert (clustering.assignment == 0).all()
+        assert clustering.radius(0) == 11
+
+    def test_requires_centers(self, rng):
+        with pytest.raises(ValueError):
+            partition(graphs.path(4), 0.5, [], rng)
+
+    def test_requires_positive_beta(self, rng):
+        with pytest.raises(ValueError):
+            partition(graphs.path(4), 0.0, [0], rng)
+
+    def test_requires_integer_labels(self, rng):
+        g = nx.Graph([("a", "b")])
+        with pytest.raises(ValueError):
+            partition(g, 0.5, ["a"], rng)
+
+    def test_unreachable_nodes_raise(self, rng):
+        g = nx.Graph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            partition(g, 0.5, [0], rng)
+
+    def test_missing_shift_raises(self, rng):
+        g = graphs.path(4)
+        with pytest.raises(ValueError):
+            partition(g, 0.5, [0, 3], rng, shifts={0: 1.0})
+
+
+class TestClusterSizes:
+    def test_smaller_beta_means_bigger_clusters(self, rng):
+        # Mean shift is 1/beta: smaller beta -> larger shifts -> fewer,
+        # larger clusters (statistically).
+        g = graphs.grid_udg(8, 8, rng)
+        mis = sorted(greedy_independent_set(g))
+        sizes = {}
+        for beta in (1.0, 0.05):
+            counts = []
+            for _ in range(8):
+                clustering = partition(g, beta, mis, rng)
+                counts.append(len(clustering.used_centers()))
+            sizes[beta] = np.mean(counts)
+        assert sizes[0.05] <= sizes[1.0]
+
+    def test_cluster_diameter_order_log_over_beta(self, rng):
+        # Whp the max cluster radius is O(log n / beta); check a generous
+        # multiple as a sanity ceiling.
+        g = graphs.grid_udg(10, 10, rng)
+        mis = sorted(greedy_independent_set(g))
+        beta = 0.5
+        clustering = partition(g, beta, mis, rng)
+        ceiling = 6 * math.log(g.number_of_nodes()) / beta
+        assert clustering.max_radius() <= ceiling
+
+    def test_mean_distance_below_max_radius(self, rng):
+        g = graphs.random_udg(60, 4.0, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.25, mis, rng)
+        assert clustering.mean_distance() <= clustering.max_radius()
+
+
+class TestShifts:
+    def test_draw_shifts_exponential_mean(self, rng):
+        shifts = draw_shifts(range(4000), 0.5, rng)
+        assert np.mean(list(shifts.values())) == pytest.approx(2.0, rel=0.15)
+
+    def test_draw_shifts_positive(self, rng):
+        shifts = draw_shifts(range(100), 2.0, rng)
+        assert all(s >= 0 for s in shifts.values())
+
+    def test_draw_shifts_rejects_bad_beta(self, rng):
+        with pytest.raises(ValueError):
+            draw_shifts([0], -1.0, rng)
+
+
+class TestParameterHelpers:
+    def test_beta_of_j(self):
+        assert beta_of_j(0) == 1.0
+        assert beta_of_j(3) == 0.125
+        with pytest.raises(ValueError):
+            beta_of_j(-1)
+
+    def test_coarse_beta(self):
+        assert coarse_beta(100) == pytest.approx(0.1)
+        assert coarse_beta(0) == pytest.approx(2**-0.5)
+
+    def test_j_range_nonempty_and_positive(self):
+        for d in (1, 2, 5, 20, 100, 10000):
+            js = j_range(d)
+            assert js
+            assert all(j >= 1 for j in js)
+            assert js == sorted(js)
+
+    def test_j_range_grows_with_diameter(self):
+        assert max(j_range(10**6)) >= max(j_range(4))
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_j_range_betas_at_most_half(self, d):
+        assert all(beta_of_j(j) <= 0.5 for j in j_range(d))
+
+
+class TestClusteringAccessors:
+    def test_members_partition_the_nodes(self, rng):
+        g = graphs.random_udg(40, 3.0, rng)
+        mis = sorted(greedy_independent_set(g))
+        clustering = partition(g, 0.3, mis, rng)
+        members = clustering.members()
+        seen = sorted(v for vs in members.values() for v in vs)
+        assert seen == list(range(40))
+
+    def test_radius_of_unused_center_raises(self, rng):
+        g = graphs.path(10)
+        clustering = partition(g, 0.5, [0, 9], rng)
+        unused = [c for c in (0, 9) if c not in clustering.used_centers()]
+        for c in unused:
+            with pytest.raises(ValueError):
+                clustering.radius(c)

@@ -1,0 +1,93 @@
+"""Property-based tests of MPX clustering invariants on random graphs.
+
+Hypothesis generates connected random graphs and center sets; every
+Partition draw must satisfy the structural invariants the paper's
+analysis rests on: total assignment, true hop distances, shifted-
+distance optimality, and cluster connectivity.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import draw_shifts, partition
+from repro.graphs import greedy_independent_set
+
+
+@st.composite
+def connected_graph_and_centers(draw):
+    """A connected G(n, p) plus a center set (MIS or random nonempty)."""
+    n = draw(st.integers(min_value=2, max_value=28))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    p = draw(st.floats(min_value=0.15, max_value=0.7))
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    # Force connectivity with a random-ish spanning path.
+    order = list(graph.nodes)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(order)
+    for a, b in zip(order, order[1:]):
+        graph.add_edge(a, b)
+    use_mis = draw(st.booleans())
+    if use_mis:
+        centers = sorted(greedy_independent_set(graph))
+    else:
+        k = draw(st.integers(min_value=1, max_value=n))
+        centers = sorted(
+            int(v) for v in rng.choice(n, size=k, replace=False)
+        )
+    beta = draw(st.floats(min_value=0.05, max_value=2.0))
+    return graph, centers, beta, seed
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_and_centers())
+def test_every_node_assigned_to_a_center(params):
+    graph, centers, beta, seed = params
+    clustering = partition(graph, beta, centers, np.random.default_rng(seed))
+    assert set(clustering.assignment.tolist()) <= set(centers)
+    assert (clustering.distance_to_center >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_and_centers())
+def test_distances_are_true_hop_distances(params):
+    graph, centers, beta, seed = params
+    clustering = partition(graph, beta, centers, np.random.default_rng(seed))
+    dist = dict(nx.all_pairs_shortest_path_length(graph))
+    for v in graph.nodes:
+        c = int(clustering.assignment[v])
+        assert clustering.distance_to_center[v] == dist[v][c]
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_and_centers())
+def test_assignment_is_shifted_distance_optimal(params):
+    graph, centers, beta, seed = params
+    rng = np.random.default_rng(seed)
+    shifts = draw_shifts(centers, beta, rng)
+    clustering = partition(graph, beta, centers, rng, shifts=shifts)
+    dist = dict(nx.all_pairs_shortest_path_length(graph))
+    for v in graph.nodes:
+        chosen = int(clustering.assignment[v])
+        achieved = dist[v][chosen] - shifts[chosen]
+        best = min(dist[v][c] - shifts[c] for c in centers)
+        assert achieved <= best + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graph_and_centers())
+def test_clusters_induce_connected_subgraphs(params):
+    graph, centers, beta, seed = params
+    clustering = partition(graph, beta, centers, np.random.default_rng(seed))
+    clustering.validate(graph, None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graph_and_centers())
+def test_mean_distance_bounded_by_eccentricity(params):
+    graph, centers, beta, seed = params
+    clustering = partition(graph, beta, centers, np.random.default_rng(seed))
+    assert clustering.mean_distance() <= nx.diameter(graph)

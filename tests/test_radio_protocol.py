@@ -1,0 +1,130 @@
+"""Tests for the protocol driver, multiplexer, and budget handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    BudgetExceededError,
+    NO_SENDER,
+    Protocol,
+    ProtocolError,
+    RadioNetwork,
+    SilentProtocol,
+    TimeMultiplexer,
+    run_protocol,
+    run_steps,
+)
+
+
+class CountdownProtocol(Protocol):
+    """Finishes after a fixed number of steps; node 0 transmits always."""
+
+    def __init__(self, network, steps):
+        super().__init__(network)
+        self.remaining = steps
+        self.observed_steps = 0
+
+    def transmit_mask(self, rng):
+        mask = np.zeros(self.n, dtype=bool)
+        mask[0] = True
+        return mask
+
+    def observe(self, hear_from):
+        self.observed_steps += 1
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self._finished = True
+
+    def result(self):
+        return self.observed_steps
+
+
+class TestRunProtocol:
+    def test_runs_to_completion(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=7)
+        assert run_protocol(protocol, rng) == 7
+
+    def test_budget_exceeded_raises(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=100)
+        with pytest.raises(BudgetExceededError):
+            run_protocol(protocol, rng, max_steps=10)
+
+    def test_budget_exactly_sufficient(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=10)
+        assert run_protocol(protocol, rng, max_steps=10) == 10
+
+    def test_network_steps_advance(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=4)
+        run_protocol(protocol, rng)
+        assert net_path5.steps_elapsed == 4
+
+    def test_default_result_raises(self, net_path5):
+        assert isinstance(SilentProtocol(net_path5), Protocol)
+        with pytest.raises(ProtocolError):
+            SilentProtocol(net_path5).result()
+
+
+class TestRunSteps:
+    def test_run_steps_partial(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=10)
+        run_steps(protocol, rng, 3)
+        assert protocol.observed_steps == 3
+        assert not protocol.finished
+
+    def test_run_steps_stops_at_finish(self, net_path5, rng):
+        protocol = CountdownProtocol(net_path5, steps=2)
+        run_steps(protocol, rng, 100)
+        assert protocol.observed_steps == 2
+        assert net_path5.steps_elapsed == 2
+
+
+class TestTimeMultiplexer:
+    def test_main_gets_even_steps(self, net_path5, rng):
+        main = CountdownProtocol(net_path5, steps=5)
+        background = CountdownProtocol(net_path5, steps=1000)
+        muxed = TimeMultiplexer(net_path5, main, background)
+        run_protocol(muxed, rng, max_steps=100)
+        assert main.finished
+        # Main saw 5 steps; background saw 4 or 5 (interleaved).
+        assert main.observed_steps == 5
+        assert background.observed_steps in (4, 5)
+
+    def test_multiplexer_result_is_mains(self, net_path5, rng):
+        main = CountdownProtocol(net_path5, steps=3)
+        muxed = TimeMultiplexer(net_path5, main, SilentProtocol(net_path5))
+        assert run_protocol(muxed, rng, max_steps=100) == 3
+
+    def test_multiplexer_doubles_step_count(self, net_path5, rng):
+        main = CountdownProtocol(net_path5, steps=5)
+        muxed = TimeMultiplexer(net_path5, main, SilentProtocol(net_path5))
+        run_protocol(muxed, rng, max_steps=100)
+        # 5 main steps at even slots -> 9 or 10 total network steps.
+        assert net_path5.steps_elapsed in (9, 10)
+
+    def test_rejects_foreign_network(self, net_path5, net_clique6):
+        main = CountdownProtocol(net_path5, steps=1)
+        foreign = CountdownProtocol(net_clique6, steps=1)
+        with pytest.raises(ProtocolError):
+            TimeMultiplexer(net_path5, main, foreign)
+
+    def test_finished_background_stays_silent(self, net_path5, rng):
+        main = CountdownProtocol(net_path5, steps=10)
+        background = CountdownProtocol(net_path5, steps=1)
+        muxed = TimeMultiplexer(net_path5, main, background)
+        run_protocol(muxed, rng, max_steps=100)
+        assert background.observed_steps == 1
+        assert main.observed_steps == 10
+
+
+class TestSilentProtocol:
+    def test_never_transmits(self, net_path5, rng):
+        protocol = SilentProtocol(net_path5)
+        mask = protocol.transmit_mask(rng)
+        assert not mask.any()
+
+    def test_never_finishes(self, net_path5, rng):
+        protocol = SilentProtocol(net_path5)
+        run_steps(protocol, rng, 5)
+        assert not protocol.finished

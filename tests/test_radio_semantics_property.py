@@ -1,0 +1,114 @@
+"""Property-based cross-validation of the vectorized delivery semantics.
+
+The vectorized ``RadioNetwork.deliver`` (sparse matvecs) is the
+foundation everything else stands on; these tests check it against a
+direct, obviously-correct reimplementation of the model's rules on
+random graphs and random transmit masks.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import NO_SENDER, RadioNetwork
+
+
+def _naive_deliver(graph: nx.Graph, transmit: np.ndarray) -> np.ndarray:
+    """The model's rules, written out per node."""
+    n = graph.number_of_nodes()
+    result = np.full(n, NO_SENDER, dtype=np.int64)
+    nodes = list(graph.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    for v in nodes:
+        i = index[v]
+        if transmit[i]:
+            continue  # transmitting nodes do not listen
+        transmitting_neighbors = [
+            index[u] for u in graph.neighbors(v) if transmit[index[u]]
+        ]
+        if len(transmitting_neighbors) == 1:
+            result[i] = transmitting_neighbors[0]
+    return result
+
+
+graph_and_mask = st.integers(min_value=0, max_value=2**31 - 1).flatmap(
+    lambda seed: st.tuples(
+        st.just(seed),
+        st.integers(min_value=2, max_value=24),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graph_and_mask)
+def test_vectorized_matches_naive(params):
+    seed, n, edge_p, tx_p = params
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n, edge_p, seed=seed)
+    transmit = rng.random(n) < tx_p
+    net = RadioNetwork(graph)
+    assert (net.deliver(transmit) == _naive_deliver(graph, transmit)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_hearers_never_transmitted(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+    transmit = rng.random(n) < 0.5
+    net = RadioNetwork(graph)
+    hear_from = net.deliver(transmit)
+    heard = hear_from != NO_SENDER
+    assert not (heard & transmit).any()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_heard_sender_is_a_transmitting_neighbor(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+    transmit = rng.random(n) < 0.5
+    net = RadioNetwork(graph)
+    hear_from = net.deliver(transmit)
+    nodes = list(graph.nodes)
+    for i in np.nonzero(hear_from != NO_SENDER)[0]:
+        sender = int(hear_from[i])
+        assert transmit[sender]
+        assert graph.has_edge(nodes[i], nodes[sender])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(0, 2**31 - 1))
+def test_silence_delivers_nothing(n, seed):
+    graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+    net = RadioNetwork(graph)
+    hear_from = net.deliver(np.zeros(n, dtype=bool))
+    assert (hear_from == NO_SENDER).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=3, max_value=30), st.integers(0, 2**31 - 1))
+def test_neighbor_sum_matches_naive(n, seed):
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n, 0.4, seed=seed)
+    values = rng.random(n)
+    net = RadioNetwork(graph)
+    fast = net.neighbor_sum(values)
+    nodes = list(graph.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    for v in nodes:
+        expected = sum(values[index[u]] for u in graph.neighbors(v))
+        assert fast[index[v]] == np.float64(expected) or abs(
+            fast[index[v]] - expected
+        ) < 1e-9

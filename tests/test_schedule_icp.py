@@ -1,0 +1,141 @@
+"""Tests for intra-cluster schedules and packet-level ICP (Algorithms 9-10)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import build_schedule, intra_cluster_propagation, partition
+from repro.core.intra_cluster import ICPProtocol
+from repro.graphs import greedy_independent_set
+from repro.radio import RadioNetwork
+
+
+def _clustered_setup(rng, n=50, side=3.5, beta=0.25):
+    g = graphs.random_udg(n, side, rng)
+    mis = sorted(greedy_independent_set(g))
+    clustering = partition(g, beta, mis, rng)
+    schedule = build_schedule(g, clustering)
+    return g, clustering, schedule
+
+
+class TestSchedule:
+    def test_layers_match_cluster_bfs(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        for center, members in clustering.members().items():
+            sub = g.subgraph(members)
+            depths = nx.single_source_shortest_path_length(sub, center)
+            for v in members:
+                assert schedule.layer[v] == depths[v]
+
+    def test_coloring_is_distance2_proper_within_clusters(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        for center, members in clustering.members().items():
+            sub = g.subgraph(members)
+            square = nx.power(sub, 2) if len(members) > 1 else sub
+            for u, v in square.edges:
+                assert (
+                    schedule.color[u] != schedule.color[v]
+                ), "distance-2 neighbors share a color"
+
+    def test_centers_are_layer_zero(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        for center in clustering.used_centers():
+            assert schedule.layer[center] == 0
+
+    def test_slot_members_partition_cluster_nodes(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        covered = np.zeros(clustering.n, dtype=bool)
+        for layer in range(schedule.n_layers):
+            for color in range(schedule.n_colors):
+                mask = schedule.slot_members(layer, color)
+                assert not (covered & mask).any()
+                covered |= mask
+        assert covered.all()
+
+    def test_bounded_colors_on_growth_bounded_graph(self, rng):
+        # UDG clusters have bounded distance-2 degree, so color counts
+        # stay modest (this is the O(ell) schedule-length premise).
+        g, clustering, schedule = _clustered_setup(rng, n=80, side=5.0)
+        assert schedule.n_colors <= 64
+
+
+class TestICPPacket:
+    def test_center_message_reaches_cluster_within_ell(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        net = RadioNetwork(g)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        center = clustering.used_centers()[0]
+        knowledge[center] = 7
+        result = intra_cluster_propagation(
+            net, clustering, schedule, knowledge, ell=32, rng=rng
+        )
+        members = clustering.members()[center]
+        informed = sum(1 for v in members if result.knowledge[v] == 7)
+        # All in-cluster members within ell must learn it (the background
+        # may even leak it further; we only require in-cluster coverage).
+        assert informed == len(members)
+
+    def test_member_message_reaches_center(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        net = RadioNetwork(g)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        center = max(
+            clustering.members(), key=lambda c: len(clustering.members()[c])
+        )
+        members = clustering.members()[center]
+        deepest = max(members, key=lambda v: schedule.layer[v])
+        knowledge[deepest] = 9
+        result = intra_cluster_propagation(
+            net, clustering, schedule, knowledge, ell=32, rng=rng
+        )
+        assert result.knowledge[center] == 9
+
+    def test_knowledge_only_grows(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        net = RadioNetwork(g)
+        knowledge = rng.integers(-1, 5, size=net.n).astype(np.int64)
+        before = knowledge.copy()
+        result = intra_cluster_propagation(
+            net, clustering, schedule, knowledge, ell=8, rng=rng
+        )
+        assert (result.knowledge >= before).all()
+
+    def test_without_background_fewer_steps(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        knowledge = np.full(g.number_of_nodes(), -1, dtype=np.int64)
+        knowledge[0] = 1
+        net_bg = RadioNetwork(g)
+        with_bg = intra_cluster_propagation(
+            net_bg, clustering, schedule, knowledge, ell=8, rng=rng
+        )
+        net_nobg = RadioNetwork(g)
+        without_bg = intra_cluster_propagation(
+            net_nobg,
+            clustering,
+            schedule,
+            knowledge,
+            ell=8,
+            rng=rng,
+            with_background=False,
+        )
+        assert without_bg.steps < with_bg.steps
+
+    def test_ell_validation(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        net = RadioNetwork(g)
+        with pytest.raises(ValueError):
+            ICPProtocol(net, schedule, np.full(net.n, -1, dtype=np.int64), 0)
+
+    def test_input_not_mutated(self, rng):
+        g, clustering, schedule = _clustered_setup(rng)
+        net = RadioNetwork(g)
+        knowledge = np.full(net.n, -1, dtype=np.int64)
+        knowledge[0] = 3
+        original = knowledge.copy()
+        intra_cluster_propagation(
+            net, clustering, schedule, knowledge, ell=4, rng=rng
+        )
+        assert (knowledge == original).all()

@@ -1,0 +1,115 @@
+"""Statistical validation of Theorem 2 across random instances.
+
+Theorem 2 is the paper's central technical result: under
+``Partition(beta, MIS)`` with ``beta = 2^-j`` for a random ``j`` in the
+window, a node's expected distance to its cluster center is
+``O(log_D(alpha)/beta)`` with probability at least 0.77 over ``j``.
+These tests estimate the expectation by Monte Carlo over Partition
+draws on multiple random graphs, checking the full chain
+Lemma 3 -> Lemma 4 -> Theorem 2 quantitatively (not just shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.core import (
+    b_constant,
+    bad_j_report,
+    center_distance_histogram,
+    is_bad_j,
+    j_range,
+    lemma4_bound,
+    partition,
+    s_beta,
+)
+from repro.graphs import greedy_independent_set
+
+DRAWS = 40
+
+
+def _setup(maker, rng):
+    g = maker(rng)
+    d = graphs.diameter(g)
+    alpha = graphs.exact_independence_number(g)
+    mis = sorted(greedy_independent_set(g, rng, strategy="random"))
+    return g, d, alpha, mis
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda rng: graphs.grid_udg(9, 9, rng),
+        lambda rng: graphs.random_udg(90, 5.0, rng),
+        lambda rng: graphs.clique_chain(7, 7),
+    ],
+    ids=["grid", "udg", "chain"],
+)
+class TestTheorem2Chain:
+    def test_lemma3_bound_across_nodes(self, maker, rng):
+        """E[dist(v, center)] <= 5 S_beta, for several v and beta."""
+        g, d, alpha, mis = _setup(maker, rng)
+        nodes = list(g.nodes)
+        sample = [nodes[int(i)] for i in rng.integers(len(nodes), size=3)]
+        beta = 0.25
+        draws = [partition(g, beta, mis, rng) for _ in range(DRAWS)]
+        for v in sample:
+            m = center_distance_histogram(g, v, mis)
+            bound = 5.0 * s_beta(m, beta)
+            mean_dist = float(
+                np.mean([c.distance_to_center[v] for c in draws])
+            )
+            # Monte Carlo slack: the bound holds in expectation; allow
+            # 15% estimation noise on top.
+            assert mean_dist <= bound * 1.15 + 0.5
+
+    def test_lemma4_bound_for_good_j(self, maker, rng):
+        """S_beta <= (2^7 b + 6) 2^j whenever j passes the condition."""
+        g, d, alpha, mis = _setup(maker, rng)
+        b = b_constant(alpha, d)
+        m = center_distance_histogram(g, 0, mis)
+        checked = 0
+        for j in j_range(d):
+            if not is_bad_j(m, j, b):
+                assert s_beta(m, 2.0**-j) <= lemma4_bound(j, b)
+                checked += 1
+        assert checked >= 1  # the window cannot be all-bad (Lemma 5)
+
+    def test_theorem2_probability_threshold(self, maker, rng):
+        """At least 0.77 of the j window is good, per sampled node."""
+        g, d, alpha, mis = _setup(maker, rng)
+        window = j_range(d)
+        nodes = list(g.nodes)
+        sample = [nodes[int(i)] for i in rng.integers(len(nodes), size=4)]
+        for v in sample:
+            m = center_distance_histogram(g, v, mis)
+            report = bad_j_report(m, window, alpha, d)
+            assert report.good_fraction >= 0.77
+
+    def test_mis_centers_never_worse_than_all_by_alpha_factor(
+        self, maker, rng
+    ):
+        """The paper's improvement is an analysis statement, but measured
+        mean distances under MIS centers must stay within a small factor
+        of the all-centers baseline (the clustering does not degrade)."""
+        g, d, alpha, mis = _setup(maker, rng)
+        beta = 0.25
+        mis_mean = float(
+            np.mean(
+                [
+                    partition(g, beta, mis, rng).mean_distance()
+                    for _ in range(10)
+                ]
+            )
+        )
+        all_mean = float(
+            np.mean(
+                [
+                    partition(g, beta, list(g.nodes), rng).mean_distance()
+                    for _ in range(10)
+                ]
+            )
+        )
+        assert mis_mean <= max(2.0 * all_mean, all_mean + 2.0)
