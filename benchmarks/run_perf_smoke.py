@@ -1,0 +1,98 @@
+"""Perf smoke harness: tier-1 tests + the PR 1 engine bench, one command.
+
+Runs the repository's tier-1 verification suite and a short
+``bench_p1_engine`` pass, then writes the combined record to
+``BENCH_PR1.json`` at the repo root — the perf trajectory baseline
+future PRs compare themselves against.
+
+Usage::
+
+    python benchmarks/run_perf_smoke.py [--skip-tests] [--n 2000]
+
+Exit status is nonzero if the test suite fails or a speedup floor is
+missed, so this doubles as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def run_tier1() -> dict:
+    """Run the tier-1 suite (``pytest -x -q`` over ``tests/``)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.perf_counter() - t0
+    tail = proc.stdout.strip().splitlines()[-1] if proc.stdout.strip() else ""
+    print(f"tier-1: {tail} ({elapsed:.1f}s)")
+    return {
+        "returncode": proc.returncode,
+        "summary": tail,
+        "elapsed_s": elapsed,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: tier-1 suite, then the engine bench, then persist."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="only run the engine bench",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=2000,
+        help="benchmark graph size (acceptance floor assumes >= 2000)",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_p1_engine
+
+    tier1 = None if args.skip_tests else run_tier1()
+
+    results = bench_p1_engine.run_bench(n=args.n)
+    if tier1 is not None:
+        results["tier1"] = tier1
+    bench_p1_engine.write_results(results)
+
+    radio, mpx = results["radio_window"], results["mpx_partition"]
+    print(
+        f"radio window speedup: {radio['speedup']:.1f}x "
+        f"(floor {radio['floor']}x); "
+        f"mpx partition speedup: {mpx['speedup']:.1f}x "
+        f"(floor {mpx['floor']}x)"
+    )
+    print(f"persisted to {bench_p1_engine.RESULT_PATH}")
+
+    ok = results["passes_floors"] and (
+        tier1 is None or tier1["returncode"] == 0
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ from .experiments import (
     fit_power_law,
     geometric_sizes,
     run_trials,
+    run_trials_parallel,
     success_rate,
 )
 from .tables import TextTable
@@ -17,5 +18,6 @@ __all__ = [
     "fit_power_law",
     "geometric_sizes",
     "run_trials",
+    "run_trials_parallel",
     "success_rate",
 ]

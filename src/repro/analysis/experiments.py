@@ -3,12 +3,21 @@
 The benchmarks in ``benchmarks/`` are thin: they define workloads and
 call these helpers, so that trial repetition, seeding, and slope fitting
 are uniform across experiments and unit-testable on their own.
+
+Monte-Carlo repetitions are embarrassingly parallel:
+:func:`run_trials_parallel` fans the same seeded trials of
+:func:`run_trials` across a process pool, with bit-identical seeding
+(one ``SeedSequence`` child per trial, in trial order), so serial and
+parallel runs of the same experiment produce the same numbers.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import math
+import os
+import pickle
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -54,6 +63,85 @@ def run_trials(
     seq = np.random.SeedSequence(seed)
     children = seq.spawn(n_trials)
     values = [measure(np.random.default_rng(child)) for child in children]
+    return TrialStats.from_values(values)
+
+
+def _run_one_trial(
+    payload: tuple[Callable[[np.random.Generator], float], np.random.SeedSequence]
+) -> float:
+    """Process-pool worker: run one seeded trial (module-level for pickling)."""
+    measure, child = payload
+    return measure(np.random.default_rng(child))
+
+
+def run_trials_parallel(
+    measure: Callable[[np.random.Generator], float],
+    n_trials: int,
+    seed: int,
+    processes: int | None = None,
+) -> TrialStats:
+    """Like :func:`run_trials`, fanned across a process pool.
+
+    Seeding is identical to the serial runner — one ``SeedSequence``
+    child per trial, results collected in trial order — so the returned
+    statistics are bit-identical to ``run_trials(measure, n_trials,
+    seed)`` regardless of worker count or scheduling.
+
+    Parameters
+    ----------
+    measure:
+        Trial callable; must be picklable (a module-level function or
+        ``functools.partial`` over one), since workers are separate
+        processes. Unpicklable callables fall back to the serial path
+        rather than failing the experiment.
+    n_trials, seed:
+        As in :func:`run_trials`.
+    processes:
+        Worker count; defaults to ``min(cpu_count, n_trials)``. ``1``
+        short-circuits to the serial runner.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    workers = (
+        processes
+        if processes is not None
+        else min(os.cpu_count() or 1, n_trials)
+    )
+    if workers == 1 or n_trials == 1:
+        return run_trials(measure, n_trials, seed)
+
+    # Probe picklability up front so closures/lambdas take the serial
+    # path immediately — the pool itself is then only guarded against
+    # infrastructure failures, and genuine exceptions raised *by*
+    # ``measure`` inside a worker propagate to the caller unchanged.
+    try:
+        pickle.dumps(measure)
+    except Exception:
+        return run_trials(measure, n_trials, seed)
+
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    payloads = [(measure, child) for child in children]
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            values = list(
+                pool.map(
+                    _run_one_trial,
+                    payloads,
+                    chunksize=max(1, n_trials // (4 * workers)),
+                )
+            )
+    except (
+        concurrent.futures.process.BrokenProcessPool,
+        PermissionError,
+    ):
+        # Sandboxed environments that cannot spawn worker processes:
+        # degrade gracefully to the serial path (same seeding, same
+        # results, just slower).
+        return run_trials(measure, n_trials, seed)
     return TrialStats.from_values(values)
 
 

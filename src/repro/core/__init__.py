@@ -65,7 +65,14 @@ from .mis import (
     compute_mis,
     mis_round_budget,
 )
-from .mpx import beta_of_j, coarse_beta, draw_shifts, j_range, partition
+from .mpx import (
+    beta_of_j,
+    coarse_beta,
+    draw_shifts,
+    j_range,
+    partition,
+    partition_reference,
+)
 from .partition_radio import partition_radio
 from .schedule import ClusterSchedule, build_schedule
 from .wakeup import (
@@ -131,6 +138,7 @@ __all__ = [
     "mis_round_budget",
     "partition",
     "partition_radio",
+    "partition_reference",
     "prefix_counts",
     "propagation_length",
     "run_decay",

@@ -29,6 +29,8 @@ from typing import Iterable
 import networkx as nx
 import numpy as np
 
+from ..graphs.context import graph_context
+
 
 def center_distance_histogram(
     graph: nx.Graph, v: int, centers: Iterable[int]
@@ -37,16 +39,25 @@ def center_distance_histogram(
 
     Returns an array of length ``max_distance + 1``; unreachable centers
     are excluded (they cannot capture ``v`` either).
+
+    The BFS runs over the cached CSR adjacency through
+    :mod:`scipy.sparse.csgraph` (the E4/E5 experiments call this for
+    many ``v`` on one graph), replacing the per-call networkx
+    traversal.
     """
-    centers = set(int(c) for c in centers)
-    dist = nx.single_source_shortest_path_length(graph, v)
-    reach = [d for u, d in dist.items() if u in centers]
-    if not reach:
+    ctx = graph_context(graph)
+    dist = ctx.bfs_distances(ctx.index_of(v))
+    center_rows = np.array(
+        [ctx.index_of(int(c)) for c in set(int(c) for c in centers)],
+        dtype=np.int64,
+    )
+    center_dist = dist[center_rows]
+    reach = center_dist[np.isfinite(center_dist)].astype(np.int64)
+    if reach.size == 0:
         raise ValueError(f"no center reachable from node {v}")
-    m = np.zeros(max(reach) + 1, dtype=np.int64)
-    for d in reach:
-        m[d] += 1
-    return m
+    return np.bincount(reach, minlength=int(reach.max()) + 1).astype(
+        np.int64
+    )
 
 
 def t_beta(m: np.ndarray, beta: float) -> float:

@@ -30,8 +30,8 @@ from typing import Hashable
 import networkx as nx
 import numpy as np
 
+from ..graphs.context import GraphContext, graph_context
 from ..graphs.independence import greedy_independent_set
-from ..graphs.properties import diameter as graph_diameter
 from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.trace import CostLedger
 from .costmodel import CostModel, propagation_length
@@ -123,7 +123,7 @@ class CompeteResult:
         return self.ledger.propagation_total
 
 
-def _check_graph(graph: nx.Graph) -> int:
+def _check_graph(graph: nx.Graph, context: GraphContext) -> int:
     n = graph.number_of_nodes()
     if n == 0:
         raise GraphContractError("Compete requires a non-empty graph")
@@ -132,7 +132,7 @@ def _check_graph(graph: nx.Graph) -> int:
             "Compete expects integer node labels 0..n-1; relabel with "
             "networkx.convert_node_labels_to_integers first"
         )
-    if n > 1 and not nx.is_connected(graph):
+    if n > 1 and not context.is_connected():
         raise GraphContractError(
             "broadcast/leader election require a connected graph "
             "(paper Section 1.2)"
@@ -146,6 +146,7 @@ def compete(
     rng: np.random.Generator,
     config: CompeteConfig | None = None,
     alpha: int | None = None,
+    context: GraphContext | None = None,
 ) -> CompeteResult:
     """Run round-accounted ``Compete(S)`` until the highest message wins.
 
@@ -165,6 +166,12 @@ def compete(
         paper needs any polynomial approximation). Defaults to the size
         of the maximal independent set the pipeline computes anyway —
         a valid lower-bound estimate available for free.
+    context:
+        Optional pre-built :class:`~repro.graphs.context.GraphContext`.
+        Repeated trials on one graph share its cached CSR adjacency,
+        connectivity, and diameter instead of recomputing them per run;
+        defaults to the memoized per-graph context, so even callers
+        that pass nothing get the cache.
 
     Returns
     -------
@@ -172,14 +179,15 @@ def compete(
         With ``delivered`` true unless the phase cap was exhausted.
     """
     config = config or CompeteConfig()
-    n = _check_graph(graph)
+    context = context if context is not None else graph_context(graph)
+    n = _check_graph(graph, context)
     if not sources:
         raise ValueError("Compete needs at least one source message")
     if any(key < 0 for key in sources.values()):
         raise ValueError("message keys must be non-negative")
     model = config.cost_model
     ledger = CostLedger()
-    d = graph_diameter(graph)
+    d = context.diameter
     d = max(2, d)  # bound formulas need D >= 2; D=1 cliques are single-hop
 
     # --- step 1: MIS (or the all-nodes baseline) -------------------------
@@ -276,7 +284,7 @@ def compete(
         # every bg_period rounds, accumulated across phases.
         bg_credit += phase_rounds / bg_period
         while bg_credit >= 1.0:
-            _apply_one_hop_exchange(graph, knowledge)
+            _apply_one_hop_exchange(context, knowledge)
             bg_credit -= 1.0
 
         delivered = bool((knowledge == winner).all())
@@ -376,27 +384,26 @@ def _apply_icp_event(
     in_range = assigned & (clustering.distance_to_center <= ell)
     if not in_range.any():
         return
-    members_by_center: dict[int, list[int]] = {}
-    for v in np.nonzero(in_range)[0]:
-        members_by_center.setdefault(int(clustering.assignment[v]), []).append(
-            int(v)
-        )
-    for center, members in members_by_center.items():
-        best = int(knowledge[members].max())
-        if best >= 0:
-            np.maximum.at(knowledge, members, best)
+    # Segment max per cluster, vectorized: scatter member knowledge into
+    # a per-center maximum, then broadcast each cluster's max back.
+    members = np.nonzero(in_range)[0]
+    owners = clustering.assignment[members]
+    cluster_max = np.full(len(knowledge), -1, dtype=np.int64)
+    np.maximum.at(cluster_max, owners, knowledge[members])
+    knowledge[members] = np.maximum(knowledge[members], cluster_max[owners])
 
 
-def _apply_one_hop_exchange(graph: nx.Graph, knowledge: np.ndarray) -> None:
+def _apply_one_hop_exchange(
+    context: GraphContext, knowledge: np.ndarray
+) -> None:
     """Event-level effect of one background hop (Algorithm 8).
 
     Every node learns the highest message among itself and its neighbors
     — the progress the slow background broadcast guarantees once per
-    ``Theta(log n)`` rounds.
+    ``Theta(log n)`` rounds. Vectorized as one scatter-max over the
+    cached CSR edge arrays.
     """
+    src, dst = context.edges()
     updated = knowledge.copy()
-    for v in graph.nodes:
-        neighbors = list(graph.neighbors(v))
-        if neighbors:
-            updated[v] = max(int(knowledge[v]), int(knowledge[neighbors].max()))
+    np.maximum.at(updated, dst, knowledge[src])
     knowledge[:] = updated

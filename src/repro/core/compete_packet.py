@@ -30,7 +30,7 @@ import dataclasses
 
 import numpy as np
 
-from ..graphs.properties import diameter as graph_diameter
+from ..graphs.context import GraphContext, graph_context
 from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.network import RadioNetwork
 from .costmodel import propagation_length
@@ -84,6 +84,7 @@ def compete_packet(
     rng: np.random.Generator,
     config: PacketCompeteConfig | None = None,
     alpha: int | None = None,
+    context: GraphContext | None = None,
 ) -> PacketCompeteResult:
     """Run the fully simulated Compete on ``network``.
 
@@ -101,9 +102,16 @@ def compete_packet(
     alpha:
         Independence-number estimate for the phase length; defaults to
         the MIS size found in stage 1.
+    context:
+        Optional pre-built :class:`~repro.graphs.context.GraphContext`;
+        repeated trials share the cached connectivity and diameter.
+        Defaults to the memoized per-graph context.
     """
     config = config or PacketCompeteConfig()
-    if not network.is_connected():
+    context = (
+        context if context is not None else graph_context(network.graph)
+    )
+    if not context.is_connected():
         raise GraphContractError("Compete requires a connected network")
     if not sources:
         raise ValueError("Compete needs at least one source message")
@@ -119,7 +127,7 @@ def compete_packet(
     mis = sorted(network.index_of(v) for v in mis_result.mis)
     steps_at["mis"] = network.steps_elapsed
     alpha_used = alpha if alpha is not None else max(1, len(mis))
-    d = max(2, graph_diameter(graph))
+    d = max(2, context.diameter)
 
     # --- stage 2: fine clusterings via the radio wave protocol ------------
     js = j_range(d)

@@ -30,7 +30,10 @@ import dataclasses
 
 import networkx as nx
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse import csgraph
 
+from ..graphs.context import graph_context
 from .cluster import Clustering
 
 
@@ -73,6 +76,40 @@ def _distance2_coloring(subgraph: nx.Graph) -> dict:
     return nx.coloring.greedy_color(square, strategy="largest_first")
 
 
+def _cluster_layers(graph: nx.Graph, clustering: Clustering) -> np.ndarray:
+    """In-cluster BFS depth of every node from its own center, batched.
+
+    One :func:`scipy.sparse.csgraph.dijkstra` multi-source BFS over the
+    *intra-cluster* adjacency (edges whose endpoints share a cluster)
+    computes every cluster's layering at once: masking removes all
+    between-cluster edges, so each cluster is its own connected
+    component containing exactly one used center, and the min-distance
+    to the center set is the distance to the node's own center. This
+    replaces one networkx BFS per cluster.
+    """
+    n = clustering.n
+    ctx = graph_context(graph)
+    src, dst = ctx.edges()
+    assignment = clustering.assignment
+    intra = assignment[src] == assignment[dst]
+    masked = sp.csr_array(
+        (np.ones(int(intra.sum()), dtype=np.float64),
+         (src[intra], dst[intra])),
+        shape=(n, n),
+    )
+    centers = np.asarray(clustering.used_centers(), dtype=np.int64)
+    depths = csgraph.dijkstra(
+        masked, directed=False, unweighted=True, indices=centers,
+        min_only=True,
+    )
+    if not np.isfinite(depths).all():
+        raise ValueError(
+            "clustering has members unreachable from their center "
+            "through in-cluster edges; MPX clusters must be connected"
+        )
+    return depths.astype(np.int64)
+
+
 def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
     """Compute the synchronized slot schedule for all clusters.
 
@@ -81,25 +118,39 @@ def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
     :meth:`repro.core.costmodel.CostModel.schedule_rounds` in the
     round-accounted pipeline. The *use* of the schedule — which
     transmissions collide where — is simulated exactly.
+
+    Layering is computed for all clusters in one batched
+    :mod:`scipy.sparse.csgraph` BFS (see :func:`_cluster_layers`);
+    the distance-2 coloring stays per-cluster.
+
+    Clustering indices are interpreted as positions in
+    ``list(graph.nodes)`` (the convention of the packet-level radio
+    pipeline). For integer-labeled graphs whose iteration order is
+    *not* ``0..n-1`` that interpretation conflicts with the
+    label-indexed clusterings of :func:`repro.core.mpx.partition`, so
+    such graphs are rejected with a clear error — relabel with
+    ``networkx.convert_node_labels_to_integers`` first.
     """
-    n = clustering.n
-    layer = np.zeros(n, dtype=np.int64)
-    color = np.zeros(n, dtype=np.int64)
+    nodes = list(graph.nodes)
+    n = len(nodes)
+    if set(nodes) == set(range(n)) and nodes != list(range(n)):
+        raise ValueError(
+            "build_schedule requires integer-labeled graphs to iterate "
+            "in order 0..n-1 (clustering indices would be ambiguous); "
+            "relabel with networkx.convert_node_labels_to_integers first"
+        )
+    layer = _cluster_layers(graph, clustering)
+    color = np.zeros(clustering.n, dtype=np.int64)
     labels = list(graph.nodes)
 
-    n_layers = 1
+    n_layers = int(layer.max()) + 1 if clustering.n else 1
     n_colors = 1
     for center, member_indices in clustering.members().items():
         member_labels = [labels[v] for v in member_indices]
         sub = graph.subgraph(member_labels)
-        # BFS layering from the center within the cluster.
-        depths = nx.single_source_shortest_path_length(sub, labels[center])
         coloring = _distance2_coloring(sub)
         for v in member_indices:
-            label = labels[v]
-            layer[v] = depths[label]
-            color[v] = coloring[label]
-        n_layers = max(n_layers, max(depths.values()) + 1)
+            color[v] = coloring[labels[v]]
         n_colors = max(n_colors, max(coloring.values()) + 1)
 
     return ClusterSchedule(

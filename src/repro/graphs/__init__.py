@@ -6,6 +6,7 @@ networks) and the general-graph families its general results address,
 plus independence-number and growth-boundedness tooling.
 """
 
+from .context import GraphContext, distances_from, graph_context
 from .general import (
     barbell,
     caterpillar,
@@ -69,6 +70,7 @@ from .unit_ball import (
 __all__ = [
     "EuclideanBox",
     "FlatTorus",
+    "GraphContext",
     "GraphSummary",
     "ManhattanBox",
     "MetricSpace",
@@ -86,9 +88,11 @@ __all__ = [
     "diameter",
     "directed_geometric_radio",
     "distance_threshold_rule",
+    "distances_from",
     "estimate_doubling_constant",
     "exact_independence_number",
     "granularity",
+    "graph_context",
     "greedy_independent_set",
     "grid_udg",
     "growth_exponent",

@@ -19,6 +19,7 @@ from typing import Hashable
 import networkx as nx
 import numpy as np
 
+from .context import graph_context
 from .independence import exact_independence_number, greedy_independent_set
 
 
@@ -29,14 +30,14 @@ def diameter(graph: nx.Graph) -> int:
     simulation hands algorithms the exact value, which is the strongest
     version of that assumption and therefore safe for reproducing upper
     bounds.
+
+    Computed (and cached per graph) by the
+    :class:`~repro.graphs.context.GraphContext` all-sources BFS sweep —
+    repeated trials on one graph pay for it once.
     """
     if graph.number_of_nodes() == 0:
         raise ValueError("diameter of the empty graph is undefined")
-    if graph.number_of_nodes() == 1:
-        return 0
-    if not nx.is_connected(graph):
-        raise ValueError("diameter requires a connected graph")
-    return nx.diameter(graph)
+    return graph_context(graph).diameter
 
 
 def ball(graph: nx.Graph, center: Hashable, radius: int) -> set[Hashable]:

@@ -20,11 +20,12 @@ from .protocol import (
     run_protocol,
     run_steps,
 )
-from .trace import Charge, CostLedger, PhaseStats, StepTrace
+from .trace import Charge, CheapTrace, CostLedger, PhaseStats, StepTrace
 
 __all__ = [
     "BudgetExceededError",
     "Charge",
+    "CheapTrace",
     "CostLedger",
     "GraphContractError",
     "InvalidActionError",

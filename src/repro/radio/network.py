@@ -18,9 +18,19 @@ knowledge (it must, to compute deliveries), but protocol implementations in
 never the topology. Tests in ``tests/test_adhoc_discipline.py`` enforce
 this for the core protocols.
 
-Performance: delivery is computed with one sparse matrix-vector product
-per step (scipy CSR), so packet-level runs of hundreds of thousands of
-steps on graphs with thousands of nodes are practical.
+Performance: the delivery engine is fully vectorized over an
+int32-indexed CSR adjacency with preallocated step buffers. A single
+step is **one** fused sparse product — the transmit indicator and the
+id-weighted indicator are stacked into an ``(n, 2)`` right-hand side so
+one pass over the adjacency yields both the per-listener transmitter
+counts and the unique-sender identities. Oblivious step sequences
+(masks that do not depend on intermediate receptions — Decay sweeps,
+round-robin rotations, the Compete background process) go through
+:meth:`RadioNetwork.deliver_window`, which executes a whole window of
+steps as one sparse matrix-matrix product; packet-level runs of
+hundreds of thousands of steps on graphs with thousands of nodes are
+practical. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
+per-step trace accounting (cheap-trace mode) in bulk workloads.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
+from ..graphs.context import graph_context
 from .errors import GraphContractError, InvalidActionError
 from .trace import StepTrace
 
@@ -69,20 +80,30 @@ class RadioNetwork:
                 "the paper's model (and this simulator) is undirected; "
                 "got a directed graph"
             )
-        if any(u == v for u, v in graph.edges):
-            raise GraphContractError("self-loops are not allowed")
 
         self.graph = graph
         self.n = graph.number_of_nodes()
-        self._labels: list[Hashable] = list(graph.nodes)
+        # The binary float64 / int32-indexed CSR adjacency comes from the
+        # per-graph GraphContext cache: repeated RadioNetwork
+        # constructions over one graph (Monte-Carlo trials) share one
+        # adjacency build instead of repeating it.
+        self._context = graph_context(graph)
+        if self._context.csr.diagonal().any():
+            raise GraphContractError("self-loops are not allowed")
+        self._labels: list[Hashable] = list(self._context.nodelist)
         self._index: dict[Hashable, int] = {
             label: i for i, label in enumerate(self._labels)
         }
-        adj = nx.to_scipy_sparse_array(graph, nodelist=self._labels, format="csr")
-        # Binary adjacency as float64 so matvecs count transmitters.
-        self._adj: sp.csr_array = (adj != 0).astype(np.float64)
+        self._adj: sp.csr_array = self._context.csr
         self._ids = np.arange(self.n, dtype=np.float64)
-        self.degrees = np.asarray(self._adj.sum(axis=1)).ravel().astype(np.int64)
+        # 1-based ids so id-sums of transmitting neighbors never vanish:
+        # for a clean reception, sender = round(idsum1) - count = idsum1 - 1.
+        self._ids1 = self._ids + 1.0
+        # Preallocated (n, 2) right-hand side for the fused per-step
+        # product: column 0 the transmit indicator, column 1 id-weighted.
+        self._rhs2 = np.empty((self.n, 2), dtype=np.float64)
+        self._adj_complex: sp.csr_array | None = None
+        self.degrees = self._context.degrees.copy()
         self.trace = trace if trace is not None else StepTrace()
         self.steps_elapsed = 0
 
@@ -113,6 +134,49 @@ class RadioNetwork:
     # ------------------------------------------------------------------
     # the radio step
     # ------------------------------------------------------------------
+    def _validate_mask(self, transmit: np.ndarray) -> np.ndarray:
+        """Shared transmit-mask validation for all delivery entry points."""
+        transmit = np.asarray(transmit)
+        if transmit.shape != (self.n,):
+            raise InvalidActionError(
+                f"transmit mask has shape {transmit.shape}, expected ({self.n},)"
+            )
+        if transmit.dtype != np.bool_:
+            raise InvalidActionError(
+                f"transmit mask must be boolean, got dtype {transmit.dtype}"
+            )
+        return transmit
+
+    def _deliver_core(
+        self, transmit: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One fused delivery: ``(hear_from, counts, heard)``.
+
+        The two classic matvecs (transmitter counts and id-sums) are
+        stacked into one ``(n, 2)`` right-hand side so the adjacency is
+        traversed once. Column 1 uses 1-based ids, hence for a listener
+        with a unique transmitting neighbor ``idsum1 = sender + 1``.
+        Records the step into the trace and advances ``steps_elapsed``.
+        """
+        rhs = self._rhs2
+        np.copyto(rhs[:, 0], transmit)
+        np.multiply(rhs[:, 0], self._ids1, out=rhs[:, 1])
+        out = self._adj @ rhs
+        counts = out[:, 0]
+
+        hear_from = np.full(self.n, NO_SENDER, dtype=np.int64)
+        heard = (~transmit) & (counts == 1.0)
+        hear_from[heard] = np.rint(out[heard, 1]).astype(np.int64) - 1
+
+        self.steps_elapsed += 1
+        if self.trace.wants_detail:
+            self.trace.record_step(
+                transmissions=int(transmit.sum()), receptions=int(heard.sum())
+            )
+        else:
+            self.trace.record_step(transmissions=0, receptions=0)
+        return hear_from, counts, heard
+
     def deliver(self, transmit: np.ndarray) -> np.ndarray:
         """Execute one radio step given a boolean transmit mask.
 
@@ -131,30 +195,8 @@ class RadioNetwork:
             itself, had no transmitting neighbor, or suffered a collision
             (two or more transmitting neighbors).
         """
-        transmit = np.asarray(transmit)
-        if transmit.shape != (self.n,):
-            raise InvalidActionError(
-                f"transmit mask has shape {transmit.shape}, expected ({self.n},)"
-            )
-        if transmit.dtype != np.bool_:
-            raise InvalidActionError(
-                f"transmit mask must be boolean, got dtype {transmit.dtype}"
-            )
-
-        tvec = transmit.astype(np.float64)
-        counts = self._adj @ tvec
-        # For listeners with exactly one transmitting neighbor, the sum of
-        # transmitting neighbor indices *is* that neighbor's index.
-        idsums = self._adj @ (tvec * self._ids)
-
-        hear_from = np.full(self.n, NO_SENDER, dtype=np.int64)
-        heard = (~transmit) & (counts == 1.0)
-        hear_from[heard] = np.rint(idsums[heard]).astype(np.int64)
-
-        self.steps_elapsed += 1
-        self.trace.record_step(
-            transmissions=int(transmit.sum()), receptions=int(heard.sum())
-        )
+        transmit = self._validate_mask(transmit)
+        hear_from, _, _ = self._deliver_core(transmit)
         return hear_from
 
     def deliver_detect(
@@ -168,6 +210,10 @@ class RadioNetwork:
         Dessmark–Pelc [12]) so the E13 experiment can measure what CD
         buys. Algorithms in :mod:`repro.core` never call it.
 
+        Validation and the fused delivery product are shared with
+        :meth:`deliver` — the carrier-sense vector ``busy`` is derived
+        from the same transmitter counts, so CD costs no extra matvec.
+
         Returns
         -------
         (hear_from, busy):
@@ -178,19 +224,97 @@ class RadioNetwork:
             (``busy`` false), clean reception (``hear_from != NO_SENDER``)
             and collision (``busy`` true, nothing heard).
         """
-        transmit = np.asarray(transmit)
-        if transmit.shape != (self.n,):
-            raise InvalidActionError(
-                f"transmit mask has shape {transmit.shape}, expected ({self.n},)"
-            )
-        if transmit.dtype != np.bool_:
-            raise InvalidActionError(
-                f"transmit mask must be boolean, got dtype {transmit.dtype}"
-            )
-        counts = self._adj @ transmit.astype(np.float64)
+        transmit = self._validate_mask(transmit)
+        hear_from, counts, _ = self._deliver_core(transmit)
         busy = (~transmit) & (counts >= 1.0)
-        hear_from = self.deliver(transmit)
         return hear_from, busy
+
+    # ------------------------------------------------------------------
+    # the batched radio window
+    # ------------------------------------------------------------------
+    def _complex_adj(self) -> sp.csr_array:
+        """Complex-typed adjacency for the fused window product (lazy)."""
+        if self._adj_complex is None:
+            self._adj_complex = self._adj.astype(np.complex128)
+        return self._adj_complex
+
+    def deliver_window(self, masks: np.ndarray) -> np.ndarray:
+        """Execute a window of oblivious radio steps in one sparse product.
+
+        Semantically identical to calling :meth:`deliver` once per row of
+        ``masks`` — same ``hear_from`` values, same trace totals, same
+        ``steps_elapsed`` — but the whole window is computed as a single
+        sparse matrix-matrix product, which is what makes long oblivious
+        schedules (Decay sweeps, round-robin rotations, background
+        processes) fast. *Oblivious* means the caller could fix every
+        mask before the first step executes: masks must not depend on
+        what is heard inside the window.
+
+        Implementation: the window's transmit indicators form a sparse
+        ``(n, w)`` matrix whose entries carry ``1 + i (id + 1)`` — one
+        complex product against the adjacency then yields transmitter
+        counts (real part) and 1-based id sums (imaginary part) for
+        every (listener, step) pair at once. Both are exact small-integer
+        sums, so results are bit-identical to the sequential path.
+
+        Parameters
+        ----------
+        masks:
+            Boolean array of shape ``(w, n)``; row ``t`` is the transmit
+            mask of window step ``t``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Integer array of shape ``(w, n)``: row ``t`` is exactly what
+            :meth:`deliver` would have returned for ``masks[t]``.
+        """
+        masks = np.asarray(masks)
+        if masks.ndim != 2 or masks.shape[1] != self.n:
+            raise InvalidActionError(
+                f"window masks have shape {masks.shape}, expected (w, {self.n})"
+            )
+        if masks.dtype != np.bool_:
+            raise InvalidActionError(
+                f"window masks must be boolean, got dtype {masks.dtype}"
+            )
+        w = masks.shape[0]
+        hear_from = np.full((w, self.n), NO_SENDER, dtype=np.int64)
+        if w == 0:
+            return hear_from
+
+        tx_step, tx_node = np.nonzero(masks)
+        if tx_node.size:
+            data = np.empty(tx_node.size, dtype=np.complex128)
+            data.real = 1.0
+            data.imag = self._ids1[tx_node]
+            rhs = sp.csr_array(
+                (data, (tx_node, tx_step)), shape=(self.n, w)
+            )
+            out = (self._complex_adj() @ rhs).tocoo()
+            node, step = out.coords
+            counts = out.data.real
+            # Clean reception: exactly one transmitting neighbor, and the
+            # node itself was listening at that step.
+            clean = (counts == 1.0) & ~masks[step, node]
+            sender = (
+                np.rint(out.data.imag[clean]).astype(np.int64) - 1
+            )
+            hear_from[step[clean], node[clean]] = sender
+            receptions = int(clean.sum())
+        else:
+            receptions = 0
+
+        self.steps_elapsed += w
+        if self.trace.wants_detail:
+            self.trace.record_window(
+                steps=w,
+                transmissions=int(tx_node.size),
+                receptions=receptions,
+            )
+        else:
+            self.trace.record_window(steps=w, transmissions=0, receptions=0)
+        return hear_from
 
     def step(self, actions: Mapping[Hashable, Any]) -> dict[Hashable, Any]:
         """Label-based convenience wrapper around :meth:`deliver`.
@@ -246,8 +370,8 @@ class RadioNetwork:
         return self._adj @ values
 
     def is_connected(self) -> bool:
-        """Whether the underlying graph is connected."""
-        return nx.is_connected(self.graph)
+        """Whether the underlying graph is connected (cached per graph)."""
+        return self._context.is_connected()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
