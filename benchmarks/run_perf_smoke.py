@@ -1,13 +1,17 @@
-"""Perf smoke harness: tier-1 tests + the PR 1 engine bench, one command.
+"""Perf smoke harness: tier-1 tests + the engine benches, one command.
 
-Runs the repository's tier-1 verification suite and a short
-``bench_p1_engine`` pass, then writes the combined record to
-``BENCH_PR1.json`` at the repo root — the perf trajectory baseline
-future PRs compare themselves against.
+Runs the repository's tier-1 verification suite, a short
+``bench_p1_engine`` pass (PR 1: batched delivery + CSR partition,
+persisted to ``BENCH_PR1.json``), and the ``bench_p2_engine`` pass
+(PR 2: the unified windowed protocol engine — Radio MIS and
+EstimateEffectiveDegree against their step-wise references, plus the
+E1/E6 trial slices through ``run_trials_parallel`` — persisted to
+``BENCH_PR2.json``). The ``BENCH_*.json`` records are the perf
+trajectory future PRs compare themselves against.
 
 Usage::
 
-    python benchmarks/run_perf_smoke.py [--skip-tests] [--n 2000]
+    python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1] [--n 2000]
 
 Exit status is nonzero if the test suite fails or a speedup floor is
 missed, so this doubles as a CI gate.
@@ -58,39 +62,61 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--skip-tests",
         action="store_true",
-        help="only run the engine bench",
+        help="only run the engine benches",
+    )
+    parser.add_argument(
+        "--skip-p1",
+        action="store_true",
+        help="skip the PR 1 bench (BENCH_PR1.json untouched)",
     )
     parser.add_argument(
         "--n",
         type=int,
         default=2000,
-        help="benchmark graph size (acceptance floor assumes >= 2000)",
+        help="benchmark graph size (acceptance floors assume >= 2000)",
     )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     import bench_p1_engine
+    import bench_p2_engine
 
     tier1 = None if args.skip_tests else run_tier1()
+    ok = tier1 is None or tier1["returncode"] == 0
 
-    results = bench_p1_engine.run_bench(n=args.n)
+    if not args.skip_p1:
+        results = bench_p1_engine.run_bench(n=args.n)
+        if tier1 is not None:
+            results["tier1"] = tier1
+        bench_p1_engine.write_results(results)
+
+        radio, mpx = results["radio_window"], results["mpx_partition"]
+        print(
+            f"radio window speedup: {radio['speedup']:.1f}x "
+            f"(floor {radio['floor']}x); "
+            f"mpx partition speedup: {mpx['speedup']:.1f}x "
+            f"(floor {mpx['floor']}x)"
+        )
+        print(f"persisted to {bench_p1_engine.RESULT_PATH}")
+        ok = ok and results["passes_floors"]
+
+    p2 = bench_p2_engine.run_bench(n=args.n)
     if tier1 is not None:
-        results["tier1"] = tier1
-    bench_p1_engine.write_results(results)
+        p2["tier1"] = tier1
+    bench_p2_engine.write_results(p2)
 
-    radio, mpx = results["radio_window"], results["mpx_partition"]
+    mis, eed = p2["radio_mis"], p2["effective_degree"]
     print(
-        f"radio window speedup: {radio['speedup']:.1f}x "
-        f"(floor {radio['floor']}x); "
-        f"mpx partition speedup: {mpx['speedup']:.1f}x "
-        f"(floor {mpx['floor']}x)"
+        f"radio MIS speedup: {mis['speedup']:.1f}x "
+        f"(floor {mis['floor']}x); "
+        f"effective degree speedup: {eed['speedup']:.1f}x "
+        f"(floor {eed['floor']}x); "
+        f"BGI: {p2['bgi_broadcast']['speedup']:.1f}x (no floor)"
     )
-    print(f"persisted to {bench_p1_engine.RESULT_PATH}")
+    print(f"persisted to {bench_p2_engine.RESULT_PATH}")
+    ok = ok and p2["passes_floors"]
 
-    ok = results["passes_floors"] and (
-        tier1 is None or tier1["returncode"] == 0
-    )
     return 0 if ok else 1
 
 

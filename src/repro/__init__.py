@@ -26,7 +26,7 @@ Quickstart::
     print("broadcast rounds:", result.total_rounds)
 """
 
-from . import analysis, baselines, core, graphs, radio
+from . import analysis, baselines, core, engine, graphs, radio
 from .core import (
     BroadcastResult,
     CompeteConfig,
@@ -66,6 +66,7 @@ __all__ = [
     "compute_mis",
     "core",
     "elect_leader",
+    "engine",
     "graphs",
     "partition",
     "radio",

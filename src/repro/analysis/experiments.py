@@ -9,6 +9,16 @@ Monte-Carlo repetitions are embarrassingly parallel:
 :func:`run_trials` across a process pool, with bit-identical seeding
 (one ``SeedSequence`` child per trial, in trial order), so serial and
 parallel runs of the same experiment produce the same numbers.
+
+Trials that simulate protocols run on the windowed engine by default —
+the packet-level entry points (:func:`repro.core.compute_mis`,
+:func:`repro.core.run_decay`, packet Compete, the baselines) are
+engine-backed, so every experiment inherits the batched delivery path
+without opting in; pass their ``engine="reference"`` knobs to measure
+the step-wise twins (``benchmarks/bench_p2_engine.py`` does exactly
+that, and threads the E1/E6 slices through
+:func:`run_trials_parallel`, recording wall-clock per PR in
+``BENCH_PR2.json``).
 """
 
 from __future__ import annotations

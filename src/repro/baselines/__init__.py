@@ -11,11 +11,17 @@ from .analytic import (
     paper_bound,
     spontaneous_lower_bound,
 )
-from .bgi_broadcast import BGIBroadcastResult, bgi_broadcast
+from .bgi_broadcast import (
+    BGIBroadcastResult,
+    bgi_broadcast,
+    bgi_broadcast_reference,
+    bgi_schedule,
+)
 from .cd_broadcast import CDBroadcastResult, cd_broadcast
 from .leader_binary_search import (
     BinarySearchElectionResult,
     binary_search_election,
+    binary_search_election_reference,
 )
 from .luby_local import LubyResult, luby_mis
 from .round_robin import RoundRobinResult, round_robin_broadcast
@@ -30,7 +36,10 @@ __all__ = [
     "LubyResult",
     "bgi_bound",
     "bgi_broadcast",
+    "bgi_broadcast_reference",
+    "bgi_schedule",
     "binary_search_election",
+    "binary_search_election_reference",
     "broadcast_lower_bound",
     "czumaj_davies_bound",
     "czumaj_rytter_bound",

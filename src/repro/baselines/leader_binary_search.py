@@ -39,6 +39,7 @@ def binary_search_election(
     network: RadioNetwork,
     rng: np.random.Generator,
     id_bits: int | None = None,
+    engine: str = "windowed",
 ) -> BinarySearchElectionResult:
     """Elect the node with the highest random ID by binary search.
 
@@ -50,6 +51,10 @@ def binary_search_election(
         Randomness source; also draws the ``Theta(log n)``-bit node IDs.
     id_bits:
         ID length; defaults to ``3 ceil(log2 n)`` (unique whp).
+    engine:
+        Delivery engine for the per-phase BGI floods — ``"windowed"``
+        (default, one sparse product per sweep) or ``"reference"``
+        (step-wise); seeded results are bit-identical.
 
     Notes
     -----
@@ -76,7 +81,9 @@ def binary_search_election(
         upper = [int(v) for v in np.nonzero(ids >= mid)[0]]
         phases += 1
         if upper:
-            bgi_broadcast(network, upper[0], rng, sources=upper)
+            bgi_broadcast(
+                network, upper[0], rng, sources=upper, engine=engine
+            )
             lo = mid
         else:
             hi = mid - 1
@@ -89,4 +96,17 @@ def binary_search_election(
         phases=phases,
         steps=network.steps_elapsed - steps_before,
         elected=len(winners) == 1,
+    )
+
+
+def binary_search_election_reference(
+    network: RadioNetwork,
+    rng: np.random.Generator,
+    id_bits: int | None = None,
+) -> BinarySearchElectionResult:
+    """Step-wise binary-search election (BGI floods on the reference
+    delivery path); the equivalence suite pins the windowed run against
+    it bit-for-bit."""
+    return binary_search_election(
+        network, rng, id_bits=id_bits, engine="reference"
     )

@@ -5,14 +5,23 @@ Subcommands mirror the library's entry points:
 .. code-block:: bash
 
     python -m repro mis --graph udg --n 150 --seed 7
+    python -m repro mis --n 150 --engine reference   # step-wise twin
     python -m repro broadcast --graph grid --rows 3 --cols 40
+    python -m repro broadcast --graph udg --n 80 --packet
     python -m repro leader --graph gnp --n 100 --p 0.08
+    python -m repro leader --graph udg --n 80 --packet
     python -m repro partition --graph udg --n 120 --beta 0.25
     python -m repro classes --n 150
 
 Every subcommand accepts ``--seed`` (default 0) and prints a short
 human-readable report; machine-readable output is available with
 ``--json``.
+
+Packet-level subcommands run on the windowed protocol engine
+(:mod:`repro.engine`) by default; ``--engine reference`` selects the
+retained step-wise implementations (bit-identical seeded results, much
+slower), and ``--packet`` switches broadcast/leader from round-accounted
+to fully simulated radio steps.
 """
 
 from __future__ import annotations
@@ -29,8 +38,10 @@ from .core import (
     CompeteConfig,
     MISConfig,
     broadcast,
+    broadcast_packet_level,
     compute_mis,
     elect_leader,
+    elect_leader_packet,
     partition,
 )
 from .graphs import greedy_independent_set
@@ -96,13 +107,14 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     g = _build_graph(args, rng)
     net = RadioNetwork(g)
     config = MISConfig(oracle_degree=args.oracle_degree, eed_C=args.eed_c)
-    result = compute_mis(net, rng, config)
+    result = compute_mis(net, rng, config, engine=args.engine)
     valid = graphs.is_maximal_independent_set(g, result.mis)
     _emit(
         args,
         {
             "graph": g.graph.get("family"),
             "n": g.number_of_nodes(),
+            "engine": args.engine,
             "mis_size": result.size,
             "rounds": result.rounds_used,
             "radio_steps": result.steps_used,
@@ -115,6 +127,29 @@ def _cmd_mis(args: argparse.Namespace) -> int:
 def _cmd_broadcast(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     g = _build_graph(args, rng)
+    if args.packet:
+        if args.baseline:
+            print(
+                "error: --baseline applies to the round-accounted "
+                "pipeline only; the packet level has no [7] baseline mode",
+                file=sys.stderr,
+            )
+            return 2
+        result = broadcast_packet_level(g, args.source, rng)
+        _emit(
+            args,
+            {
+                "graph": g.graph.get("family"),
+                "n": g.number_of_nodes(),
+                "D": graphs.diameter(g),
+                "mode": "packet (windowed engine)",
+                "delivered": result.delivered,
+                "radio_steps": result.steps,
+                "phases": result.phases,
+                "stage_steps": result.stage_steps,
+            },
+        )
+        return 0 if result.delivered else 1
     config = CompeteConfig(
         centers_mode="all" if args.baseline else "mis"
     )
@@ -138,6 +173,21 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
 def _cmd_leader(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     g = _build_graph(args, rng)
+    if args.packet:
+        packet = elect_leader_packet(RadioNetwork(g), rng)
+        _emit(
+            args,
+            {
+                "graph": g.graph.get("family"),
+                "n": g.number_of_nodes(),
+                "mode": "packet (windowed engine)",
+                "elected": packet.elected,
+                "leader": packet.leader,
+                "candidates": len(packet.candidates),
+                "radio_steps": packet.steps,
+            },
+        )
+        return 0 if packet.elected else 1
     result = elect_leader(g, rng)
     _emit(
         args,
@@ -221,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip EstimateEffectiveDegree (documented speed knob)",
     )
     mis.add_argument("--eed-c", type=int, default=8, help="Algorithm 6's C")
+    mis.add_argument(
+        "--engine",
+        default="windowed",
+        choices=["windowed", "reference"],
+        help="delivery engine (reference = step-wise twin, bit-identical)",
+    )
     mis.set_defaults(func=_cmd_mis)
 
     bc = sub.add_parser("broadcast", help="broadcast via Compete (Thm 7)")
@@ -231,10 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the [7] all-nodes-centers baseline instead",
     )
+    bc.add_argument(
+        "--packet",
+        action="store_true",
+        help="simulate every radio step on the windowed engine",
+    )
     bc.set_defaults(func=_cmd_broadcast)
 
     leader = sub.add_parser("leader", help="leader election (Algorithm 3)")
     _add_graph_options(leader)
+    leader.add_argument(
+        "--packet",
+        action="store_true",
+        help="simulate every radio step on the windowed engine",
+    )
     leader.set_defaults(func=_cmd_leader)
 
     part = sub.add_parser(

@@ -5,7 +5,7 @@ radio Partition, Intra-Cluster Propagation) and the round-accounted
 Compete pipeline with broadcasting and leader election on top.
 """
 
-from .broadcast import BroadcastResult, broadcast
+from .broadcast import BroadcastResult, broadcast, broadcast_packet_level
 from .cluster import Clustering
 from .cluster_stats import (
     BadJReport,
@@ -37,25 +37,32 @@ from .decay import (
     Decay,
     DecayResult,
     claim10_iterations,
+    decay_block_schedule,
     decay_span,
     run_decay,
+    run_decay_reference,
 )
 from .effective_degree import (
     EffectiveDegreeResult,
     EstimateEffectiveDegree,
+    effective_degree_schedule,
     estimate_effective_degree,
+    estimate_effective_degree_reference,
     exact_effective_degree,
 )
 from .intra_cluster import (
     DecayBackground,
     ICPProtocol,
     ICPResult,
+    decay_background_schedule,
     intra_cluster_propagation,
 )
 from .leader_election import (
     LeaderElectionResult,
+    PacketLeaderResult,
     candidate_probability,
     elect_leader,
+    elect_leader_packet,
     id_bits,
 )
 from .mis import (
@@ -63,7 +70,9 @@ from .mis import (
     MISResult,
     MISRoundRecord,
     compute_mis,
+    compute_mis_reference,
     mis_round_budget,
+    mis_schedule,
 )
 from .mpx import (
     beta_of_j,
@@ -71,15 +80,21 @@ from .mpx import (
     draw_shifts,
     j_range,
     partition,
+    partition_csr,
     partition_reference,
 )
 from .partition_radio import partition_radio
-from .schedule import ClusterSchedule, build_schedule
+from .schedule import (
+    ClusterSchedule,
+    build_schedule,
+    build_schedule_reference,
+)
 from .wakeup import (
     WakeupResult,
     decay_schedule,
     expected_steps,
     mis_as_wakeup_strategy,
+    mis_as_wakeup_strategy_reference,
     run_wakeup,
     uniform_schedule,
 )
@@ -105,6 +120,7 @@ __all__ = [
     "MISRoundRecord",
     "PacketCompeteConfig",
     "PacketCompeteResult",
+    "PacketLeaderResult",
     "PhaseRecord",
     "WakeupResult",
     "b_beta",
@@ -113,7 +129,9 @@ __all__ = [
     "beta_of_j",
     "broadcast",
     "broadcast_packet",
+    "broadcast_packet_level",
     "build_schedule",
+    "build_schedule_reference",
     "candidate_probability",
     "center_distance_histogram",
     "claim10_iterations",
@@ -121,12 +139,18 @@ __all__ = [
     "compete",
     "compete_packet",
     "compute_mis",
+    "compute_mis_reference",
+    "decay_background_schedule",
+    "decay_block_schedule",
     "decay_schedule",
     "decay_span",
     "draw_shifts",
+    "effective_degree_schedule",
     "elect_leader",
+    "elect_leader_packet",
     "expected_steps",
     "estimate_effective_degree",
+    "estimate_effective_degree_reference",
     "exact_effective_degree",
     "expected_distance_bound",
     "id_bits",
@@ -135,13 +159,17 @@ __all__ = [
     "j_range",
     "lemma4_bound",
     "mis_as_wakeup_strategy",
+    "mis_as_wakeup_strategy_reference",
     "mis_round_budget",
+    "mis_schedule",
     "partition",
+    "partition_csr",
     "partition_radio",
     "partition_reference",
     "prefix_counts",
     "propagation_length",
     "run_decay",
+    "run_decay_reference",
     "run_wakeup",
     "s_beta",
     "t_beta",

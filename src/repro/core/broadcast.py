@@ -6,6 +6,14 @@ candidate, so when Compete finishes, every node knows it — in
 On growth-bounded graphs (``alpha = poly(D)``) this is
 ``O(D + polylog n)`` (Corollary 9), with the optimal ``O(D)`` leading
 term.
+
+Two fidelity levels share this entry point (DESIGN.md Section 1.1):
+:func:`broadcast` charges rounds at cluster-event granularity (the
+scalable way to measure the theorem's shape), while
+:func:`broadcast_packet_level` simulates every radio step of the
+pipeline on the windowed engine — MIS, radio Partition, slot-schedule
+ICP with the Decay background — and is the packet ground truth the E6
+comparison uses.
 """
 
 from __future__ import annotations
@@ -15,8 +23,14 @@ import dataclasses
 import networkx as nx
 import numpy as np
 
-from ..radio.trace import CostLedger
+from ..radio.network import RadioNetwork
+from ..radio.trace import CostLedger, StepTrace
 from .compete import CompeteConfig, CompeteResult, compete
+from .compete_packet import (
+    PacketCompeteConfig,
+    PacketCompeteResult,
+    broadcast_packet,
+)
 
 
 @dataclasses.dataclass
@@ -74,3 +88,23 @@ def broadcast(
         ledger=result.ledger,
         compete=result,
     )
+
+
+def broadcast_packet_level(
+    graph: nx.Graph,
+    source: int,
+    rng: np.random.Generator,
+    config: PacketCompeteConfig | None = None,
+    trace: StepTrace | None = None,
+) -> PacketCompeteResult:
+    """Packet-level broadcast: every radio step simulated, engine-backed.
+
+    Builds a :class:`~repro.radio.network.RadioNetwork` over ``graph``
+    and runs the full packet pipeline
+    (:func:`~repro.core.compete_packet.broadcast_packet`). The default
+    :class:`~repro.core.compete_packet.PacketCompeteConfig` uses the
+    windowed engine; pass ``PacketCompeteConfig(engine="reference")``
+    for the step-wise path (bit-identical seeded results, much slower).
+    """
+    network = RadioNetwork(graph, trace=trace)
+    return broadcast_packet(network, source, rng, config=config)

@@ -36,7 +36,7 @@ from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.trace import CostLedger
 from .costmodel import CostModel, propagation_length
 from .cluster import Clustering
-from .mpx import beta_of_j, coarse_beta, j_range, partition
+from .mpx import beta_of_j, coarse_beta, j_range, partition, partition_csr
 
 
 @dataclasses.dataclass
@@ -213,7 +213,9 @@ def compete(
 
     # --- steps 4-5: fine clusterings within each coarse cluster -----------
     js = j_range(d)
-    fine = _build_fine_clusterings(graph, coarse, centers, js, config, rng)
+    fine = _build_fine_clusterings(
+        graph, coarse, centers, js, config, rng, context
+    )
     # Coarse clusters build their clusterings in parallel; j values and
     # repeated draws are sequential.
     n_clusterings = len(js) * config.fine_per_j
@@ -316,24 +318,74 @@ def _build_fine_clusterings(
     js: list[int],
     config: CompeteConfig,
     rng: np.random.Generator,
+    context: GraphContext | None = None,
 ) -> dict[int, dict[int, list[Clustering]]]:
     """Algorithm 2 step 4: per coarse cluster, per ``j``, fine clusterings.
 
     Fine clusterings partition each coarse cluster's subgraph using the
     center candidates that fall inside it (the coarse center itself is
-    always a candidate, so the set is never empty).
+    always a candidate, so the set is never empty). Subgraphs are CSR
+    slices of the cached :class:`~repro.graphs.context.GraphContext`
+    (:meth:`~repro.graphs.context.GraphContext.induced_csr`) — one slice
+    per coarse cluster, reused across every ``j`` and redraw — instead
+    of per-cluster ``nx.relabel_nodes`` copies. Shift draws and
+    partition results are bit-identical to the networkx path, which is
+    retained as :func:`_build_fine_clusterings_reference`.
+    """
+    context = context if context is not None else graph_context(graph)
+    center_set = set(centers)
+    fine: dict[int, dict[int, list[Clustering]]] = {}
+    for coarse_center, members in coarse.members().items():
+        members_arr = np.asarray(members, dtype=np.int64)
+        sub_indptr, sub_indices = context.induced_csr(members_arr)
+        # Candidate centers inside this coarse cluster; the coarse center
+        # itself is always one (used centers own themselves in MPX).
+        local_centers = [
+            i for i, v in enumerate(members) if v in center_set
+        ]
+        fine[coarse_center] = {}
+        for j in js:
+            beta = beta_of_j(j)
+            draws = []
+            for _ in range(config.fine_per_j):
+                local = partition_csr(
+                    sub_indptr,
+                    sub_indices,
+                    len(members),
+                    beta,
+                    local_centers,
+                    rng,
+                )
+                draws.append(
+                    _lift_clustering(local, members_arr, len(graph))
+                )
+            fine[coarse_center][j] = draws
+    return fine
+
+
+def _build_fine_clusterings_reference(
+    graph: nx.Graph,
+    coarse: Clustering,
+    centers: list[int],
+    js: list[int],
+    config: CompeteConfig,
+    rng: np.random.Generator,
+) -> dict[int, dict[int, list[Clustering]]]:
+    """The original networkx subgraph/relabel construction (reference).
+
+    One relabeled copy per coarse cluster; kept for the equivalence
+    suite, which pins :func:`_build_fine_clusterings` against it
+    bit-for-bit under a shared rng.
     """
     center_set = set(centers)
     fine: dict[int, dict[int, list[Clustering]]] = {}
     for coarse_center, members in coarse.members().items():
         # Relabel the coarse-cluster subgraph 0..k-1 for partition().
         relabel = {v: i for i, v in enumerate(members)}
-        back = {i: v for v, i in relabel.items()}
+        members_arr = np.asarray(members, dtype=np.int64)
         sub_relabeled = nx.relabel_nodes(
             graph.subgraph(members), relabel, copy=True
         )
-        # Candidate centers inside this coarse cluster; the coarse center
-        # itself is always one (used centers own themselves in MPX).
         local_centers = [relabel[v] for v in members if v in center_set]
         fine[coarse_center] = {}
         for j in js:
@@ -341,32 +393,33 @@ def _build_fine_clusterings(
             draws = []
             for _ in range(config.fine_per_j):
                 local = partition(sub_relabeled, beta, local_centers, rng)
-                draws.append(_lift_clustering(local, back, len(graph)))
+                draws.append(
+                    _lift_clustering(local, members_arr, len(graph))
+                )
             fine[coarse_center][j] = draws
     return fine
 
 
 def _lift_clustering(
-    local: Clustering, back: dict[int, int], n: int
+    local: Clustering, members: np.ndarray, n: int
 ) -> Clustering:
-    """Lift a subgraph clustering to global indices.
+    """Lift a subgraph clustering to global indices (vectorized).
 
-    Nodes outside the coarse cluster get assignment ``-1`` (they belong
-    to other coarse clusters' fine clusterings) and are ignored by the
+    ``members[i]`` is the global index of local node ``i``. Nodes
+    outside the coarse cluster get assignment ``-1`` (they belong to
+    other coarse clusters' fine clusterings) and are ignored by the
     event update.
     """
     assignment = np.full(n, -1, dtype=np.int64)
     distance = np.full(n, -1, dtype=np.int64)
-    for local_v in range(local.n):
-        global_v = back[local_v]
-        assignment[global_v] = back[int(local.assignment[local_v])]
-        distance[global_v] = local.distance_to_center[local_v]
+    assignment[members] = members[local.assignment]
+    distance[members] = local.distance_to_center
     return Clustering(
         beta=local.beta,
-        centers=sorted(back[c] for c in local.centers),
+        centers=sorted(int(members[c]) for c in local.centers),
         assignment=assignment,
         distance_to_center=distance,
-        delta={back[c]: s for c, s in local.delta.items()},
+        delta={int(members[c]): s for c, s in local.delta.items()},
     )
 
 

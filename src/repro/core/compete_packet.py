@@ -34,7 +34,7 @@ from ..graphs.context import GraphContext, graph_context
 from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.network import RadioNetwork
 from .costmodel import propagation_length
-from .decay import run_decay
+from .decay import run_decay, run_decay_reference
 from .intra_cluster import intra_cluster_propagation
 from .mis import MISConfig, compute_mis
 from .mpx import beta_of_j, j_range
@@ -51,6 +51,11 @@ class PacketCompeteConfig:
     exhaustion preserves the randomization; DESIGN.md substitution 2).
     ``mis_config`` defaults to the oracle-degree speed knob since MIS
     step costs are already measured separately in E1.
+
+    ``engine`` selects the delivery engine for every stage:
+    ``"windowed"`` (default) batches oblivious segments through the
+    engine layer, ``"reference"`` drives the retained step-wise
+    implementations. Seeded runs are bit-identical across the two.
     """
 
     clusterings_per_j: int = 2
@@ -60,6 +65,11 @@ class PacketCompeteConfig:
     )
     max_phases: int | None = None
     final_sweep_iterations: int = 4
+    engine: str = "windowed"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("windowed", "reference"):
+            raise ValueError(f"unknown engine: {self.engine!r}")
 
 
 @dataclasses.dataclass
@@ -123,7 +133,9 @@ def compete_packet(
     steps_at = {"start": network.steps_elapsed}
 
     # --- stage 1: Radio MIS ----------------------------------------------
-    mis_result = compute_mis(network, rng, config.mis_config)
+    mis_result = compute_mis(
+        network, rng, config.mis_config, engine=config.engine
+    )
     mis = sorted(network.index_of(v) for v in mis_result.mis)
     steps_at["mis"] = network.steps_elapsed
     alpha_used = alpha if alpha is not None else max(1, len(mis))
@@ -164,7 +176,8 @@ def compete_packet(
             beta_of_j(j), alpha_used, d, config.c_ell
         )
         icp = intra_cluster_propagation(
-            network, clustering, schedule, knowledge, ell, rng
+            network, clustering, schedule, knowledge, ell, rng,
+            engine=config.engine,
         )
         knowledge = icp.knowledge
         phases += 1
@@ -175,7 +188,10 @@ def compete_packet(
     # epilogue; it also mops up any straggler in the rare event the loop
     # exited on a stale check.
     informed = knowledge == winner
-    run_decay(
+    final_sweep = (
+        run_decay if config.engine == "windowed" else run_decay_reference
+    )
+    final_sweep(
         network,
         informed,
         rng,

@@ -9,18 +9,23 @@ the sweep. Iterating the sweep ``O(log n)`` times amplifies this to high
 probability (paper Claim 10).
 
 This module provides the vectorized :class:`Decay` protocol (all of ``S``
-decaying concurrently) and the convenience :func:`run_decay` wrapper used
-by Radio MIS and intra-cluster propagation.
+decaying concurrently), its schedule emitter :func:`decay_block_schedule`, and
+the convenience :func:`run_decay` wrapper used by Radio MIS and
+intra-cluster propagation.
 
 Performance: a Decay block is *oblivious* — the transmit mask of every
 step depends only on the fixed active set and fresh coin flips, never on
-what was heard — so :func:`run_decay` executes whole blocks through
+what was heard — so :func:`decay_block_schedule` emits whole blocks as
+:class:`~repro.engine.segments.ObliviousWindow` segments, which the
+:class:`~repro.engine.runner.WindowedRunner` executes through
 :meth:`~repro.radio.network.RadioNetwork.deliver_window` (one sparse
 matrix-matrix product per chunk of steps instead of one matvec plus
-Python dispatch per step). The batched path draws the same random
-numbers in the same order and folds receptions in step order, so
-results, trace totals, and the post-call rng state are all bit-identical
-to driving the :class:`Decay` protocol step by step.
+Python dispatch per step). The emitter draws the same random numbers in
+the same order and folds receptions in step order, so results, trace
+totals, and the post-call rng state are all bit-identical to driving
+the :class:`Decay` protocol step by step — which
+:func:`run_decay_reference` still does, as the executable specification
+the equivalence suite compares against.
 """
 
 from __future__ import annotations
@@ -31,8 +36,10 @@ from typing import Any
 
 import numpy as np
 
+from ..engine.runner import run_schedule
+from ..engine.segments import ObliviousWindow, ProtocolSchedule, coin_chunk
 from ..radio.network import NO_SENDER, RadioNetwork
-from ..radio.protocol import Protocol
+from ..radio.protocol import Protocol, run_steps
 
 
 def decay_span(n_estimate: int) -> int:
@@ -177,6 +184,48 @@ class Decay(Protocol):
         )
 
 
+def decay_block_schedule(
+    network: RadioNetwork,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    messages: list[Any] | None = None,
+    iterations: int = 1,
+    n_estimate: int | None = None,
+) -> ProtocolSchedule:
+    """Schedule emitter for one full Decay block.
+
+    Emits the block as chunked
+    :class:`~repro.engine.segments.ObliviousWindow` segments — every
+    mask is the fixed active set gated by fresh coins, so the whole
+    block is oblivious. Coins are drawn chunk-row-major, which is
+    stream-identical to the per-step draws of the :class:`Decay`
+    protocol; receptions fold in step order. Returns the block's
+    :class:`DecayResult`.
+    """
+    protocol = Decay(
+        network,
+        active,
+        messages=messages,
+        iterations=iterations,
+        n_estimate=n_estimate,
+    )
+    total = protocol.total_steps
+    if total:
+        n = network.n
+        # Per-step transmission probabilities of the sweep ladder.
+        probs = 2.0 ** -((np.arange(total) % protocol.span) + 1.0)
+        chunk = coin_chunk(n)
+        done = 0
+        while done < total:
+            k = min(chunk, total - done)
+            coins = rng.random((k, n)) < probs[done : done + k, None]
+            masks = coins & protocol.active[None, :]
+            hear_window = yield ObliviousWindow(masks)
+            protocol._absorb_window(hear_window)
+            done += k
+    return protocol.result()
+
+
 def run_decay(
     network: RadioNetwork,
     active: np.ndarray,
@@ -191,10 +240,38 @@ def run_decay(
     perform ``O(log n)`` iterations of Decay" translates to
     ``run_decay(network, marked, rng, iterations=claim10_iterations(n))``.
 
-    The block executes through the network's batched
-    :meth:`~repro.radio.network.RadioNetwork.deliver_window` path (see
-    the module docstring); results and rng consumption are identical to
-    the step-by-step protocol drive, just much faster.
+    The block executes :func:`decay_block_schedule` on the windowed engine
+    (see the module docstring); results and rng consumption are
+    identical to :func:`run_decay_reference`, just much faster.
+    """
+    return run_schedule(
+        network,
+        decay_block_schedule(
+            network,
+            active,
+            rng,
+            messages=messages,
+            iterations=iterations,
+            n_estimate=n_estimate,
+        ),
+    )
+
+
+def run_decay_reference(
+    network: RadioNetwork,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    messages: list[Any] | None = None,
+    iterations: int = 1,
+    n_estimate: int | None = None,
+) -> DecayResult:
+    """Step-wise Decay block: the executable specification of
+    :func:`run_decay`.
+
+    Drives the :class:`Decay` protocol one
+    :meth:`~repro.radio.network.RadioNetwork.deliver` call at a time.
+    ``tests/test_engine_windowed.py`` pins bit-identical results, trace
+    totals, and post-call rng state against the windowed path.
     """
     protocol = Decay(
         network,
@@ -203,19 +280,5 @@ def run_decay(
         iterations=iterations,
         n_estimate=n_estimate,
     )
-    total = protocol.total_steps
-    if total:
-        n = network.n
-        # Per-step transmission probabilities of the sweep ladder.
-        probs = 2.0 ** -((np.arange(total) % protocol.span) + 1.0)
-        # Chunk windows to bound the coin matrix at ~4M entries; chunked
-        # rng.random draws are stream-identical to one big draw.
-        chunk = max(1, (1 << 22) // max(1, n))
-        done = 0
-        while done < total:
-            k = min(chunk, total - done)
-            coins = rng.random((k, n)) < probs[done : done + k, None]
-            masks = coins & protocol.active[None, :]
-            protocol._absorb_window(network.deliver_window(masks))
-            done += k
+    run_steps(protocol, rng, protocol.total_steps)
     return protocol.result()

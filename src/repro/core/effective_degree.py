@@ -14,6 +14,17 @@ Low whp; in between either answer is allowed).
 The protocol runs on *all* active nodes concurrently — each node is both
 a transmitter (perturbing others' estimates exactly as in the real
 algorithm) and a listener counting its own hears.
+
+Performance: Algorithm 6 is *fully oblivious* — every transmit mask
+depends only on the fixed desire levels, the step's density guess, and
+fresh coins, never on what was heard (receptions only update counters).
+:func:`effective_degree_schedule` therefore emits the entire
+``O(log^2 n)``-step block as
+:class:`~repro.engine.segments.ObliviousWindow` segments, executed as a
+handful of sparse matrix-matrix products by the windowed engine. The
+step-wise drive is retained as
+:func:`estimate_effective_degree_reference`; results, trace totals, and
+rng consumption are bit-identical.
 """
 
 from __future__ import annotations
@@ -23,6 +34,8 @@ import math
 
 import numpy as np
 
+from ..engine.runner import run_schedule
+from ..engine.segments import ObliviousWindow, ProtocolSchedule, coin_chunk
 from ..radio.network import NO_SENDER, RadioNetwork
 from ..radio.protocol import Protocol, run_steps
 
@@ -116,6 +129,24 @@ class EstimateEffectiveDegree(Protocol):
         if self._step >= self.total_steps:
             self._finished = True
 
+    def _absorb_window(self, hear_window: np.ndarray) -> None:
+        """Fold a ``(k, n)`` window of receptions, in step order.
+
+        Equivalent to ``k`` sequential :meth:`observe` calls: each row's
+        hears increment the counter of that step's density level. A
+        chunk may straddle level boundaries, so rows are grouped by
+        level before the (order-independent) per-level sums.
+        """
+        k = hear_window.shape[0]
+        heard = (hear_window != NO_SENDER) & self.active[None, :]
+        levels = (self._step + np.arange(k)) // self.steps_per_level
+        for lev in np.unique(levels):
+            rows = heard[levels == lev]
+            self.counts[lev] += rows.sum(axis=0)
+        self._step += k
+        if self._step >= self.total_steps:
+            self._finished = True
+
     def result(self) -> EffectiveDegreeResult:
         threshold = self.steps_per_level / THRESHOLD_DIVISOR
         high = (self.counts >= threshold).any(axis=0) & self.active
@@ -126,6 +157,43 @@ class EstimateEffectiveDegree(Protocol):
         )
 
 
+def effective_degree_schedule(
+    network: RadioNetwork,
+    p: np.ndarray,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    C: int = 24,
+    n_estimate: int | None = None,
+) -> ProtocolSchedule:
+    """Schedule emitter for one full EstimateEffectiveDegree block.
+
+    Step ``t`` of the block transmits with probability
+    ``p(v) / 2^(t // steps_per_level)``; coins are drawn chunk-row-major
+    (stream-identical to the protocol's per-step draws) and the whole
+    block goes out as oblivious windows. Returns the block's
+    :class:`EffectiveDegreeResult`.
+    """
+    protocol = EstimateEffectiveDegree(
+        network, p, active, C=C, n_estimate=n_estimate
+    )
+    total = protocol.total_steps
+    if total:
+        n = network.n
+        # 2^i is exact, so dividing row-wise reproduces the protocol's
+        # per-step `p / 2**i` values bit-for-bit.
+        pow2 = 2.0 ** (np.arange(total) // protocol.steps_per_level)
+        chunk = coin_chunk(n)
+        done = 0
+        while done < total:
+            k = min(chunk, total - done)
+            probs = protocol.p[None, :] / pow2[done : done + k, None]
+            masks = protocol.active[None, :] & (rng.random((k, n)) < probs)
+            hear_window = yield ObliviousWindow(masks)
+            protocol._absorb_window(hear_window)
+            done += k
+    return protocol.result()
+
+
 def estimate_effective_degree(
     network: RadioNetwork,
     p: np.ndarray,
@@ -134,7 +202,28 @@ def estimate_effective_degree(
     C: int = 24,
     n_estimate: int | None = None,
 ) -> EffectiveDegreeResult:
-    """Run one full EstimateEffectiveDegree block (convenience wrapper)."""
+    """Run one full EstimateEffectiveDegree block on the windowed engine."""
+    return run_schedule(
+        network,
+        effective_degree_schedule(
+            network, p, active, rng, C=C, n_estimate=n_estimate
+        ),
+    )
+
+
+def estimate_effective_degree_reference(
+    network: RadioNetwork,
+    p: np.ndarray,
+    active: np.ndarray,
+    rng: np.random.Generator,
+    C: int = 24,
+    n_estimate: int | None = None,
+) -> EffectiveDegreeResult:
+    """Step-wise EstimateEffectiveDegree: the executable specification.
+
+    Drives the :class:`EstimateEffectiveDegree` protocol one step at a
+    time; the equivalence suite pins the windowed path against it.
+    """
     protocol = EstimateEffectiveDegree(
         network, p, active, C=C, n_estimate=n_estimate
     )

@@ -17,6 +17,21 @@ failure mode the background exists for.
 Knowledge is represented as an ``int64`` array of message keys with
 ``-1`` meaning "knows nothing"; keys are ordered, and bigger overrides
 smaller (the ``Compete`` override rule).
+
+Engine migration notes. A Decay iteration (Algorithm 5) runs over a set
+``S`` that is *fixed for the sweep*, so :class:`DecayBackground`
+freezes its participant set and payloads at each block boundary and
+commits receptions when the block ends — sweep-synchronized semantics
+that are both closer to the primitive the paper invokes and what makes
+a standalone background block an oblivious window
+(:func:`decay_background_schedule`). Inside
+:func:`intra_cluster_propagation` the background is time-multiplexed
+with the *adaptive* slot passes (each slot's mask depends on knowledge
+received in earlier slots), which makes every multiplexed step a
+decision point: the run enters the engine through
+:func:`~repro.engine.runner.protocol_schedule` and executes on the
+fused single-step path. ``engine="reference"`` drives the identical
+protocols through :func:`~repro.radio.protocol.run_steps` instead.
 """
 
 from __future__ import annotations
@@ -26,6 +41,8 @@ import math
 
 import numpy as np
 
+from ..engine.runner import protocol_schedule, run_schedule
+from ..engine.segments import ObliviousWindow, ProtocolSchedule
 from ..radio.network import NO_SENDER, RadioNetwork
 from ..radio.protocol import Protocol, TimeMultiplexer, run_steps
 from .cluster import Clustering
@@ -98,6 +115,14 @@ class DecayBackground(Protocol):
     silent for the same duration. Listeners everywhere adopt the highest
     message they hear — this is what carries messages across cluster
     boundaries despite schedule collisions.
+
+    Sweep-synchronized semantics: a Decay iteration (Algorithm 5) runs
+    over a set fixed for the whole sweep, so the participant set, the
+    transmitted payloads, and the sweep's coins are all frozen when a
+    block starts, and receptions are committed to ``knowledge`` when the
+    block ends. This is what makes a block *oblivious* — the windowed
+    :func:`decay_background_schedule` executes the identical plan as one
+    sparse product per block, bit-identical to stepping this protocol.
     """
 
     def __init__(
@@ -115,7 +140,9 @@ class DecayBackground(Protocol):
         self._i = 1
         self._step_in_block = 0
         self._cluster_on: dict[int, bool] = {}
-        self._tx_snapshot: np.ndarray | None = None
+        self._block_masks: np.ndarray | None = None
+        self._block_payload: np.ndarray | None = None
+        self._block_incoming: np.ndarray | None = None
 
     def _refresh_cluster_coins(self, rng: np.random.Generator) -> None:
         prob = 2.0**-self._i
@@ -124,12 +151,14 @@ class DecayBackground(Protocol):
             for c in self.clustering.used_centers()
         }
 
-    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
-        if self._step_in_block == 0:
-            self._refresh_cluster_coins(rng)
-        # Decay iteration step: within an on-cluster, knowledge-bearing
-        # nodes transmit with probability 2^-(step+1).
-        prob = 2.0 ** -(self._step_in_block + 1)
+    def _plan_block(self, rng: np.random.Generator) -> None:
+        """Freeze one sweep: cluster coins, participants, payloads, coins.
+
+        Draw order (cluster coins first, then the ``(span, n)`` coin
+        matrix) is the stream contract shared with
+        :func:`decay_background_schedule`.
+        """
+        self._refresh_cluster_coins(rng)
         on = np.array(
             [
                 self._cluster_on.get(int(c), False)
@@ -137,18 +166,31 @@ class DecayBackground(Protocol):
             ],
             dtype=bool,
         )
-        mask = on & (self.knowledge >= 0) & (rng.random(self.n) < prob)
-        self._tx_snapshot = self.knowledge.copy()
-        return mask
+        participants = on & (self.knowledge >= 0)
+        probs = 2.0 ** -(np.arange(self.span) + 1.0)
+        coins = rng.random((self.span, self.n)) < probs[:, None]
+        self._block_masks = participants[None, :] & coins
+        self._block_payload = self.knowledge.copy()
+        self._block_incoming = np.full(self.n, -1, dtype=np.int64)
+
+    def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
+        if self._step_in_block == 0:
+            self._plan_block(rng)
+        assert self._block_masks is not None
+        return self._block_masks[self._step_in_block]
 
     def observe(self, hear_from: np.ndarray) -> None:
-        assert self._tx_snapshot is not None
+        assert self._block_payload is not None
+        assert self._block_incoming is not None
         heard = hear_from != NO_SENDER
-        senders = hear_from[heard]
-        values = self._tx_snapshot[senders]
-        np.maximum.at(self.knowledge, np.nonzero(heard)[0], values)
+        values = self._block_payload[hear_from[heard]]
+        np.maximum.at(self._block_incoming, np.nonzero(heard)[0], values)
         self._step_in_block += 1
         if self._step_in_block >= self.span:
+            # Block boundary: commit the sweep's receptions.
+            np.maximum(
+                self.knowledge, self._block_incoming, out=self.knowledge
+            )
             self._step_in_block = 0
             self._i += 1
             if self._i > self.span:
@@ -156,6 +198,58 @@ class DecayBackground(Protocol):
 
     def result(self) -> np.ndarray:
         return self.knowledge
+
+
+def decay_background_schedule(
+    network: RadioNetwork,
+    clustering: Clustering,
+    knowledge: np.ndarray,
+    rng: np.random.Generator,
+    total_steps: int,
+    n_estimate: int | None = None,
+) -> ProtocolSchedule:
+    """Run the Decay background alone for ``total_steps`` radio steps,
+    one oblivious window per sweep.
+
+    Standalone (no multiplexed main process), every block of
+    :class:`DecayBackground` is an oblivious window: participants,
+    payloads, and coins are frozen at the block boundary. This emitter
+    executes exactly the plan the protocol would have stepped through —
+    same rng draws, same masks, same block-end commits; a final partial
+    block executes its steps but (like the step-wise protocol, which
+    only commits at block ends) leaves ``knowledge`` untouched. Returns
+    ``knowledge``, mutated in place.
+    """
+    if total_steps < 0:
+        raise ValueError(f"total_steps must be >= 0, got {total_steps}")
+    protocol = DecayBackground(
+        network, clustering, knowledge, n_estimate=n_estimate
+    )
+    done = 0
+    while done < total_steps:
+        protocol._plan_block(rng)
+        masks = protocol._block_masks
+        assert masks is not None
+        remaining = total_steps - done
+        if remaining < protocol.span:
+            yield ObliviousWindow(masks[:remaining])
+            done = total_steps
+            break
+        hear_window = yield ObliviousWindow(masks)
+        heard = hear_window != NO_SENDER
+        payload = protocol._block_payload
+        assert payload is not None
+        incoming = np.full(knowledge.shape[0], -1, dtype=np.int64)
+        step_idx, node_idx = np.nonzero(heard)
+        np.maximum.at(
+            incoming, node_idx, payload[hear_window[step_idx, node_idx]]
+        )
+        np.maximum(knowledge, incoming, out=knowledge)
+        done += protocol.span
+        protocol._i += 1
+        if protocol._i > protocol.span:
+            protocol._i = 1
+    return knowledge
 
 
 class ICPProtocol(Protocol):
@@ -214,6 +308,7 @@ def intra_cluster_propagation(
     ell: int,
     rng: np.random.Generator,
     with_background: bool = True,
+    engine: str = "windowed",
 ) -> ICPResult:
     """Run one packet-level ICP phase, mutating and returning knowledge.
 
@@ -221,20 +316,33 @@ def intra_cluster_propagation(
     the Algorithm 10 background process is time-multiplexed with the slot
     passes, doubling the step count but carrying messages across cluster
     boundaries.
+
+    ``engine="windowed"`` (default) executes through the engine runner:
+    every multiplexed step is a decision point (the slot passes are
+    adaptive), so the run enters via
+    :func:`~repro.engine.runner.protocol_schedule` and uses the fused
+    single-step delivery path. ``engine="reference"`` drives the same
+    protocols through :func:`~repro.radio.protocol.run_steps`; the two
+    are bit-identical by construction.
     """
+    if engine not in ("windowed", "reference"):
+        raise ValueError(f"unknown ICP engine: {engine!r}")
     knowledge = np.asarray(knowledge, dtype=np.int64).copy()
     main = ICPProtocol(network, schedule, knowledge, ell)
     steps_before = network.steps_elapsed
     network.trace.enter_phase("icp")
     if with_background:
         background = DecayBackground(network, clustering, knowledge)
-        muxed = TimeMultiplexer(network, main, background)
+        muxed: Protocol = TimeMultiplexer(network, main, background)
         # The multiplexer runs main on even steps; give it twice the slots.
         total = 2 * sum(len(p.slots) for p in main._passes) + 2
-        run_steps(muxed, rng, total)
     else:
+        muxed = main
         total = sum(len(p.slots) for p in main._passes)
-        run_steps(main, rng, total)
+    if engine == "windowed":
+        run_schedule(network, protocol_schedule(muxed, rng, steps=total))
+    else:
+        run_steps(muxed, rng, total)
     network.trace.enter_phase("default")
     return ICPResult(
         knowledge=knowledge, steps=network.steps_elapsed - steps_before

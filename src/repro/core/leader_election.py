@@ -23,8 +23,14 @@ import math
 import networkx as nx
 import numpy as np
 
+from ..radio.network import RadioNetwork
 from ..radio.trace import CostLedger
 from .compete import CompeteConfig, CompeteResult, compete
+from .compete_packet import (
+    PacketCompeteConfig,
+    PacketCompeteResult,
+    compete_packet,
+)
 
 
 @dataclasses.dataclass
@@ -75,14 +81,7 @@ def elect_leader(
     theorem's guarantee is with high probability, not certainty).
     """
     n = graph.number_of_nodes()
-    prob = candidate_probability(n, c_cand)
-    bits = id_bits(n)
-
-    candidate_mask = rng.random(n) < prob
-    candidates = {
-        int(v): int(rng.integers(1, 2**bits))
-        for v in np.nonzero(candidate_mask)[0]
-    }
+    candidates = _draw_candidates(n, rng, c_cand)
     if not candidates:
         # No candidates — the run fails (detected by silence in practice;
         # rerunning is the standard amplification).
@@ -108,5 +107,79 @@ def elect_leader(
         elected=elected,
         total_rounds=result.total_rounds,
         ledger=result.ledger,
+        compete=result,
+    )
+
+
+@dataclasses.dataclass
+class PacketLeaderResult:
+    """Outcome of a packet-level (fully simulated) leader election.
+
+    ``steps`` counts actual radio steps across the whole Compete
+    pipeline; ``compete`` holds the per-stage itemization.
+    """
+
+    leader: int | None
+    leader_id: int | None
+    candidates: dict[int, int]
+    elected: bool
+    steps: int
+    compete: PacketCompeteResult | None
+
+
+def _draw_candidates(
+    n: int, rng: np.random.Generator, c_cand: float
+) -> dict[int, int]:
+    """Algorithm 3 steps 1-2: candidacy coins, then random IDs.
+
+    Shared by :func:`elect_leader` and :func:`elect_leader_packet` so
+    both draw the identical candidate set from one seed.
+    """
+    prob = candidate_probability(n, c_cand)
+    bits = id_bits(n)
+    candidate_mask = rng.random(n) < prob
+    return {
+        int(v): int(rng.integers(1, 2**bits))
+        for v in np.nonzero(candidate_mask)[0]
+    }
+
+
+def elect_leader_packet(
+    network: RadioNetwork,
+    rng: np.random.Generator,
+    config: PacketCompeteConfig | None = None,
+    alpha: int | None = None,
+    c_cand: float = 1.0,
+) -> PacketLeaderResult:
+    """Algorithm 3, every radio step simulated on the windowed engine.
+
+    Candidates are drawn exactly as in :func:`elect_leader` (same rng
+    order), then their IDs race through the packet-level Compete
+    pipeline. Pass ``PacketCompeteConfig(engine="reference")`` for the
+    step-wise path; seeded results are bit-identical across engines.
+    """
+    n = network.n
+    candidates = _draw_candidates(n, rng, c_cand)
+    if not candidates:
+        return PacketLeaderResult(
+            leader=None,
+            leader_id=None,
+            candidates={},
+            elected=False,
+            steps=0,
+            compete=None,
+        )
+    result = compete_packet(
+        network, candidates, rng, config=config, alpha=alpha
+    )
+    top_id = max(candidates.values())
+    holders = [v for v, cid in candidates.items() if cid == top_id]
+    unique = len(holders) == 1
+    return PacketLeaderResult(
+        leader=holders[0] if unique else None,
+        leader_id=top_id,
+        candidates=candidates,
+        elected=unique and result.delivered,
+        steps=result.steps,
         compete=result,
     )

@@ -29,11 +29,14 @@ from typing import Hashable
 
 import numpy as np
 
+from ..engine.runner import run_schedule
+from ..engine.segments import ProtocolSchedule, TracePhase
 from ..radio.network import RadioNetwork
-from .decay import claim10_iterations, run_decay
+from .decay import claim10_iterations, decay_block_schedule, run_decay_reference
 from .effective_degree import (
     HIGH_GUARANTEE,
-    estimate_effective_degree,
+    effective_degree_schedule,
+    estimate_effective_degree_reference,
     exact_effective_degree,
 )
 
@@ -130,33 +133,21 @@ def mis_round_budget(n_estimate: int, round_factor: float) -> int:
     return max(1, math.ceil(round_factor * math.log2(max(2, n_estimate))))
 
 
-def compute_mis(
+def mis_schedule(
     network: RadioNetwork,
     rng: np.random.Generator,
     config: MISConfig | None = None,
     n_estimate: int | None = None,
-) -> MISResult:
-    """Run Radio MIS (Algorithm 7) on ``network``.
+) -> ProtocolSchedule:
+    """Schedule emitter for Radio MIS (Algorithm 7).
 
-    Parameters
-    ----------
-    network:
-        The radio network. Connectivity is *not* required (MIS is a local
-        problem, paper Section 1.2).
-    rng:
-        Randomness source for all nodes' coins.
-    config:
-        Constants; see :class:`MISConfig`.
-    n_estimate:
-        The network-size estimate nodes are assumed to know; defaults to
-        the exact ``n``.
-
-    Returns
-    -------
-    MISResult
-        With high probability (for default constants) ``mis`` is a
-        maximal independent set and ``all_removed`` is true; tests
-        validate both via :func:`repro.graphs.is_maximal_independent_set`.
+    Each round is three sub-schedules punctuated by decision points that
+    cost no radio steps (marking coins, the desire-level update): two
+    Decay blocks and — unless the ``oracle_degree`` knob is on — one
+    EstimateEffectiveDegree block, all emitted as oblivious windows via
+    ``yield from``. The rng draw order is exactly that of the step-wise
+    loop in :func:`compute_mis_reference`, so both paths are seeded
+    bit-identical. Returns the :class:`MISResult`.
     """
     config = config or MISConfig()
     n = network.n
@@ -189,8 +180,8 @@ def compute_mis(
         marked = active & (rng.random(n) < p)
 
         # --- "did a neighbor mark itself?" via Decay ---------------------
-        network.trace.enter_phase("mis/decay-marked")
-        marked_echo = run_decay(
+        yield TracePhase("mis/decay-marked")
+        marked_echo = yield from decay_block_schedule(
             network, marked, rng, iterations=decay_iters, n_estimate=n_est
         )
         # A node v heard during this block iff some marked neighbor's
@@ -200,8 +191,8 @@ def compute_mis(
         in_mis |= joined
 
         # --- announce MIS membership via Decay ---------------------------
-        network.trace.enter_phase("mis/decay-mis")
-        mis_echo = run_decay(
+        yield TracePhase("mis/decay-mis")
+        mis_echo = yield from decay_block_schedule(
             network, joined, rng, iterations=decay_iters, n_estimate=n_est
         )
         removed = joined | (mis_echo.heard & active)
@@ -212,13 +203,150 @@ def compute_mis(
             d_exact = exact_effective_degree(network, p, active)
             high = active & (d_exact >= HIGH_GUARANTEE)
         else:
-            network.trace.enter_phase("mis/eed")
-            eed = estimate_effective_degree(
+            yield TracePhase("mis/eed")
+            eed = yield from effective_degree_schedule(
                 network, p, active, rng, C=config.eed_C, n_estimate=n_est
             )
             high = eed.high
 
         # --- desire-level update -----------------------------------------
+        p = np.where(high, p / 2.0, np.minimum(2.0 * p, 0.5))
+
+        history.append(
+            MISRoundRecord(
+                round_index=t,
+                active_before=active_before,
+                marked=int(marked.sum()),
+                joined=int(joined.sum()),
+                removed=int(removed.sum()),
+                golden_type1=g1,
+                golden_type2=g2,
+            )
+        )
+
+    yield TracePhase("default")
+    mis_labels = {network.label_of(int(i)) for i in np.nonzero(in_mis)[0]}
+    return MISResult(
+        mis=mis_labels,
+        mis_mask=in_mis,
+        rounds_used=rounds_used,
+        steps_used=network.steps_elapsed - steps_before,
+        all_removed=not bool(active.any()),
+        history=history,
+        golden_type1=golden1,
+        golden_type2=golden2,
+    )
+
+
+def compute_mis(
+    network: RadioNetwork,
+    rng: np.random.Generator,
+    config: MISConfig | None = None,
+    n_estimate: int | None = None,
+    engine: str = "windowed",
+) -> MISResult:
+    """Run Radio MIS (Algorithm 7) on ``network``.
+
+    Parameters
+    ----------
+    network:
+        The radio network. Connectivity is *not* required (MIS is a local
+        problem, paper Section 1.2).
+    rng:
+        Randomness source for all nodes' coins.
+    config:
+        Constants; see :class:`MISConfig`.
+    n_estimate:
+        The network-size estimate nodes are assumed to know; defaults to
+        the exact ``n``.
+    engine:
+        ``"windowed"`` (default) runs :func:`mis_schedule` on the
+        batched engine; ``"reference"`` runs the retained step-wise
+        loop. Both produce bit-identical seeded results.
+
+    Returns
+    -------
+    MISResult
+        With high probability (for default constants) ``mis`` is a
+        maximal independent set and ``all_removed`` is true; tests
+        validate both via :func:`repro.graphs.is_maximal_independent_set`.
+    """
+    if engine == "windowed":
+        return run_schedule(
+            network, mis_schedule(network, rng, config, n_estimate)
+        )
+    if engine == "reference":
+        return compute_mis_reference(network, rng, config, n_estimate)
+    raise ValueError(f"unknown MIS engine: {engine!r}")
+
+
+def compute_mis_reference(
+    network: RadioNetwork,
+    rng: np.random.Generator,
+    config: MISConfig | None = None,
+    n_estimate: int | None = None,
+) -> MISResult:
+    """Step-wise Radio MIS: the executable specification.
+
+    The pre-engine round loop, retained verbatim with its sub-protocols
+    driven one :meth:`~repro.radio.network.RadioNetwork.deliver` call at
+    a time. The equivalence suite pins :func:`compute_mis` against it
+    bit-for-bit (results, step counts, trace totals, rng stream).
+    """
+    config = config or MISConfig()
+    n = network.n
+    n_est = n_estimate if n_estimate is not None else n
+    decay_iters = claim10_iterations(n_est, config.decay_amplification)
+    budget = mis_round_budget(n_est, config.round_factor)
+
+    active = np.ones(n, dtype=bool)
+    p = np.full(n, 0.5, dtype=np.float64)
+    in_mis = np.zeros(n, dtype=bool)
+    golden1 = np.zeros(n, dtype=np.int64)
+    golden2 = np.zeros(n, dtype=np.int64)
+    history: list[MISRoundRecord] = []
+    steps_before = network.steps_elapsed
+
+    rounds_used = 0
+    for t in range(budget):
+        if config.stop_when_done and not active.any():
+            break
+        rounds_used = t + 1
+        active_before = int(active.sum())
+
+        g1 = g2 = 0
+        if config.record_golden:
+            g1, g2 = _record_golden_rounds(
+                network, p, active, golden1, golden2
+            )
+
+        marked = active & (rng.random(n) < p)
+
+        network.trace.enter_phase("mis/decay-marked")
+        marked_echo = run_decay_reference(
+            network, marked, rng, iterations=decay_iters, n_estimate=n_est
+        )
+        joined = marked & ~marked_echo.heard
+
+        in_mis |= joined
+
+        network.trace.enter_phase("mis/decay-mis")
+        mis_echo = run_decay_reference(
+            network, joined, rng, iterations=decay_iters, n_estimate=n_est
+        )
+        removed = joined | (mis_echo.heard & active)
+        active &= ~removed
+
+        if config.oracle_degree:
+            d_exact = exact_effective_degree(network, p, active)
+            high = active & (d_exact >= HIGH_GUARANTEE)
+        else:
+            network.trace.enter_phase("mis/eed")
+            eed = estimate_effective_degree_reference(
+                network, p, active, rng, C=config.eed_C, n_estimate=n_est
+            )
+            high = eed.high
+
         p = np.where(high, p / 2.0, np.minimum(2.0 * p, 0.5))
 
         history.append(

@@ -161,6 +161,37 @@ def partition(
     return _finish_partition(beta, centers, shifts, best_center, hops)
 
 
+def partition_csr(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    beta: float,
+    centers: Iterable[int],
+    rng: np.random.Generator,
+    shifts: dict[int, float] | None = None,
+) -> Clustering:
+    """``Partition(beta, centers)`` directly on CSR arrays.
+
+    The graph-free entry point of the frontier engine: callers that
+    already hold a CSR adjacency — Compete's fine clusterings run on
+    :meth:`~repro.graphs.context.GraphContext.induced_csr` slices of
+    coarse clusters — skip the networkx validation layer entirely.
+    Node indices are ``0..n-1`` CSR rows; results are bit-identical to
+    :func:`partition` on the equivalent graph under shared shifts.
+    """
+    centers = sorted(set(int(c) for c in centers))
+    if not centers:
+        raise ValueError("need at least one center")
+    if shifts is None:
+        shifts = draw_shifts(centers, beta, rng)
+    else:
+        missing = [c for c in centers if c not in shifts]
+        if missing:
+            raise ValueError(f"shifts missing for centers: {missing[:5]}")
+    best_center, hops = _relax_frontier(indptr, indices, n, centers, shifts)
+    return _finish_partition(beta, centers, shifts, best_center, hops)
+
+
 def partition_reference(
     graph: nx.Graph,
     beta: float,

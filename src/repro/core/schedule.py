@@ -22,6 +22,24 @@ On growth-bounded graphs the number of colors is ``O(1)``-ish (bounded
 by one plus the maximum distance-2 degree), so a pass over distance
 ``ell`` costs ``O(ell)`` slots — the behavior the paper's accounting
 assumes.
+
+Performance: both schedule ingredients are computed over the
+*intra-cluster* CSR adjacency (between-cluster edges masked out) in
+whole-graph passes — the BFS layering as one batched
+:mod:`scipy.sparse.csgraph` multi-source sweep, and the distance-2
+coloring as one sparse square (``A + A @ A``) followed by a single
+greedy pass over all clusters at once (clusters are disjoint components
+of the square, so one global greedy equals the per-cluster greedies).
+The original per-cluster ``networkx.power`` + ``greedy_color``
+construction is retained as ``coloring="networkx"`` /
+:func:`build_schedule_reference`. Both are greedy colorings of the same
+square graph; the CSR pass orders nodes deterministically by
+(two-hop-degree desc, index asc), whereas the networkx path inherits
+Python set iteration order from subgraph views, so individual colors
+may differ between the two — the equivalence suite checks the
+properties that matter (identical layers; a *valid* distance-2
+coloring, which is what makes slot passes collision-free in-cluster;
+color counts within the same greedy bound).
 """
 
 from __future__ import annotations
@@ -71,32 +89,45 @@ def _distance2_coloring(subgraph: nx.Graph) -> dict:
     Colors the square of the subgraph greedily in degree order; two nodes
     at distance <= 2 inside the cluster never share a color, which makes
     same-slot transmissions collision-free for in-cluster listeners.
+    Retained as the reference the CSR engine is checked against.
     """
     square = nx.power(subgraph, 2) if subgraph.number_of_nodes() > 1 else subgraph
     return nx.coloring.greedy_color(square, strategy="largest_first")
 
 
-def _cluster_layers(graph: nx.Graph, clustering: Clustering) -> np.ndarray:
-    """In-cluster BFS depth of every node from its own center, batched.
+def _intra_cluster_csr(
+    graph: nx.Graph, clustering: Clustering
+) -> sp.csr_array:
+    """CSR adjacency restricted to edges within one cluster.
 
-    One :func:`scipy.sparse.csgraph.dijkstra` multi-source BFS over the
-    *intra-cluster* adjacency (edges whose endpoints share a cluster)
-    computes every cluster's layering at once: masking removes all
-    between-cluster edges, so each cluster is its own connected
-    component containing exactly one used center, and the min-distance
-    to the center set is the distance to the node's own center. This
-    replaces one networkx BFS per cluster.
+    Between-cluster edges are masked out, so every cluster becomes its
+    own connected component — the shared substrate of the batched
+    layering BFS and the vectorized distance-2 coloring.
     """
     n = clustering.n
     ctx = graph_context(graph)
     src, dst = ctx.edges()
     assignment = clustering.assignment
     intra = assignment[src] == assignment[dst]
-    masked = sp.csr_array(
+    return sp.csr_array(
         (np.ones(int(intra.sum()), dtype=np.float64),
          (src[intra], dst[intra])),
         shape=(n, n),
     )
+
+
+def _cluster_layers(
+    masked: sp.csr_array, clustering: Clustering
+) -> np.ndarray:
+    """In-cluster BFS depth of every node from its own center, batched.
+
+    One :func:`scipy.sparse.csgraph.dijkstra` multi-source BFS over the
+    intra-cluster adjacency computes every cluster's layering at once:
+    each cluster is its own connected component containing exactly one
+    used center, so the min-distance to the center set is the distance
+    to the node's own center. This replaces one networkx BFS per
+    cluster.
+    """
     centers = np.asarray(clustering.used_centers(), dtype=np.int64)
     depths = csgraph.dijkstra(
         masked, directed=False, unweighted=True, indices=centers,
@@ -110,7 +141,46 @@ def _cluster_layers(graph: nx.Graph, clustering: Clustering) -> np.ndarray:
     return depths.astype(np.int64)
 
 
-def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
+def _distance2_color_csr(masked: sp.csr_array) -> np.ndarray:
+    """Vectorized distance-2 coloring over the intra-cluster adjacency.
+
+    The two-hop neighborhoods of *all* clusters come from one sparse
+    square — ``A + A @ A`` with the diagonal dropped — and a single
+    greedy pass colors every node in (two-hop-degree desc, index asc)
+    order with the smallest free color. Clusters are disjoint components
+    of the square, so the global pass is exactly the per-cluster
+    largest-first greedy, in a deterministic order (the networkx
+    reference's order floats with Python set iteration).
+    """
+    n = masked.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    square = (masked + masked @ masked).tocsr()
+    square.setdiag(0)
+    square.eliminate_zeros()
+    indptr = square.indptr
+    indices = square.indices
+    deg2 = np.diff(indptr)
+    order = np.lexsort((np.arange(n), -deg2))
+
+    colors = np.full(n, -1, dtype=np.int64)
+    for v in order:
+        used = colors[indices[indptr[v] : indptr[v + 1]]]
+        used = used[used >= 0]
+        if used.size == 0:
+            colors[v] = 0
+            continue
+        present = np.zeros(int(used.max()) + 2, dtype=bool)
+        present[used] = True
+        colors[v] = int(np.nonzero(~present)[0][0])
+    return colors
+
+
+def build_schedule(
+    graph: nx.Graph,
+    clustering: Clustering,
+    coloring: str = "csr",
+) -> ClusterSchedule:
     """Compute the synchronized slot schedule for all clusters.
 
     Schedule computation is centralized here (an oracle step); the
@@ -119,9 +189,13 @@ def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
     round-accounted pipeline. The *use* of the schedule — which
     transmissions collide where — is simulated exactly.
 
-    Layering is computed for all clusters in one batched
-    :mod:`scipy.sparse.csgraph` BFS (see :func:`_cluster_layers`);
-    the distance-2 coloring stays per-cluster.
+    Both ingredients run over the shared intra-cluster CSR: the
+    layering as one batched :mod:`scipy.sparse.csgraph` BFS
+    (:func:`_cluster_layers`), the distance-2 coloring as one sparse
+    square plus a single global greedy pass
+    (:func:`_distance2_color_csr`). ``coloring="networkx"`` selects the
+    original per-cluster ``nx.power`` + ``greedy_color`` construction,
+    kept as the reference.
 
     Clustering indices are interpreted as positions in
     ``list(graph.nodes)`` (the convention of the packet-level radio
@@ -131,6 +205,8 @@ def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
     such graphs are rejected with a clear error — relabel with
     ``networkx.convert_node_labels_to_integers`` first.
     """
+    if coloring not in ("csr", "networkx"):
+        raise ValueError(f"unknown coloring engine: {coloring!r}")
     nodes = list(graph.nodes)
     n = len(nodes)
     if set(nodes) == set(range(n)) and nodes != list(range(n)):
@@ -139,20 +215,36 @@ def build_schedule(graph: nx.Graph, clustering: Clustering) -> ClusterSchedule:
             "in order 0..n-1 (clustering indices would be ambiguous); "
             "relabel with networkx.convert_node_labels_to_integers first"
         )
-    layer = _cluster_layers(graph, clustering)
-    color = np.zeros(clustering.n, dtype=np.int64)
-    labels = list(graph.nodes)
-
+    masked = _intra_cluster_csr(graph, clustering)
+    layer = _cluster_layers(masked, clustering)
     n_layers = int(layer.max()) + 1 if clustering.n else 1
-    n_colors = 1
-    for center, member_indices in clustering.members().items():
-        member_labels = [labels[v] for v in member_indices]
-        sub = graph.subgraph(member_labels)
-        coloring = _distance2_coloring(sub)
-        for v in member_indices:
-            color[v] = coloring[labels[v]]
-        n_colors = max(n_colors, max(coloring.values()) + 1)
+
+    if coloring == "csr":
+        color = _distance2_color_csr(masked)
+        n_colors = int(color.max()) + 1 if clustering.n else 1
+    else:
+        color = np.zeros(clustering.n, dtype=np.int64)
+        labels = list(graph.nodes)
+        n_colors = 1
+        for center, member_indices in clustering.members().items():
+            member_labels = [labels[v] for v in member_indices]
+            sub = graph.subgraph(member_labels)
+            per_cluster = _distance2_coloring(sub)
+            for v in member_indices:
+                color[v] = per_cluster[labels[v]]
+            n_colors = max(n_colors, max(per_cluster.values()) + 1)
 
     return ClusterSchedule(
         layer=layer, color=color, n_layers=n_layers, n_colors=n_colors
     )
+
+
+def build_schedule_reference(
+    graph: nx.Graph, clustering: Clustering
+) -> ClusterSchedule:
+    """The per-cluster networkx schedule construction (reference).
+
+    The equivalence suite checks :func:`build_schedule`'s CSR coloring
+    against this on every graph family the pipeline uses.
+    """
+    return build_schedule(graph, clustering, coloring="networkx")

@@ -119,10 +119,57 @@ def expected_steps(
     return float(np.mean([r.steps for r in results]))
 
 
+def _wakeup_mis_schedule(n: int, k: int, rng: np.random.Generator):
+    """Schedule emitter for the MIS-as-wake-up reduction.
+
+    Each Decay block of the marking dynamics is oblivious (masks are the
+    round's marked set gated by fresh coins), so blocks go out as
+    :class:`~repro.engine.segments.ObliviousWindow` chunks. The success
+    event — the first step with exactly one transmitter — is a property
+    of the masks alone, so the emitter scans each chunk, trims the final
+    window at the success step, and stops: executed radio steps and the
+    returned :class:`WakeupResult` are bit-identical to the step-wise
+    reference. (Only the post-success rng state differs: the batched
+    path has already drawn the remainder of the final chunk's coins.)
+    """
+    from ..engine.segments import ObliviousWindow, coin_chunk
+    from .decay import claim10_iterations, decay_span
+
+    span = decay_span(n)  # the algorithm believes the network has n nodes
+    iterations = claim10_iterations(n)
+    block = iterations * span
+    probs = 2.0 ** -((np.arange(block) % span) + 1.0)
+    chunk = coin_chunk(k)
+
+    p = np.full(k, 0.5)
+    steps = 0
+    budget = max(1, math.ceil(10 * math.log2(max(2, n))))
+    for _ in range(budget):
+        marked = rng.random(k) < p
+        done = 0
+        while done < block:
+            c = min(chunk, block - done)
+            coins = rng.random((c, k)) < probs[done : done + c, None]
+            masks = marked[None, :] & coins
+            singles = np.nonzero(masks.sum(axis=1) == 1)[0]
+            if singles.size:
+                t = int(singles[0])
+                yield ObliviousWindow(masks[: t + 1])
+                return WakeupResult(succeeded=True, steps=steps + t + 1, k=k)
+            yield ObliviousWindow(masks)
+            steps += c
+            done += c
+        # Nobody succeeded this round; in the clique every d_t is high,
+        # so Ghaffari's update halves every desire level.
+        p = p / 2.0
+    return WakeupResult(succeeded=False, steps=steps, k=k)
+
+
 def mis_as_wakeup_strategy(
     n: int,
     k: int,
     rng: np.random.Generator,
+    engine: str = "windowed",
 ) -> WakeupResult:
     """The paper's reduction, executed: run Radio MIS on a k-clique
     while telling it the network size is ``n``.
@@ -133,10 +180,45 @@ def mis_as_wakeup_strategy(
     Algorithm 7 on the clique and report the step of the first clean
     (single-transmitter) step inside its Decay blocks, which is exactly
     the wake-up success event the lower bound counts.
+
+    ``engine="windowed"`` (default) batches the Decay blocks through the
+    windowed engine; ``"reference"`` is the retained step-wise loop.
+    Seeded results are bit-identical. One caveat, unique among the
+    engine pairs: on success the windowed path has already drawn the
+    remainder of its final coin chunk, so the *post-call rng state*
+    differs from the reference's — pass each engine its own seeded
+    generator (rather than one shared across calls) when comparing
+    multi-trial sequences across engines.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if engine == "reference":
+        return mis_as_wakeup_strategy_reference(n, k, rng)
+    if engine != "windowed":
+        raise ValueError(f"unknown wake-up engine: {engine!r}")
+
+    import networkx as nx
+
+    from ..engine.runner import run_schedule
+    from ..radio.network import RadioNetwork
+
+    net = RadioNetwork(nx.complete_graph(k))
+    return run_schedule(net, _wakeup_mis_schedule(n, k, rng))
+
+
+def mis_as_wakeup_strategy_reference(
+    n: int,
+    k: int,
+    rng: np.random.Generator,
+) -> WakeupResult:
+    """Step-wise MIS-as-wake-up: the executable specification.
+
+    One :meth:`~repro.radio.network.RadioNetwork.deliver` call per step,
+    stopping at the first single-transmitter step.
     """
     import networkx as nx
 
-    from ..radio.network import NO_SENDER, RadioNetwork
+    from ..radio.network import RadioNetwork
     from .decay import claim10_iterations, decay_span
 
     if not 1 <= k <= n:

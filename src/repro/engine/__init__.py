@@ -1,0 +1,53 @@
+"""The unified windowed protocol engine (the scheduler layer).
+
+Packet-level protocols in this package no longer drive
+:meth:`repro.radio.network.RadioNetwork.deliver` one step at a time.
+Instead each protocol is a *schedule emitter*: a generator that yields a
+stream of :mod:`segments <repro.engine.segments>` —
+
+* :class:`~repro.engine.segments.ObliviousWindow` — a block of radio
+  steps whose transmit masks are all fixed before the first of them
+  executes (Decay sweeps, EstimateEffectiveDegree levels, round-robin
+  rotations, background blocks);
+* :class:`~repro.engine.segments.DecisionStep` — a single step whose
+  mask may depend on everything heard so far (slot-schedule passes,
+  marking decisions);
+* :class:`~repro.engine.segments.TracePhase` — a trace-attribution
+  switch (no radio step).
+
+and the :class:`~repro.engine.runner.WindowedRunner` executes the
+stream: oblivious windows through the batched
+:meth:`~repro.radio.network.RadioNetwork.deliver_window` sparse product,
+decision points through the fused single-step
+:meth:`~repro.radio.network.RadioNetwork.deliver` path. The runner
+preserves the exact rng stream, ``steps_elapsed`` count, and trace
+totals of the step-wise loops it replaces — the contract every
+``*_reference`` implementation and ``tests/test_engine_windowed.py``
+pin down (see DESIGN.md, "The engine layer").
+"""
+
+from .runner import (
+    WindowedRunner,
+    protocol_schedule,
+    run_schedule,
+)
+from .segments import (
+    DecisionStep,
+    ObliviousWindow,
+    ProtocolSchedule,
+    Segment,
+    TracePhase,
+    coin_chunk,
+)
+
+__all__ = [
+    "DecisionStep",
+    "ObliviousWindow",
+    "ProtocolSchedule",
+    "Segment",
+    "TracePhase",
+    "WindowedRunner",
+    "coin_chunk",
+    "protocol_schedule",
+    "run_schedule",
+]

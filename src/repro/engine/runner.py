@@ -1,0 +1,139 @@
+"""Execution of protocol schedules on a radio network.
+
+:class:`WindowedRunner` is the single place where protocol schedules
+meet the simulator: :class:`~repro.engine.segments.ObliviousWindow`
+segments execute through the batched
+:meth:`~repro.radio.network.RadioNetwork.deliver_window` sparse product,
+:class:`~repro.engine.segments.DecisionStep` segments through the fused
+single-step :meth:`~repro.radio.network.RadioNetwork.deliver` path.
+Because both network entry points are bit-identical per step, a schedule
+executed here produces exactly the receptions, trace totals and
+``steps_elapsed`` of the step-wise loop it replaced — only faster.
+
+:func:`protocol_schedule` lifts any legacy
+:class:`~repro.radio.protocol.Protocol` object into a stream of decision
+steps, so pre-engine protocols (and time-multiplexed combinations of
+them, whose interleaving makes every step a decision point — the other
+protocol's steps intervene between one's own) run unchanged on the
+runner. This adapter is how Intra-Cluster Propagation with its Decay
+background enters the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..radio.errors import BudgetExceededError, ProtocolError
+from ..radio.network import RadioNetwork
+from .segments import (
+    DecisionStep,
+    ObliviousWindow,
+    ProtocolSchedule,
+    TracePhase,
+)
+
+
+class WindowedRunner:
+    """Drives schedule emitters on one :class:`RadioNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The radio network all schedules run on.
+    max_steps:
+        Optional radio-step budget across all :meth:`run` calls on this
+        runner. A segment whose execution would exceed the budget raises
+        :class:`~repro.radio.errors.BudgetExceededError` *before*
+        executing, so a bounded run never overshoots — the engine
+        counterpart of :func:`repro.radio.protocol.run_protocol`'s
+        budget check.
+    """
+
+    def __init__(
+        self, network: RadioNetwork, max_steps: int | None = None
+    ) -> None:
+        self.network = network
+        self.max_steps = max_steps
+        self.steps_executed = 0
+
+    def _charge(self, steps: int) -> None:
+        if (
+            self.max_steps is not None
+            and self.steps_executed + steps > self.max_steps
+        ):
+            raise BudgetExceededError(
+                f"schedule would exceed the {self.max_steps}-step budget "
+                f"({self.steps_executed} executed, next segment {steps})"
+            )
+        self.steps_executed += steps
+
+    def run(self, schedule: ProtocolSchedule) -> Any:
+        """Execute ``schedule`` to completion and return its result.
+
+        The emitter's ``StopIteration`` value is the protocol result —
+        emitters ``return`` it like any generator.
+        """
+        reply: Any = None
+        while True:
+            try:
+                segment = schedule.send(reply)
+            except StopIteration as stop:
+                return stop.value
+            if isinstance(segment, ObliviousWindow):
+                self._charge(segment.masks.shape[0])
+                reply = self.network.deliver_window(segment.masks)
+            elif isinstance(segment, DecisionStep):
+                self._charge(1)
+                reply = self.network.deliver(segment.mask)
+            elif isinstance(segment, TracePhase):
+                self.network.trace.enter_phase(segment.name)
+                reply = None
+            else:
+                raise ProtocolError(
+                    f"schedule yielded a non-segment: {segment!r}"
+                )
+
+
+def run_schedule(
+    network: RadioNetwork,
+    schedule: ProtocolSchedule,
+    max_steps: int | None = None,
+) -> Any:
+    """One-shot convenience: ``WindowedRunner(network, max_steps).run(...)``."""
+    return WindowedRunner(network, max_steps=max_steps).run(schedule)
+
+
+def protocol_schedule(
+    protocol: Any,
+    rng: np.random.Generator,
+    steps: int | None = None,
+) -> ProtocolSchedule:
+    """Adapt a legacy :class:`~repro.radio.protocol.Protocol` object.
+
+    Yields one :class:`DecisionStep` per protocol step (every legacy
+    step is conservatively treated as adaptive) until the protocol
+    finishes — or for exactly ``steps`` steps, whichever comes first,
+    mirroring :func:`repro.radio.protocol.run_steps`. Because the
+    adapter calls ``transmit_mask`` and ``observe`` in exactly the
+    step-wise drivers' order, running it on a :class:`WindowedRunner`
+    is bit-identical to :func:`~repro.radio.protocol.run_steps` on the
+    same seed. Returns ``protocol.result()`` when the protocol
+    finished, else ``None``.
+    """
+    if steps is not None and steps < 0:
+        raise ProtocolError(f"steps must be >= 0, got {steps}")
+    taken = 0
+    while not protocol.finished and (steps is None or taken < steps):
+        hear_from = yield DecisionStep(protocol.transmit_mask(rng))
+        protocol.observe(hear_from)
+        taken += 1
+    return protocol.result() if protocol.finished else None
+
+
+__all__ = [
+    "WindowedRunner",
+    "protocol_schedule",
+    "run_schedule",
+]

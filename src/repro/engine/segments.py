@@ -1,0 +1,105 @@
+"""The ``ProtocolSchedule`` intermediate representation.
+
+A *schedule emitter* is a generator that describes a packet-level
+protocol as a stream of segments instead of imperative ``deliver``
+calls::
+
+    def my_schedule(network, rng):
+        hear = yield DecisionStep(mask)          # one adaptive step
+        window = yield ObliviousWindow(masks)    # a batch of fixed steps
+        ...
+        return result                            # via StopIteration
+
+The generator receives, through ``send``, exactly what the network
+delivered for the segment it yielded: a length-``n`` ``hear_from``
+vector for a :class:`DecisionStep`, a ``(w, n)`` matrix for an
+:class:`ObliviousWindow`, ``None`` for a :class:`TracePhase`. Emitters
+never touch the network themselves — execution strategy (batched sparse
+products vs. fused single steps) is entirely the runner's business,
+which is what lets one protocol description run bit-identically on
+either path.
+
+The obliviousness contract
+--------------------------
+Yielding an :class:`ObliviousWindow` is a *promise*: none of the
+window's masks depends on anything heard inside the window. Every mask
+may (and usually does) depend on receptions from segments already
+completed, and on randomness drawn while building the window. Emitters
+that draw coins for a window must draw them in the same order the
+step-wise reference implementation draws them (numpy's row-major
+``rng.random((w, n))`` equals ``w`` consecutive ``rng.random(n)``
+calls), which is what keeps engine and reference runs on one seed
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator, Union
+
+import numpy as np
+
+#: Cap on the number of boolean coin-matrix entries an emitter should
+#: materialize per window: windows larger than this are chunked. Chunked
+#: ``rng.random`` draws are stream-identical to one big draw, so the
+#: chunk size is a memory knob, never a semantics knob.
+COIN_BUDGET = 1 << 22
+
+
+def coin_chunk(n: int, budget: int = COIN_BUDGET) -> int:
+    """Window rows to draw per chunk for an ``n``-node coin matrix."""
+    return max(1, budget // max(1, n))
+
+
+@dataclasses.dataclass
+class ObliviousWindow:
+    """A block of radio steps with masks fixed before the block starts.
+
+    ``masks`` has shape ``(w, n)``; row ``t`` is the transmit mask of
+    window step ``t``. The runner answers with the ``(w, n)``
+    ``hear_from`` matrix of
+    :meth:`repro.radio.network.RadioNetwork.deliver_window`.
+    """
+
+    masks: np.ndarray
+
+
+@dataclasses.dataclass
+class DecisionStep:
+    """A single radio step whose mask may depend on prior receptions.
+
+    The runner answers with the length-``n`` ``hear_from`` vector of
+    :meth:`repro.radio.network.RadioNetwork.deliver`.
+    """
+
+    mask: np.ndarray
+
+
+@dataclasses.dataclass
+class TracePhase:
+    """Switch the network trace's current phase (costs no radio step).
+
+    The runner answers with ``None``. Not allowed inside multiplexed
+    sub-schedules (phase attribution is ambiguous when two protocols
+    interleave; set the phase around the whole multiplexed run instead).
+    """
+
+    name: str
+
+
+Segment = Union[ObliviousWindow, DecisionStep, TracePhase]
+"""A single element of a protocol schedule."""
+
+ProtocolSchedule = Generator[Segment, Any, Any]
+"""The emitter type: yields segments, receives delivery results, and
+returns the protocol's result via ``StopIteration.value``."""
+
+__all__ = [
+    "COIN_BUDGET",
+    "DecisionStep",
+    "ObliviousWindow",
+    "ProtocolSchedule",
+    "Segment",
+    "TracePhase",
+    "coin_chunk",
+]

@@ -155,6 +155,42 @@ class GraphContext:
         """CSR row of the node with this label."""
         return self._index[label]
 
+    def induced_csr(
+        self, members: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """CSR ``(indptr, indices)`` of the induced subgraph on ``members``.
+
+        ``members`` are CSR row indices; the returned arrays describe
+        the induced subgraph relabeled ``0..k-1`` in ``members`` order,
+        sliced directly out of the cached parent CSR — no networkx
+        subgraph/relabel copies. Callers that partition one subgraph
+        repeatedly (Compete's fine clusterings slice each coarse
+        cluster once and redraw ``len(j_range) * fine_per_j`` times)
+        hold on to the returned arrays; nothing is memoized here, since
+        member sets differ across calls in practice.
+        """
+        members = np.asarray(members, dtype=np.int64)
+        k = members.size
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[members] = np.arange(k)
+        indptr64 = self.indptr.astype(np.int64)
+        starts = indptr64[members]
+        lens = indptr64[members + 1] - starts
+        total = int(lens.sum())
+        # Positions of the members' neighbor lists inside `indices`.
+        offsets = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(lens)[:-1])), lens
+        )
+        cols = local[self.indices[np.arange(total) + offsets]]
+        keep = cols >= 0
+        row_of = np.repeat(np.arange(k), lens)
+        counts = np.bincount(row_of[keep], minlength=k)
+        sub_indptr = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int32)
+        sub_indices = cols[keep].astype(np.int32)
+        return sub_indptr, sub_indices
+
     # ------------------------------------------------------------------
     # cached graph facts
     # ------------------------------------------------------------------

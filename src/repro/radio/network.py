@@ -31,6 +31,14 @@ steps as one sparse matrix-matrix product; packet-level runs of
 hundreds of thousands of steps on graphs with thousands of nodes are
 practical. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
 per-step trace accounting (cheap-trace mode) in bulk workloads.
+
+Protocols do not call these delivery entry points directly anymore:
+they emit :mod:`repro.engine` schedules (oblivious windows + decision
+points) and the :class:`~repro.engine.runner.WindowedRunner` routes
+each segment to :meth:`RadioNetwork.deliver_window` or
+:meth:`RadioNetwork.deliver` here. Both entry points are bit-identical
+per step, which is what makes the engine's windowed execution exactly
+equivalent to the step-wise reference loops.
 """
 
 from __future__ import annotations

@@ -19,6 +19,18 @@ contract:
 alternating steps, which is how the paper's algorithms run their
 background processes ("conducted concurrently via time multiplexing",
 Appendix A).
+
+This module is the *step-wise* layer. Production protocol entry points
+run on the unified windowed engine instead: they describe themselves as
+schedules of oblivious windows and decision points (:mod:`repro.engine`)
+and the :class:`~repro.engine.runner.WindowedRunner` executes them —
+windows as single sparse products, decision points through
+:meth:`~repro.radio.network.RadioNetwork.deliver`. The drivers here
+(:func:`run_protocol`, :func:`run_steps`) remain the executable
+specification the ``*_reference`` twins use, and
+:func:`repro.engine.runner.protocol_schedule` adapts any
+:class:`Protocol` object — including :class:`TimeMultiplexer` stacks —
+onto the runner with bit-identical behavior.
 """
 
 from __future__ import annotations
