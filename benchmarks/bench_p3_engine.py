@@ -1,0 +1,233 @@
+"""P3 — plan/commit IR: fused ICP and density-adaptive delivery (PR 3).
+
+Two workloads the PR 3 issue names, both bit-identity-asserted inside
+the bench before any timing is reported:
+
+* **Fused ICP** at ``n >= 2000`` on a dense UDG: the window-multiplexing
+  combinator (``repro.engine.mux.multiplex``) zips the adaptive slot
+  passes with sweep-wide Decay-background windows, replacing one dense
+  matvec per multiplexed step with narrow gather-kernel window products.
+  Measured against both the step-wise ``TimeMultiplexer`` reference and
+  the decision-point engine path. Acceptance floor: **3x** vs the
+  reference.
+
+* **Dense-window delivery** on the EstimateEffectiveDegree ``p ~ 0.5``
+  regime (dense UDG, all nodes active at desire level 0.5): the block's
+  low density levels light up most (listener, step) pairs, which is
+  where ``deliver_window``'s sparse product degrades into COO
+  materialization. Recorded: the full block under ``delivery="auto"``
+  (per-row density routing) vs forced-``sparse``, floor **1.05x**
+  (measured ~1.3x; only the ladder's low levels are dense, so the
+  block-level margin is structurally thin and the floor asserts
+  strictly-faster with noise headroom), and a single level-0 window
+  forced-``dense`` vs forced-``sparse``, floor **1.5x** (measured
+  ~3.5x).
+
+Results persist to ``BENCH_PR3.json``. Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_p3_engine.py
+
+or through ``benchmarks/run_perf_smoke.py`` (tier-1 suite + P1 + P2 +
+this).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_PR3.json"
+
+#: Acceptance floors from the PR 3 issue (CI margins are wide: the
+#: measured fused-ICP speedup is ~3x the floor on a quiet host).
+FUSED_ICP_FLOOR = 3.0
+DENSE_BLOCK_FLOOR = 1.05
+DENSE_WINDOW_FLOOR = 1.5
+
+
+def _udg(n: int, side: float, seed: int):
+    from repro import graphs
+
+    return graphs.random_udg(n, side, np.random.default_rng(seed))
+
+
+def bench_fused_icp(n: int = 2000, seed: int = 404, ell: int = 6) -> dict:
+    """Fused (multiplexed) ICP vs the step-wise reference and the
+    decision-point engine path, all three bit-identity-asserted."""
+    from repro.core import build_icp_inputs, intra_cluster_propagation
+    from repro.radio import CheapTrace, RadioNetwork
+
+    g = _udg(n, (n / 31.0) ** 0.5, seed)  # avg degree ~90 at n = 2000
+    clustering, schedule, knowledge = build_icp_inputs(
+        g, np.random.default_rng(seed + 1), beta=0.3, sources={0: 9}
+    )
+
+    timings: dict[str, float] = {}
+    results = {}
+    # Best-of-2 on every engine: the gated ratios compare the same
+    # statistic on each side, so host noise cannot bias them.
+    for engine in ("reference", "windowed", "fused"):
+        best = float("inf")
+        for _ in range(2):
+            net = RadioNetwork(g, trace=CheapTrace())
+            t0 = time.perf_counter()
+            res = intra_cluster_propagation(
+                net, clustering, schedule, knowledge, ell,
+                np.random.default_rng(seed + 2), engine=engine,
+            )
+            best = min(best, time.perf_counter() - t0)
+        timings[engine] = best
+        results[engine] = res
+
+    ref = results["reference"]
+    for engine in ("windowed", "fused"):
+        assert (results[engine].knowledge == ref.knowledge).all()
+        assert results[engine].steps == ref.steps
+    return {
+        "workload": (
+            "Intra-Cluster Propagation with Decay background, "
+            "multiplexed (fused) vs decision-point vs step-wise"
+        ),
+        "n": n,
+        "edges": g.number_of_edges(),
+        "ell": ell,
+        "steps": ref.steps,
+        "slot_colors": schedule.n_colors,
+        "reference_s": timings["reference"],
+        "windowed_s": timings["windowed"],
+        "fused_s": timings["fused"],
+        "speedup": timings["reference"] / timings["fused"],
+        "speedup_vs_windowed": timings["windowed"] / timings["fused"],
+        "floor": FUSED_ICP_FLOOR,
+    }
+
+
+def bench_dense_window(n: int = 2000, seed: int = 505) -> dict:
+    """The EstimateEffectiveDegree ``p ~ 0.5`` dense regime: auto (per-
+    row density routing) vs forced-sparse over the whole block, plus a
+    single level-0 window forced-dense vs forced-sparse."""
+    from repro.core import (
+        estimate_effective_degree,
+    )
+    from repro.radio import CheapTrace, RadioNetwork
+
+    g = _udg(n, (n / 80.0) ** 0.5, seed)  # avg degree ~200 at n = 2000
+    p = np.full(n, 0.5)
+    active = np.ones(n, dtype=bool)
+
+    block: dict[str, float] = {}
+    counts = {}
+    for delivery in ("sparse", "auto", "dense"):
+        best = float("inf")
+        # Best-of-3: this ratio has the thinnest structural margin of
+        # the gated floors, so it gets the most noise suppression.
+        for _ in range(3):
+            net = RadioNetwork(g, trace=CheapTrace())
+            t0 = time.perf_counter()
+            res = estimate_effective_degree(
+                net, p, active, np.random.default_rng(seed + 1),
+                C=24, delivery=delivery,
+            )
+            best = min(best, time.perf_counter() - t0)
+        block[delivery] = best
+        counts[delivery] = res.counts
+    assert (counts["auto"] == counts["sparse"]).all()
+    assert (counts["dense"] == counts["sparse"]).all()
+
+    # One pure level-0 window: every active node transmits with
+    # probability 0.5 — the regime the ROADMAP flagged.
+    masks = np.random.default_rng(seed + 2).random((256, n)) < 0.5
+    single: dict[str, float] = {}
+    outs = {}
+    for mode in ("sparse", "dense"):
+        best = float("inf")
+        for _ in range(3):
+            net = RadioNetwork(g, trace=CheapTrace())
+            t0 = time.perf_counter()
+            out = net.deliver_window(masks, mode=mode)
+            best = min(best, time.perf_counter() - t0)
+        single[mode] = best
+        outs[mode] = out
+    assert (outs["sparse"] == outs["dense"]).all()
+
+    return {
+        "workload": (
+            "EstimateEffectiveDegree p=0.5 dense regime: density-"
+            "adaptive window delivery"
+        ),
+        "n": n,
+        "edges": g.number_of_edges(),
+        "block_sparse_s": block["sparse"],
+        "block_auto_s": block["auto"],
+        "block_dense_s": block["dense"],
+        "block_speedup": block["sparse"] / block["auto"],
+        "block_floor": DENSE_BLOCK_FLOOR,
+        "window_sparse_s": single["sparse"],
+        "window_dense_s": single["dense"],
+        "window_speedup": single["sparse"] / single["dense"],
+        "window_floor": DENSE_WINDOW_FLOOR,
+    }
+
+
+def run_bench(n: int = 2000) -> dict:
+    """Run the PR 3 benchmarks and assemble the persistable record."""
+    icp = bench_fused_icp(n=n)
+    dense = bench_dense_window(n=n)
+    return {
+        "bench": "p3_engine",
+        "generated": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "fused_icp": icp,
+        "dense_window": dense,
+        "passes_floors": bool(
+            icp["speedup"] >= icp["floor"]
+            and dense["block_speedup"] >= dense["block_floor"]
+            and dense["window_speedup"] >= dense["window_floor"]
+        ),
+    }
+
+
+def write_results(results: dict, path: pathlib.Path = RESULT_PATH) -> None:
+    """Persist the benchmark record as pretty-printed JSON."""
+    path.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def main() -> int:
+    """Run, print, persist; exit nonzero if a speedup floor is missed."""
+    results = run_bench()
+    icp = results["fused_icp"]
+    print(
+        f"fused ICP          n={icp['n']}: {icp['reference_s']:.2f}s -> "
+        f"{icp['fused_s']:.2f}s = {icp['speedup']:.1f}x "
+        f"(floor {icp['floor']}x; vs windowed "
+        f"{icp['speedup_vs_windowed']:.1f}x)"
+    )
+    dense = results["dense_window"]
+    print(
+        f"dense EED block    n={dense['n']}: "
+        f"{dense['block_sparse_s']:.2f}s -> {dense['block_auto_s']:.2f}s "
+        f"= {dense['block_speedup']:.2f}x (floor {dense['block_floor']}x)"
+    )
+    print(
+        f"dense p=0.5 window n={dense['n']}: "
+        f"{dense['window_sparse_s'] * 1e3:.0f}ms -> "
+        f"{dense['window_dense_s'] * 1e3:.0f}ms "
+        f"= {dense['window_speedup']:.2f}x (floor {dense['window_floor']}x)"
+    )
+    write_results(results)
+    print(f"persisted to {RESULT_PATH}")
+    return 0 if results["passes_floors"] else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())

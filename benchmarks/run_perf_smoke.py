@@ -2,12 +2,15 @@
 
 Runs the repository's tier-1 verification suite, a short
 ``bench_p1_engine`` pass (PR 1: batched delivery + CSR partition,
-persisted to ``BENCH_PR1.json``), and the ``bench_p2_engine`` pass
+persisted to ``BENCH_PR1.json``), the ``bench_p2_engine`` pass
 (PR 2: the unified windowed protocol engine — Radio MIS and
 EstimateEffectiveDegree against their step-wise references, plus the
 E1/E6 trial slices through ``run_trials_parallel`` — persisted to
-``BENCH_PR2.json``). The ``BENCH_*.json`` records are the perf
-trajectory future PRs compare themselves against.
+``BENCH_PR2.json``), and the ``bench_p3_engine`` pass (PR 3: the
+window-multiplexed fused ICP path and the density-adaptive dense
+window delivery — persisted to ``BENCH_PR3.json``). The
+``BENCH_*.json`` records are the perf trajectory future PRs compare
+themselves against.
 
 Usage::
 
@@ -81,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     import bench_p1_engine
     import bench_p2_engine
+    import bench_p3_engine
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -116,6 +120,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"persisted to {bench_p2_engine.RESULT_PATH}")
     ok = ok and p2["passes_floors"]
+
+    p3 = bench_p3_engine.run_bench(n=args.n)
+    if tier1 is not None:
+        p3["tier1"] = tier1
+    bench_p3_engine.write_results(p3)
+
+    icp, dense = p3["fused_icp"], p3["dense_window"]
+    print(
+        f"fused ICP speedup: {icp['speedup']:.1f}x "
+        f"(floor {icp['floor']}x); "
+        f"dense EED block: {dense['block_speedup']:.2f}x "
+        f"(floor {dense['block_floor']}x); "
+        f"dense p=0.5 window: {dense['window_speedup']:.2f}x "
+        f"(floor {dense['window_floor']}x)"
+    )
+    print(f"persisted to {bench_p3_engine.RESULT_PATH}")
+    ok = ok and p3["passes_floors"]
 
     return 0 if ok else 1
 

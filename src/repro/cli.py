@@ -6,10 +6,12 @@ Subcommands mirror the library's entry points:
 
     python -m repro mis --graph udg --n 150 --seed 7
     python -m repro mis --n 150 --engine reference   # step-wise twin
+    python -m repro mis --n 150 --delivery dense     # force dense windows
     python -m repro broadcast --graph grid --rows 3 --cols 40
     python -m repro broadcast --graph udg --n 80 --packet
     python -m repro leader --graph gnp --n 100 --p 0.08
     python -m repro leader --graph udg --n 80 --packet
+    python -m repro icp --graph udg --n 120 --fused  # multiplexed ICP
     python -m repro partition --graph udg --n 120 --beta 0.25
     python -m repro classes --n 150
 
@@ -21,7 +23,11 @@ Packet-level subcommands run on the windowed protocol engine
 (:mod:`repro.engine`) by default; ``--engine reference`` selects the
 retained step-wise implementations (bit-identical seeded results, much
 slower), and ``--packet`` switches broadcast/leader from round-accounted
-to fully simulated radio steps.
+to fully simulated radio steps. ``--delivery {auto,sparse,dense}``
+selects the window execution strategy (bit-identical; ``auto`` routes
+per window row on mask density), and ``icp --fused`` runs one
+Intra-Cluster Propagation phase through the window-multiplexing
+combinator instead of step-at-a-time decision points.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import json
 import sys
 from typing import Any
 
+import networkx as nx
 import numpy as np
 
 from . import graphs
@@ -39,9 +46,11 @@ from .core import (
     MISConfig,
     broadcast,
     broadcast_packet_level,
+    build_icp_inputs,
     compute_mis,
     elect_leader,
     elect_leader_packet,
+    intra_cluster_propagation,
     partition,
 )
 from .graphs import greedy_independent_set
@@ -94,6 +103,20 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
+    from .radio.network import DELIVERY_MODES
+
+    parser.add_argument(
+        "--delivery",
+        default="auto",
+        choices=list(DELIVERY_MODES),
+        help=(
+            "window execution strategy (bit-identical; auto routes per "
+            "window row on mask density)"
+        ),
+    )
+
+
 def _emit(args: argparse.Namespace, report: dict[str, Any]) -> None:
     if args.json:
         print(json.dumps(report, default=str))
@@ -107,7 +130,9 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     g = _build_graph(args, rng)
     net = RadioNetwork(g)
     config = MISConfig(oracle_degree=args.oracle_degree, eed_C=args.eed_c)
-    result = compute_mis(net, rng, config, engine=args.engine)
+    result = compute_mis(
+        net, rng, config, engine=args.engine, delivery=args.delivery
+    )
     valid = graphs.is_maximal_independent_set(g, result.mis)
     _emit(
         args,
@@ -115,6 +140,7 @@ def _cmd_mis(args: argparse.Namespace) -> int:
             "graph": g.graph.get("family"),
             "n": g.number_of_nodes(),
             "engine": args.engine,
+            "delivery": args.delivery,
             "mis_size": result.size,
             "rounds": result.rounds_used,
             "radio_steps": result.steps_used,
@@ -122,6 +148,45 @@ def _cmd_mis(args: argparse.Namespace) -> int:
         },
     )
     return 0 if valid else 1
+
+
+def _cmd_icp(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    g = nx.convert_node_labels_to_integers(_build_graph(args, rng))
+    if not 0 <= args.source < g.number_of_nodes():
+        print(f"error: source {args.source} out of range", file=sys.stderr)
+        return 2
+    if args.fused and args.engine not in (None, "fused"):
+        print(
+            f"error: --fused contradicts --engine {args.engine}",
+            file=sys.stderr,
+        )
+        return 2
+    engine = "fused" if args.fused else (args.engine or "windowed")
+    clustering, schedule, knowledge = build_icp_inputs(
+        g, rng, beta=args.beta, sources={args.source: 1}
+    )
+    net = RadioNetwork(g)
+    result = intra_cluster_propagation(
+        net, clustering, schedule, knowledge, args.ell, rng,
+        with_background=not args.no_background,
+        engine=engine, delivery=args.delivery,
+    )
+    informed = int((result.knowledge >= 0).sum())
+    _emit(
+        args,
+        {
+            "graph": g.graph.get("family"),
+            "n": g.number_of_nodes(),
+            "engine": engine,
+            "delivery": args.delivery,
+            "ell": args.ell,
+            "clusters": len(clustering.used_centers()),
+            "radio_steps": result.steps,
+            "informed": informed,
+        },
+    )
+    return 0 if informed > 1 or g.number_of_nodes() == 1 else 1
 
 
 def _cmd_broadcast(args: argparse.Namespace) -> int:
@@ -277,7 +342,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["windowed", "reference"],
         help="delivery engine (reference = step-wise twin, bit-identical)",
     )
+    _add_delivery_option(mis)
     mis.set_defaults(func=_cmd_mis)
+
+    icp = sub.add_parser(
+        "icp", help="one Intra-Cluster Propagation phase (Algorithms 9-10)"
+    )
+    _add_graph_options(icp)
+    icp.add_argument("--source", type=int, default=0, help="informed node")
+    icp.add_argument("--beta", type=float, default=0.25, help="shift rate")
+    icp.add_argument(
+        "--ell", type=int, default=4, help="propagation distance"
+    )
+    icp.add_argument(
+        "--engine",
+        default=None,
+        choices=["windowed", "reference", "fused"],
+        help=(
+            "delivery engine (default windowed; fused = window-"
+            "multiplexed background, reference = step-wise twin; all "
+            "bit-identical)"
+        ),
+    )
+    icp.add_argument(
+        "--fused",
+        action="store_true",
+        help="shorthand for --engine fused",
+    )
+    icp.add_argument(
+        "--no-background",
+        action="store_true",
+        help="drop the Algorithm 10 Decay background process",
+    )
+    _add_delivery_option(icp)
+    icp.set_defaults(func=_cmd_icp)
 
     bc = sub.add_parser("broadcast", help="broadcast via Compete (Thm 7)")
     _add_graph_options(bc)

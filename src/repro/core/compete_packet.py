@@ -55,7 +55,11 @@ class PacketCompeteConfig:
     ``engine`` selects the delivery engine for every stage:
     ``"windowed"`` (default) batches oblivious segments through the
     engine layer, ``"reference"`` drives the retained step-wise
-    implementations. Seeded runs are bit-identical across the two.
+    implementations, and ``"fused"`` additionally runs each ICP phase
+    through the :func:`~repro.engine.mux.multiplex` combinator (the
+    non-ICP stages execute as under ``"windowed"`` — fusing only
+    applies to time-multiplexed pairs). Seeded runs are bit-identical
+    across all three.
     """
 
     clusterings_per_j: int = 2
@@ -68,8 +72,13 @@ class PacketCompeteConfig:
     engine: str = "windowed"
 
     def __post_init__(self) -> None:
-        if self.engine not in ("windowed", "reference"):
+        if self.engine not in ("windowed", "reference", "fused"):
             raise ValueError(f"unknown engine: {self.engine!r}")
+
+    @property
+    def stage_engine(self) -> str:
+        """Engine for the non-ICP stages (``"fused"`` applies to ICP only)."""
+        return "windowed" if self.engine == "fused" else self.engine
 
 
 @dataclasses.dataclass
@@ -134,7 +143,7 @@ def compete_packet(
 
     # --- stage 1: Radio MIS ----------------------------------------------
     mis_result = compute_mis(
-        network, rng, config.mis_config, engine=config.engine
+        network, rng, config.mis_config, engine=config.stage_engine
     )
     mis = sorted(network.index_of(v) for v in mis_result.mis)
     steps_at["mis"] = network.steps_elapsed
@@ -189,7 +198,9 @@ def compete_packet(
     # exited on a stale check.
     informed = knowledge == winner
     final_sweep = (
-        run_decay if config.engine == "windowed" else run_decay_reference
+        run_decay_reference
+        if config.stage_engine == "reference"
+        else run_decay
     )
     final_sweep(
         network,

@@ -201,13 +201,23 @@ def estimate_effective_degree(
     rng: np.random.Generator,
     C: int = 24,
     n_estimate: int | None = None,
+    delivery: str = "auto",
 ) -> EffectiveDegreeResult:
-    """Run one full EstimateEffectiveDegree block on the windowed engine."""
+    """Run one full EstimateEffectiveDegree block on the windowed engine.
+
+    ``delivery`` selects the window execution strategy (``"auto"``,
+    ``"sparse"``, ``"dense"``) — a performance knob only, all three are
+    bit-identical. Desire levels near ``p = 0.5`` on dense graphs are
+    the regime where ``"auto"`` routes the low-``i`` density levels
+    through the dense matmul (most (listener, step) pairs hear energy,
+    so the sparse product's output stops being sparse).
+    """
     return run_schedule(
         network,
         effective_degree_schedule(
             network, p, active, rng, C=C, n_estimate=n_estimate
         ),
+        delivery=delivery,
     )
 
 

@@ -27,11 +27,18 @@ a standalone background block an oblivious window
 (:func:`decay_background_schedule`). Inside
 :func:`intra_cluster_propagation` the background is time-multiplexed
 with the *adaptive* slot passes (each slot's mask depends on knowledge
-received in earlier slots), which makes every multiplexed step a
-decision point: the run enters the engine through
-:func:`~repro.engine.runner.protocol_schedule` and executes on the
-fused single-step path. ``engine="reference"`` drives the identical
-protocols through :func:`~repro.radio.protocol.run_steps` instead.
+received in earlier slots). Under ``engine="windowed"`` that makes
+every multiplexed step a decision point
+(:func:`~repro.engine.runner.protocol_schedule`, fused single-step
+deliveries); under ``engine="fused"`` the plan/commit split lets the
+:func:`~repro.engine.mux.multiplex` combinator zip the slot passes
+(width-1 planned windows, exact step count) with sweep-wide background
+windows (:class:`DecayBackgroundSource`) into joint oblivious windows
+— roughly half as many delivery calls, each a sparse product over the
+few transmitters of a slot or sweep row. ``engine="reference"`` drives
+the identical protocols through
+:func:`~repro.radio.protocol.run_steps`. All three are bit-identical
+on a shared seed (``tests/test_engine_mux.py``).
 """
 
 from __future__ import annotations
@@ -41,8 +48,18 @@ import math
 
 import numpy as np
 
-from ..engine.runner import protocol_schedule, run_schedule
-from ..engine.segments import ObliviousWindow, ProtocolSchedule
+from ..engine.mux import multiplex
+from ..engine.runner import (
+    ProtocolSegmentSource,
+    protocol_schedule,
+    run_schedule,
+)
+from ..engine.segments import (
+    ObliviousWindow,
+    ProtocolSchedule,
+    SegmentProtocol,
+)
+from ..radio.errors import ProtocolError
 from ..radio.network import NO_SENDER, RadioNetwork
 from ..radio.protocol import Protocol, TimeMultiplexer, run_steps
 from .cluster import Clustering
@@ -81,13 +98,13 @@ class _SlotPassProtocol(Protocol):
             for layer in layers
             for color in range(schedule.n_colors)
         ]
+        self._slot_masks = schedule.pass_masks(layers)
         self._cursor = 0
         self._tx_snapshot: np.ndarray | None = None
         self._finished = not self.slots
 
     def transmit_mask(self, rng: np.random.Generator) -> np.ndarray:
-        layer, color = self.slots[self._cursor]
-        mask = self.schedule.slot_members(layer, color) & (self.knowledge >= 0)
+        mask = self._slot_masks[self._cursor] & (self.knowledge >= 0)
         self._tx_snapshot = self.knowledge.copy()
         return mask
 
@@ -139,17 +156,47 @@ class DecayBackground(Protocol):
         self.span = max(1, math.ceil(math.log2(max(2, n_est))))
         self._i = 1
         self._step_in_block = 0
-        self._cluster_on: dict[int, bool] = {}
         self._block_masks: np.ndarray | None = None
         self._block_payload: np.ndarray | None = None
         self._block_incoming: np.ndarray | None = None
+        # Per-block planning is on the hot path of every ICP engine, so
+        # the per-node center lookup is precomputed once: position of
+        # each node's center in the used-centers order, -1 when the
+        # node's assignment is not a used center.
+        self._centers = np.asarray(
+            clustering.used_centers(), dtype=np.int64
+        )
+        center_pos = {int(c): i for i, c in enumerate(self._centers)}
+        self._assign_pos = np.array(
+            [center_pos.get(int(c), -1) for c in clustering.assignment],
+            dtype=np.int64,
+        )
+        self._probs = 2.0 ** -(np.arange(self.span) + 1.0)
+        self._on_padded: np.ndarray | None = None
+
+    @property
+    def _cluster_on(self) -> dict[int, bool]:
+        """Per-center on/off coins of the current block, as a dict.
+
+        Introspection only (tests, debugging) — planning reads the
+        vectorized ``_on_padded`` directly, so the dict is built
+        lazily, off the per-block hot path.
+        """
+        if self._on_padded is None:
+            return {}
+        return {
+            int(c): bool(v)
+            for c, v in zip(self._centers, self._on_padded[:-1])
+        }
 
     def _refresh_cluster_coins(self, rng: np.random.Generator) -> None:
+        # One vectorized draw over the used centers consumes exactly the
+        # stream of the historical per-center scalar draws, in the same
+        # (used_centers) order. A trailing False lets assignment
+        # positions of -1 (no used center) index it.
         prob = 2.0**-self._i
-        self._cluster_on = {
-            int(c): bool(rng.random() < prob)
-            for c in self.clustering.used_centers()
-        }
+        coins = rng.random(self._centers.size) < prob
+        self._on_padded = np.append(coins, False)
 
     def _plan_block(self, rng: np.random.Generator) -> None:
         """Freeze one sweep: cluster coins, participants, payloads, coins.
@@ -159,16 +206,9 @@ class DecayBackground(Protocol):
         :func:`decay_background_schedule`.
         """
         self._refresh_cluster_coins(rng)
-        on = np.array(
-            [
-                self._cluster_on.get(int(c), False)
-                for c in self.clustering.assignment
-            ],
-            dtype=bool,
-        )
+        on = self._on_padded[self._assign_pos]
         participants = on & (self.knowledge >= 0)
-        probs = 2.0 ** -(np.arange(self.span) + 1.0)
-        coins = rng.random((self.span, self.n)) < probs[:, None]
+        coins = rng.random((self.span, self.n)) < self._probs[:, None]
         self._block_masks = participants[None, :] & coins
         self._block_payload = self.knowledge.copy()
         self._block_incoming = np.full(self.n, -1, dtype=np.int64)
@@ -198,6 +238,75 @@ class DecayBackground(Protocol):
 
     def result(self) -> np.ndarray:
         return self.knowledge
+
+
+def _commit_decay_block(
+    protocol: DecayBackground, hear_window: np.ndarray
+) -> None:
+    """Fold one completed sweep's receptions into ``knowledge``.
+
+    The vectorized equivalent of ``span`` sequential ``observe`` calls
+    followed by the block-end commit: the max-fold is associative and
+    commutative over exact integers, so folding the whole ``(span, n)``
+    window at once is bit-identical to the step-wise path. Also
+    advances the sweep's density counter, as ``observe`` does at block
+    boundaries.
+    """
+    payload = protocol._block_payload
+    assert payload is not None
+    heard = hear_window != NO_SENDER
+    incoming = np.full(protocol.n, -1, dtype=np.int64)
+    step_idx, node_idx = np.nonzero(heard)
+    np.maximum.at(
+        incoming, node_idx, payload[hear_window[step_idx, node_idx]]
+    )
+    np.maximum(protocol.knowledge, incoming, out=protocol.knowledge)
+    protocol._i += 1
+    if protocol._i > protocol.span:
+        protocol._i = 1
+
+
+class DecayBackgroundSource(SegmentProtocol):
+    """Plan/commit form of the :class:`DecayBackground` sweep stream.
+
+    ``plan`` freezes one sweep — cluster coins, participants, payloads,
+    the ``(span, n)`` coin matrix — exactly as the protocol's
+    ``_plan_block`` does at a block boundary, and emits it as one
+    :class:`~repro.engine.segments.ObliviousWindow`; ``commit`` folds
+    the sweep's receptions at the block end. This is the native
+    plan/commit citizen the :func:`~repro.engine.mux.multiplex`
+    combinator needs (the generator form cannot separate the two —
+    its ``knowledge`` commit would land at the wrong multiplexed step).
+    A sweep that the run abandons mid-block is never committed,
+    matching the step-wise protocol, which only commits at block ends.
+    """
+
+    def __init__(self, protocol: DecayBackground) -> None:
+        super().__init__(protocol.n)
+        self.protocol = protocol
+        self._awaiting_commit = False
+
+    def plan(self, rng: np.random.Generator) -> ObliviousWindow:
+        if self._awaiting_commit:
+            raise ProtocolError(
+                "DecayBackgroundSource.plan() before the previous sweep "
+                "was committed"
+            )
+        self.protocol._plan_block(rng)
+        assert self.protocol._block_masks is not None
+        self._awaiting_commit = True
+        return ObliviousWindow(self.protocol._block_masks)
+
+    def commit(self, hear_window: np.ndarray) -> None:
+        if not self._awaiting_commit:
+            raise ProtocolError(
+                "DecayBackgroundSource.commit() without a planned sweep"
+            )
+        _commit_decay_block(self.protocol, hear_window)
+        self._awaiting_commit = False
+
+    def result(self) -> np.ndarray:
+        return self.protocol.knowledge
 
 
 def decay_background_schedule(
@@ -236,19 +345,8 @@ def decay_background_schedule(
             done = total_steps
             break
         hear_window = yield ObliviousWindow(masks)
-        heard = hear_window != NO_SENDER
-        payload = protocol._block_payload
-        assert payload is not None
-        incoming = np.full(knowledge.shape[0], -1, dtype=np.int64)
-        step_idx, node_idx = np.nonzero(heard)
-        np.maximum.at(
-            incoming, node_idx, payload[hear_window[step_idx, node_idx]]
-        )
-        np.maximum(knowledge, incoming, out=knowledge)
+        _commit_decay_block(protocol, hear_window)
         done += protocol.span
-        protocol._i += 1
-        if protocol._i > protocol.span:
-            protocol._i = 1
     return knowledge
 
 
@@ -300,6 +398,34 @@ class ICPProtocol(Protocol):
         return self.knowledge
 
 
+def build_icp_inputs(
+    graph,
+    rng: np.random.Generator,
+    beta: float = 0.3,
+    sources: dict[int, int] | None = None,
+) -> tuple[Clustering, ClusterSchedule, np.ndarray]:
+    """The standard setup pipeline for one standalone ICP phase.
+
+    Greedy-MIS centers, one ``Partition(beta, MIS)`` draw, its slot
+    schedule, and a knowledge vector seeded from ``sources`` (node
+    index -> message key; everyone else knows nothing). The CLI ``icp``
+    subcommand and the P3 benchmark share this so the configuration
+    being demonstrated is the one the bit-identity claims were
+    verified on.
+    """
+    from ..graphs import greedy_independent_set
+    from .mpx import partition
+    from .schedule import build_schedule
+
+    mis = sorted(greedy_independent_set(graph, rng, "random"))
+    clustering = partition(graph, beta, mis, rng)
+    schedule = build_schedule(graph, clustering)
+    knowledge = np.full(graph.number_of_nodes(), -1, dtype=np.int64)
+    for node, key in (sources or {}).items():
+        knowledge[node] = max(knowledge[node], int(key))
+    return clustering, schedule, knowledge
+
+
 def intra_cluster_propagation(
     network: RadioNetwork,
     clustering: Clustering,
@@ -309,6 +435,7 @@ def intra_cluster_propagation(
     rng: np.random.Generator,
     with_background: bool = True,
     engine: str = "windowed",
+    delivery: str = "auto",
 ) -> ICPResult:
     """Run one packet-level ICP phase, mutating and returning knowledge.
 
@@ -317,32 +444,65 @@ def intra_cluster_propagation(
     passes, doubling the step count but carrying messages across cluster
     boundaries.
 
-    ``engine="windowed"`` (default) executes through the engine runner:
-    every multiplexed step is a decision point (the slot passes are
-    adaptive), so the run enters via
-    :func:`~repro.engine.runner.protocol_schedule` and uses the fused
-    single-step delivery path. ``engine="reference"`` drives the same
-    protocols through :func:`~repro.radio.protocol.run_steps`; the two
-    are bit-identical by construction.
+    Three engines execute the identical protocol, bit-identically on a
+    shared seed:
+
+    * ``engine="fused"`` — the slot passes enter as a width-1
+      plan/commit stream (:class:`~repro.engine.runner
+      .ProtocolSegmentSource`, exact step count) and the background as
+      sweep-wide planned windows (:class:`DecayBackgroundSource`); the
+      :func:`~repro.engine.mux.multiplex` combinator zips them into
+      joint oblivious windows, so the Decay background runs as sparse
+      window products instead of degrading every multiplexed step to a
+      decision point. This is the fast path for ICP.
+    * ``engine="windowed"`` (default) — the conservative engine path:
+      every multiplexed step is a decision point via
+      :func:`~repro.engine.runner.protocol_schedule`, executed on the
+      fused single-step delivery.
+    * ``engine="reference"`` — the step-wise executable specification
+      through :func:`~repro.radio.protocol.run_steps`.
+
+    ``delivery`` routes the engine paths' window execution (``"auto"``,
+    ``"sparse"``, ``"dense"``); the reference path ignores it. Without
+    a background there is nothing to multiplex: ``engine="fused"``
+    runs the slot passes exactly as ``"windowed"`` does.
     """
-    if engine not in ("windowed", "reference"):
+    if engine not in ("windowed", "reference", "fused"):
         raise ValueError(f"unknown ICP engine: {engine!r}")
     knowledge = np.asarray(knowledge, dtype=np.int64).copy()
     main = ICPProtocol(network, schedule, knowledge, ell)
+    main_slots = sum(len(p.slots) for p in main._passes)
     steps_before = network.steps_elapsed
     network.trace.enter_phase("icp")
-    if with_background:
+    if engine == "fused" and with_background:
         background = DecayBackground(network, clustering, knowledge)
-        muxed: Protocol = TimeMultiplexer(network, main, background)
-        # The multiplexer runs main on even steps; give it twice the slots.
-        total = 2 * sum(len(p.slots) for p in main._passes) + 2
+        run_schedule(
+            network,
+            multiplex(
+                ProtocolSegmentSource(main, steps=main_slots),
+                DecayBackgroundSource(background),
+                rng=rng,
+            ),
+            delivery=delivery,
+        )
     else:
-        muxed = main
-        total = sum(len(p.slots) for p in main._passes)
-    if engine == "windowed":
-        run_schedule(network, protocol_schedule(muxed, rng, steps=total))
-    else:
-        run_steps(muxed, rng, total)
+        if with_background:
+            background = DecayBackground(network, clustering, knowledge)
+            muxed: Protocol = TimeMultiplexer(network, main, background)
+            # The multiplexer runs main on even steps; give it twice
+            # the slots.
+            total = 2 * main_slots + 2
+        else:
+            muxed = main
+            total = main_slots
+        if engine == "reference":
+            run_steps(muxed, rng, total)
+        else:
+            run_schedule(
+                network,
+                protocol_schedule(muxed, rng, steps=total),
+                delivery=delivery,
+            )
     network.trace.enter_phase("default")
     return ICPResult(
         knowledge=knowledge, steps=network.steps_elapsed - steps_before

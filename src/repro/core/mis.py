@@ -244,6 +244,7 @@ def compute_mis(
     config: MISConfig | None = None,
     n_estimate: int | None = None,
     engine: str = "windowed",
+    delivery: str = "auto",
 ) -> MISResult:
     """Run Radio MIS (Algorithm 7) on ``network``.
 
@@ -263,6 +264,10 @@ def compute_mis(
         ``"windowed"`` (default) runs :func:`mis_schedule` on the
         batched engine; ``"reference"`` runs the retained step-wise
         loop. Both produce bit-identical seeded results.
+    delivery:
+        Window execution strategy for the engine path (``"auto"``,
+        ``"sparse"``, ``"dense"``); a performance knob only — all
+        strategies are bit-identical. Ignored by the reference engine.
 
     Returns
     -------
@@ -273,7 +278,9 @@ def compute_mis(
     """
     if engine == "windowed":
         return run_schedule(
-            network, mis_schedule(network, rng, config, n_estimate)
+            network,
+            mis_schedule(network, rng, config, n_estimate),
+            delivery=delivery,
         )
     if engine == "reference":
         return compute_mis_reference(network, rng, config, n_estimate)

@@ -77,10 +77,41 @@ class ClusterSchedule:
     color: np.ndarray
     n_layers: int
     n_colors: int
+    _pass_masks_cache: dict = dataclasses.field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def slot_members(self, layer: int, color: int) -> np.ndarray:
         """Boolean mask of the nodes firing in slot ``(layer, color)``."""
         return (self.layer == layer) & (self.color == color)
+
+    def pass_masks(self, layers: list[int]) -> np.ndarray:
+        """Member masks of every slot of a pass over ``layers``, stacked.
+
+        Row ``k`` is :meth:`slot_members` of the ``k``-th slot when the
+        given layers fire in order, each expanded into its color slots
+        — exactly the firing order of an ICP pass. Computed as one
+        vectorized comparison against a combined ``layer * n_colors +
+        color`` key and cached per layer tuple, so the three passes of
+        an ICP phase (down/up/down share two layer orders) build their
+        slot masks once instead of twice per slot per pass.
+        """
+        key = tuple(int(layer) for layer in layers)
+        cached = self._pass_masks_cache.get(key)
+        if cached is not None:
+            return cached
+        node_key = self.layer * self.n_colors + self.color
+        slot_keys = np.array(
+            [
+                layer * self.n_colors + color
+                for layer in key
+                for color in range(self.n_colors)
+            ],
+            dtype=np.int64,
+        )
+        masks = slot_keys[:, None] == node_key[None, :]
+        self._pass_masks_cache[key] = masks
+        return masks
 
 
 def _distance2_coloring(subgraph: nx.Graph) -> dict:

@@ -16,38 +16,64 @@ stream of :mod:`segments <repro.engine.segments>` —
   switch (no radio step).
 
 and the :class:`~repro.engine.runner.WindowedRunner` executes the
-stream: oblivious windows through the batched
-:meth:`~repro.radio.network.RadioNetwork.deliver_window` sparse product,
+stream: oblivious windows through the batched, density-routed
+:meth:`~repro.radio.network.RadioNetwork.deliver_window` product,
 decision points through the fused single-step
 :meth:`~repro.radio.network.RadioNetwork.deliver` path. The runner
 preserves the exact rng stream, ``steps_elapsed`` count, and trace
 totals of the step-wise loops it replaces — the contract every
-``*_reference`` implementation and ``tests/test_engine_windowed.py``
-pin down (see DESIGN.md, "The engine layer").
+``*_reference`` implementation, ``tests/test_engine_windowed.py``, and
+the :mod:`repro.engine.validate` harness pin down (see DESIGN.md, "The
+engine layer").
+
+On top of the generator form sits the *plan/commit* form
+(:class:`~repro.engine.segments.SegmentProtocol`): planning the next
+segment and committing the previous segment's receptions are separate
+calls, which is what lets the :func:`~repro.engine.mux.multiplex`
+combinator zip two protocols' planned windows into joint oblivious
+windows — how ICP's time-multiplexed Decay background runs fused
+instead of step-at-a-time.
 """
 
+from .mux import multiplex
 from .runner import (
+    DELIVERY_MODES,
+    ProtocolSegmentSource,
     WindowedRunner,
     protocol_schedule,
     run_schedule,
+    segment_schedule,
 )
 from .segments import (
+    COIN_BUDGET,
     DecisionStep,
     ObliviousWindow,
     ProtocolSchedule,
+    ScheduleSegmentAdapter,
     Segment,
+    SegmentProtocol,
     TracePhase,
     coin_chunk,
 )
+from .validate import ObliviousnessViolationError, ValidatingRunner
 
 __all__ = [
+    "COIN_BUDGET",
+    "DELIVERY_MODES",
     "DecisionStep",
+    "ObliviousnessViolationError",
     "ObliviousWindow",
     "ProtocolSchedule",
+    "ProtocolSegmentSource",
+    "ScheduleSegmentAdapter",
     "Segment",
+    "SegmentProtocol",
     "TracePhase",
+    "ValidatingRunner",
     "WindowedRunner",
     "coin_chunk",
+    "multiplex",
     "protocol_schedule",
     "run_schedule",
+    "segment_schedule",
 ]

@@ -1,0 +1,287 @@
+"""Window multiplexing: fuse two planned protocol streams into one.
+
+The paper's background processes run "concurrently via time
+multiplexing" (Appendix A): a main protocol takes the even steps, a
+background process the odd ones. Before this module, the engine could
+only execute such a pair through the legacy-protocol adapter — every
+multiplexed step a :class:`~repro.engine.segments.DecisionStep`, one
+fused dense delivery per step — because the generator IR could not see
+both protocols' upcoming windows at once. The plan/commit split
+(:class:`~repro.engine.segments.SegmentProtocol`) removes that
+limitation, and :func:`multiplex` is the payoff: it *zips* the two
+streams' planned mask rows into joint
+:class:`~repro.engine.segments.ObliviousWindow` segments, which the
+runner executes as (mostly sparse, density-routed) window products.
+ICP's Decay background is the motivating case: its sweeps are planned
+span-wide, so the fused run executes ~half as many delivery calls, each
+a cheap sparse product over the few transmitters of a slot or a sweep
+row, instead of one dense matvec per step.
+
+Bit-identity argument (pinned by ``tests/test_engine_mux.py`` and the
+fuzz suite): a radio step's ``hear_from`` is a pure function of that
+step's mask, so *any* batching of already-planned rows delivers
+identical receptions; what must be preserved is the causal order of
+``plan`` and ``commit`` calls, because those are the points where
+sources read shared state and draw randomness. The combinator
+guarantees the reference drivers' order with one rule — **flush before
+plan**: before any source plans, every row zipped so far is executed
+(one joint window) and every completed segment committed, in row
+order. A source therefore plans at exactly the multiplexed step where
+the step-wise :class:`~repro.radio.protocol.TimeMultiplexer` would
+have called its ``transmit_mask``, seeing the same shared state and
+the same rng stream position.
+
+Termination mirrors the reference drivers, which re-check
+``main.finished`` between every pair of steps: the joint stream ends
+*before* the first row that would follow the main stream's last one.
+Batching across those checks is only sound when their outcomes are
+predetermined, which is why the main stream must report an exact
+:meth:`~repro.engine.segments.SegmentProtocol.steps_remaining` —
+deterministic-length protocols like ICP's slot passes do; for anything
+else the reference interleaving is the only faithful execution and
+:func:`multiplex` refuses rather than guess.
+
+:class:`~repro.engine.segments.TracePhase` is not allowed inside
+multiplexed sub-streams — phase attribution is ambiguous when two
+protocols interleave (set the phase around the whole multiplexed run
+instead). This was a docstring promise of :mod:`repro.engine.segments`;
+here it is enforced with :class:`~repro.radio.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..radio.errors import ProtocolError
+from .segments import (
+    DecisionStep,
+    ObliviousWindow,
+    ProtocolSchedule,
+    SegmentProtocol,
+    TracePhase,
+)
+
+#: Stream indices in the ``slots`` pattern.
+MAIN, BACKGROUND = 0, 1
+
+
+def _coerce_masks(segment: Any, n: int, who: str) -> np.ndarray:
+    """Validate a sub-stream's planned segment, returning its mask rows."""
+    if isinstance(segment, TracePhase):
+        raise ProtocolError(
+            f"{who} sub-stream planned a TracePhase inside multiplex(); "
+            "phase attribution is ambiguous when two protocols "
+            "interleave — set the phase around the whole multiplexed "
+            "run instead"
+        )
+    if isinstance(segment, DecisionStep):
+        masks = np.asarray(segment.mask)[None, :]
+    elif isinstance(segment, ObliviousWindow):
+        masks = np.asarray(segment.masks)
+    else:
+        raise ProtocolError(
+            f"{who} sub-stream planned a non-segment: {segment!r}"
+        )
+    if masks.ndim != 2 or masks.shape[1] != n:
+        raise ProtocolError(
+            f"{who} sub-stream planned masks of shape {masks.shape}, "
+            f"expected (w, {n})"
+        )
+    if masks.dtype != np.bool_:
+        raise ProtocolError(
+            f"{who} sub-stream planned masks of dtype {masks.dtype}, "
+            "expected bool"
+        )
+    return masks
+
+
+def multiplex(
+    main: SegmentProtocol,
+    background: SegmentProtocol,
+    slots: Sequence[int] = (MAIN, BACKGROUND),
+    *,
+    rng: np.random.Generator,
+    max_steps: int | None = None,
+) -> ProtocolSchedule:
+    """Zip two plan/commit streams into one joint oblivious schedule.
+
+    Parameters
+    ----------
+    main:
+        The terminating stream. Must have an exact
+        :meth:`~repro.engine.segments.SegmentProtocol.steps_remaining`
+        (see module docstring); the multiplexed run ends when it has no
+        more rows, exactly as :class:`~repro.radio.protocol
+        .TimeMultiplexer` finishes with its main protocol.
+    background:
+        The concurrent stream. Runs until ``main`` ends; if it ends
+        first (``plan`` returns ``None``), its remaining slots transmit
+        silence, matching the reference multiplexer's treatment of a
+        finished sub-protocol.
+    slots:
+        The repeating interleaving pattern as stream indices, default
+        ``(0, 1)`` — strict alternation, the paper's time multiplexing.
+        Patterns like ``(0, 1, 1)`` give the background two steps per
+        main step. Must contain a ``0`` (the main stream must get
+        slots) and only values 0 and 1.
+    rng:
+        Randomness source forwarded to both streams' ``plan`` calls —
+        one shared generator, so draws interleave in exactly the
+        reference drivers' order.
+    max_steps:
+        Optional cap on total zipped radio steps, mirroring the
+        ``steps`` bound of the step-wise drivers: the joint stream
+        stops (mid-segment if necessary) once the cap is reached.
+        Planned-but-unexecuted segments are never committed, matching a
+        reference run that stops mid-block.
+
+    Returns
+    -------
+    ProtocolSchedule
+        A generator-form schedule yielding joint
+        :class:`~repro.engine.segments.ObliviousWindow` segments; its
+        ``StopIteration`` value is ``main.result()``.
+    """
+    # Validate eagerly — this wrapper is a plain function, so contract
+    # violations surface at the call site, not at the first send().
+    slots = tuple(slots)
+    if not slots or any(s not in (MAIN, BACKGROUND) for s in slots):
+        raise ProtocolError(
+            f"slots must be a non-empty pattern over {{0, 1}}, got {slots!r}"
+        )
+    if MAIN not in slots:
+        raise ProtocolError(
+            "slots pattern never schedules the main stream (index 0); "
+            "the multiplexed run could not terminate"
+        )
+    if main.steps_remaining() is None:
+        raise ProtocolError(
+            "multiplex() needs a main stream with an exact "
+            "steps_remaining(): the step-wise reference re-checks "
+            "termination between every pair of steps, and batching "
+            "past those checks is only sound when their outcomes are "
+            "predetermined (wrap deterministic-length protocols in "
+            "ProtocolSegmentSource(protocol, steps=...))"
+        )
+    if background.n != main.n:
+        raise ProtocolError(
+            f"stream sizes disagree: main n={main.n}, "
+            f"background n={background.n}"
+        )
+    if max_steps is not None and max_steps < 0:
+        raise ProtocolError(f"max_steps must be >= 0, got {max_steps}")
+    return _multiplex(main, background, slots, rng, max_steps)
+
+
+def _multiplex(
+    main: SegmentProtocol,
+    background: SegmentProtocol,
+    slots: tuple[int, ...],
+    rng: np.random.Generator,
+    max_steps: int | None,
+) -> ProtocolSchedule:
+    """Generator body of :func:`multiplex` (arguments pre-validated)."""
+    n = main.n
+    streams = (main, background)
+    cur: list[np.ndarray | None] = [None, None]  # planned segment rows
+    taken = [0, 0]  # rows of cur handed into joint windows
+    heard: list[list[np.ndarray]] = [[], []]  # executed, uncommitted rows
+    decision = [False, False]  # current segment was a DecisionStep
+    ended = [False, False]  # plan() returned None
+    rows: list[np.ndarray] = []  # the open joint window
+    owners: list[int | None] = []
+    silent = np.zeros(n, dtype=bool)
+    total = 0
+    pos = 0
+
+    def _fold(reply: np.ndarray) -> None:
+        """Route a flushed window's hear rows; commit completed segments
+        in row order (the step-wise drivers' observe order)."""
+        for i, owner in enumerate(owners):
+            if owner is None:
+                continue
+            heard[owner].append(reply[i])
+            segment = cur[owner]
+            assert segment is not None
+            if len(heard[owner]) == segment.shape[0]:
+                stacked = np.stack(heard[owner])
+                # A DecisionStep's reply is a 1-D hear vector everywhere
+                # else in the engine; keep that shape here too.
+                streams[owner].commit(
+                    stacked[0] if decision[owner] else stacked
+                )
+                heard[owner] = []
+                cur[owner] = None
+                taken[owner] = 0
+        rows.clear()
+        owners.clear()
+
+    def _main_has_more() -> bool:
+        segment = cur[MAIN]
+        if segment is not None and taken[MAIN] < segment.shape[0]:
+            return True
+        if ended[MAIN]:
+            return False
+        remaining = main.steps_remaining()
+        if remaining is None:
+            raise ProtocolError(
+                "main stream's steps_remaining() became unknown mid-run"
+            )
+        return remaining > 0
+
+    while True:
+        s = slots[pos % len(slots)]
+        if not _main_has_more():
+            break
+        if max_steps is not None and total >= max_steps:
+            break
+        if not ended[s]:
+            # Ensure the stream has an untaken planned row; planning
+            # requires a clean frontier (flush + commit), the rule that
+            # pins every plan() to its reference-driver causal point.
+            while cur[s] is None or taken[s] == cur[s].shape[0]:
+                if rows:
+                    reply = yield ObliviousWindow(np.array(rows))
+                    _fold(reply)
+                segment = streams[s].plan(rng)
+                if segment is None:
+                    ended[s] = True
+                    break
+                masks = _coerce_masks(
+                    segment, n, "main" if s == MAIN else "background"
+                )
+                decision[s] = isinstance(segment, DecisionStep)
+                if masks.shape[0] == 0:
+                    # A zero-step segment executes nothing; commit its
+                    # empty reply immediately (what the plain runner's
+                    # deliver_window would have returned) and plan on.
+                    streams[s].commit(
+                        np.empty((0, n), dtype=np.int64)
+                    )
+                    continue
+                cur[s] = masks
+                taken[s] = 0
+                heard[s] = []
+            if ended[MAIN] and s == MAIN:
+                continue  # termination check at the top will break
+        if ended[s]:
+            rows.append(silent)
+            owners.append(None)
+        else:
+            segment = cur[s]
+            assert segment is not None
+            rows.append(segment[taken[s]])
+            owners.append(s)
+            taken[s] += 1
+        total += 1
+        pos += 1
+
+    if rows:
+        reply = yield ObliviousWindow(np.array(rows))
+        _fold(reply)
+    return main.result()
+
+
+__all__ = ["BACKGROUND", "MAIN", "multiplex"]

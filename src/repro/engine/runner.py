@@ -3,20 +3,37 @@
 :class:`WindowedRunner` is the single place where protocol schedules
 meet the simulator: :class:`~repro.engine.segments.ObliviousWindow`
 segments execute through the batched
-:meth:`~repro.radio.network.RadioNetwork.deliver_window` sparse product,
+:meth:`~repro.radio.network.RadioNetwork.deliver_window` product,
 :class:`~repro.engine.segments.DecisionStep` segments through the fused
 single-step :meth:`~repro.radio.network.RadioNetwork.deliver` path.
 Because both network entry points are bit-identical per step, a schedule
 executed here produces exactly the receptions, trace totals and
 ``steps_elapsed`` of the step-wise loop it replaced — only faster.
 
-:func:`protocol_schedule` lifts any legacy
-:class:`~repro.radio.protocol.Protocol` object into a stream of decision
-steps, so pre-engine protocols (and time-multiplexed combinations of
-them, whose interleaving makes every step a decision point — the other
-protocol's steps intervene between one's own) run unchanged on the
-runner. This adapter is how Intra-Cluster Propagation with its Decay
-background enters the engine.
+Delivery routing: ``deliver_window`` has two internally equivalent
+execution strategies — the sparse product and, for windows whose masks
+light up most (listener, step) pairs, an exact dense matmul. The
+runner's ``delivery`` knob (``"auto"`` by default) selects between them
+per window from the masks' popcounts; both are exact small-integer
+sums, so the choice can never change a single ``hear_from`` bit (the
+contract ``tests/test_schedule_contract.py`` re-verifies on every
+window of every in-tree emitter).
+
+Two adapters bridge the older protocol forms onto the engine:
+
+* :func:`protocol_schedule` lifts a legacy
+  :class:`~repro.radio.protocol.Protocol` object into a stream of
+  decision steps — one adaptive step per protocol step.
+* :class:`ProtocolSegmentSource` lifts the same objects onto the
+  plan/commit :class:`~repro.engine.segments.SegmentProtocol` interface
+  as width-1 windows, which is what lets a deterministic-length
+  protocol (ICP's slot passes) ride the
+  :func:`~repro.engine.mux.multiplex` combinator.
+
+:func:`segment_schedule` closes the loop in the other direction: it
+drives any :class:`~repro.engine.segments.SegmentProtocol` as an
+ordinary generator-form schedule, so plan/commit sources run on the
+same runner (and the same budget accounting) as everything else.
 """
 
 from __future__ import annotations
@@ -26,11 +43,12 @@ from typing import Any
 import numpy as np
 
 from ..radio.errors import BudgetExceededError, ProtocolError
-from ..radio.network import RadioNetwork
+from ..radio.network import DELIVERY_MODES, RadioNetwork
 from .segments import (
     DecisionStep,
     ObliviousWindow,
     ProtocolSchedule,
+    SegmentProtocol,
     TracePhase,
 )
 
@@ -48,14 +66,31 @@ class WindowedRunner:
         :class:`~repro.radio.errors.BudgetExceededError` *before*
         executing, so a bounded run never overshoots — the engine
         counterpart of :func:`repro.radio.protocol.run_protocol`'s
-        budget check.
+        budget check. Budget charges are per radio step regardless of
+        execution strategy: a ``w``-row window costs ``w`` whether it
+        runs sparse, dense, or as a multiplexed joint window.
+    delivery:
+        Window execution strategy, forwarded to
+        :meth:`~repro.radio.network.RadioNetwork.deliver_window`:
+        ``"auto"`` (default) routes each window by its estimated
+        density, ``"sparse"``/``"dense"`` force one path. All three are
+        bit-identical; this is a performance knob only.
     """
 
     def __init__(
-        self, network: RadioNetwork, max_steps: int | None = None
+        self,
+        network: RadioNetwork,
+        max_steps: int | None = None,
+        delivery: str = "auto",
     ) -> None:
+        if delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode: {delivery!r} "
+                f"(expected one of {DELIVERY_MODES})"
+            )
         self.network = network
         self.max_steps = max_steps
+        self.delivery = delivery
         self.steps_executed = 0
 
     def _charge(self, steps: int) -> None:
@@ -68,6 +103,17 @@ class WindowedRunner:
                 f"({self.steps_executed} executed, next segment {steps})"
             )
         self.steps_executed += steps
+
+    # The two execution hooks exist so the contract-checking
+    # ValidatingRunner (repro.engine.validate) can interpose replay
+    # checks without duplicating the dispatch loop.
+    def _execute_window(self, masks: np.ndarray) -> np.ndarray:
+        """Execute one charged oblivious window."""
+        return self.network.deliver_window(masks, mode=self.delivery)
+
+    def _execute_step(self, mask: np.ndarray) -> np.ndarray:
+        """Execute one charged decision step."""
+        return self.network.deliver(mask)
 
     def run(self, schedule: ProtocolSchedule) -> Any:
         """Execute ``schedule`` to completion and return its result.
@@ -83,10 +129,10 @@ class WindowedRunner:
                 return stop.value
             if isinstance(segment, ObliviousWindow):
                 self._charge(segment.masks.shape[0])
-                reply = self.network.deliver_window(segment.masks)
+                reply = self._execute_window(segment.masks)
             elif isinstance(segment, DecisionStep):
                 self._charge(1)
-                reply = self.network.deliver(segment.mask)
+                reply = self._execute_step(segment.mask)
             elif isinstance(segment, TracePhase):
                 self.network.trace.enter_phase(segment.name)
                 reply = None
@@ -95,14 +141,45 @@ class WindowedRunner:
                     f"schedule yielded a non-segment: {segment!r}"
                 )
 
+    def run_segments(
+        self, source: SegmentProtocol, rng: np.random.Generator
+    ) -> Any:
+        """Drive a plan/commit source to completion on this runner."""
+        return self.run(segment_schedule(source, rng))
+
 
 def run_schedule(
     network: RadioNetwork,
     schedule: ProtocolSchedule,
     max_steps: int | None = None,
+    delivery: str = "auto",
 ) -> Any:
-    """One-shot convenience: ``WindowedRunner(network, max_steps).run(...)``."""
-    return WindowedRunner(network, max_steps=max_steps).run(schedule)
+    """One-shot convenience: ``WindowedRunner(network, ...).run(...)``."""
+    return WindowedRunner(
+        network, max_steps=max_steps, delivery=delivery
+    ).run(schedule)
+
+
+def segment_schedule(
+    source: SegmentProtocol, rng: np.random.Generator
+) -> ProtocolSchedule:
+    """Drive a :class:`SegmentProtocol` as a generator-form schedule.
+
+    ``plan`` and ``commit`` alternate with nothing in between — the
+    degenerate (single-stream) interleaving, under which the plan/commit
+    form is trivially equivalent to the generator form. Returns
+    ``source.result()``.
+    """
+    while True:
+        segment = source.plan(rng)
+        if segment is None:
+            return source.result()
+        if isinstance(segment, TracePhase):
+            yield segment
+            source.commit(None)
+        else:
+            reply = yield segment
+            source.commit(reply)
 
 
 def protocol_schedule(
@@ -132,8 +209,81 @@ def protocol_schedule(
     return protocol.result() if protocol.finished else None
 
 
+class ProtocolSegmentSource(SegmentProtocol):
+    """Plan/commit lift of a legacy :class:`~repro.radio.protocol.Protocol`.
+
+    Each ``plan`` call produces the protocol's next transmit mask as a
+    width-1 :class:`~repro.engine.segments.ObliviousWindow`; ``commit``
+    feeds the delivered ``hear_from`` row to ``observe``. Because plan
+    is only ever called at a clean frontier, ``transmit_mask`` and
+    ``observe`` run at exactly the causal points the step-wise drivers
+    would call them — the same guarantee :func:`protocol_schedule`
+    gives, now in the form the :func:`~repro.engine.mux.multiplex`
+    combinator can zip.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to lift.
+    steps:
+        Optional step bound, mirroring :func:`protocol_schedule`'s
+        ``steps``. For a *deterministic-length* protocol, pass its exact
+        step count: :meth:`steps_remaining` then reports the exact
+        remainder, which is what entitles the multiplexer to batch past
+        the reference drivers' per-step termination checks. Passing a
+        ``steps`` larger than the protocol's true length is safe only
+        outside the multiplexer (the protocol's ``finished`` flag still
+        ends the stream, but the remainder estimate goes stale).
+    """
+
+    def __init__(self, protocol: Any, steps: int | None = None) -> None:
+        super().__init__(protocol.n)
+        if steps is not None and steps < 0:
+            raise ProtocolError(f"steps must be >= 0, got {steps}")
+        self.protocol = protocol
+        self.steps = steps
+        self._planned = 0
+        self._awaiting_commit = False
+
+    def plan(self, rng: np.random.Generator) -> ObliviousWindow | None:
+        if self._awaiting_commit:
+            raise ProtocolError(
+                "ProtocolSegmentSource.plan() before the previous step "
+                "was committed"
+            )
+        if self.protocol.finished or (
+            self.steps is not None and self._planned >= self.steps
+        ):
+            return None
+        mask = self.protocol.transmit_mask(rng)
+        self._planned += 1
+        self._awaiting_commit = True
+        return ObliviousWindow(np.asarray(mask)[None, :])
+
+    def commit(self, reply: np.ndarray) -> None:
+        if not self._awaiting_commit:
+            raise ProtocolError(
+                "ProtocolSegmentSource.commit() without a planned step"
+            )
+        self.protocol.observe(reply[0])
+        self._awaiting_commit = False
+
+    def steps_remaining(self) -> int | None:
+        if self.protocol.finished:
+            return 0
+        if self.steps is not None:
+            return self.steps - self._planned
+        return None
+
+    def result(self) -> Any:
+        return self.protocol.result() if self.protocol.finished else None
+
+
 __all__ = [
+    "DELIVERY_MODES",
+    "ProtocolSegmentSource",
     "WindowedRunner",
     "protocol_schedule",
     "run_schedule",
+    "segment_schedule",
 ]

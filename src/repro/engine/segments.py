@@ -30,14 +30,36 @@ step-wise reference implementation draws them (numpy's row-major
 ``rng.random((w, n))`` equals ``w`` consecutive ``rng.random(n)``
 calls), which is what keeps engine and reference runs on one seed
 bit-identical.
+
+Plan/commit form
+----------------
+The generator form above conflates two distinct events: *folding* the
+receptions of the segment just executed (``send`` delivers them) and
+*planning* the next segment (the generator body computes it before the
+next ``yield``). A single-stream runner never notices, but a combinator
+that interleaves two protocols' windows — :func:`repro.engine.mux
+.multiplex` — needs to see both streams' upcoming masks while earlier
+receptions are still in flight. :class:`SegmentProtocol` is the split
+form: ``plan(rng)`` produces the next segment, ``commit(reply)`` folds
+its delivery result, and the two may be separated by other streams'
+radio steps. The causal contract mirrors the step-wise drivers: a
+runner calls ``plan`` only when every previously planned row has been
+executed and every completed segment committed, so a source observes
+exactly the world state the reference loop's ``transmit_mask`` would.
+:class:`ScheduleSegmentAdapter` lifts the generator form onto this
+interface (with the documented caveat that a generator can only fold
+and plan in one motion, so its fold runs at the *next* ``plan`` call).
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 from typing import Any, Generator, Union
 
 import numpy as np
+
+from ..radio.errors import ProtocolError
 
 #: Cap on the number of boolean coin-matrix entries an emitter should
 #: materialize per window: windows larger than this are chunked. Chunked
@@ -94,12 +116,139 @@ ProtocolSchedule = Generator[Segment, Any, Any]
 """The emitter type: yields segments, receives delivery results, and
 returns the protocol's result via ``StopIteration.value``."""
 
+
+class SegmentProtocol(abc.ABC):
+    """A schedule emitter in plan/commit form.
+
+    Unlike the generator form, planning the next segment and committing
+    the previous segment's receptions are separate calls, which lets a
+    combinator interleave this source's planned rows with another
+    stream's before any of them execute (see module docstring, "Plan/
+    commit form").
+
+    The call contract, enforced by the runners in this package:
+
+    * ``plan(rng)`` is called only at a *clean frontier*: every row this
+      source has planned so far has been executed, and every fully
+      executed segment has been committed. Randomness must be drawn
+      inside ``plan`` (never ``commit``), in the same order the
+      step-wise reference draws it.
+    * ``commit(reply)`` is called exactly once per planned segment, in
+      planning order, with the segment's full delivery result (a
+      ``(w, n)`` ``hear_from`` matrix for a window, ``None`` for a
+      :class:`TracePhase`). A run may end with the final segment's
+      commit never arriving (budget exhaustion, a multiplexed main
+      stream finishing first); sources must not rely on a trailing
+      commit for correctness of *prior* state.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    @abc.abstractmethod
+    def plan(self, rng: np.random.Generator) -> Segment | None:
+        """Produce the next segment, or ``None`` when the stream ends."""
+
+    @abc.abstractmethod
+    def commit(self, reply: Any) -> None:
+        """Fold the delivery result of the oldest uncommitted segment."""
+
+    def steps_remaining(self) -> int | None:
+        """Exact number of radio-step rows still to be planned.
+
+        ``None`` means data-dependent (unknown until the stream actually
+        ends). Deterministic-length sources should override this: a
+        multiplexed *main* stream must know its remaining step count
+        exactly, because the reference drivers re-check termination
+        between every pair of steps and the combinator can only skip
+        those checks when the answer is predetermined.
+        """
+        return None
+
+    def result(self) -> Any:
+        """Protocol output; meaningful once ``plan`` returned ``None``."""
+        raise ProtocolError(
+            f"{type(self).__name__} does not define a result"
+        )
+
+
+class ScheduleSegmentAdapter(SegmentProtocol):
+    """Lift a generator-form emitter onto :class:`SegmentProtocol`.
+
+    The generator protocol cannot separate folding from planning —
+    ``send(reply)`` does both in one motion — so this adapter stores the
+    committed reply and feeds it to the generator at the *next*
+    ``plan`` call. For single-stream execution that is exactly the
+    :class:`~repro.engine.runner.WindowedRunner` loop. Inside a
+    multiplexed run it means the emitter's fold runs at its own next
+    planning slot rather than at the segment boundary; emitters that
+    mutate state shared with the other stream (the ICP Decay
+    background's ``knowledge`` commits) therefore need a native
+    :class:`SegmentProtocol` implementation instead — the adapter only
+    guarantees bit-identity for self-contained emitters.
+    """
+
+    def __init__(self, schedule: ProtocolSchedule, n: int) -> None:
+        super().__init__(n)
+        self._gen = schedule
+        self._started = False
+        self._awaiting_commit = False
+        self._reply: Any = None
+        self._done = False
+        self._result: Any = None
+
+    def plan(self, rng: np.random.Generator) -> Segment | None:
+        if self._done:
+            return None
+        if self._awaiting_commit:
+            raise ProtocolError(
+                "ScheduleSegmentAdapter.plan() before the previous "
+                "segment was committed: the generator form folds and "
+                "plans in one motion, so plan/commit must alternate"
+            )
+        try:
+            if self._started:
+                segment = self._gen.send(self._reply)
+            else:
+                segment = next(self._gen)
+        except StopIteration as stop:
+            self._done = True
+            self._result = stop.value
+            return None
+        self._started = True
+        self._awaiting_commit = True
+        self._reply = None
+        return segment
+
+    def commit(self, reply: Any) -> None:
+        if not self._awaiting_commit:
+            raise ProtocolError(
+                "ScheduleSegmentAdapter.commit() without a planned "
+                "segment awaiting one"
+            )
+        self._reply = reply
+        self._awaiting_commit = False
+
+    def steps_remaining(self) -> int | None:
+        return 0 if self._done else None
+
+    def result(self) -> Any:
+        if not self._done:
+            raise ProtocolError(
+                "ScheduleSegmentAdapter.result() before the schedule "
+                "finished"
+            )
+        return self._result
+
+
 __all__ = [
     "COIN_BUDGET",
     "DecisionStep",
     "ObliviousWindow",
     "ProtocolSchedule",
+    "ScheduleSegmentAdapter",
     "Segment",
+    "SegmentProtocol",
     "TracePhase",
     "coin_chunk",
 ]

@@ -1,0 +1,135 @@
+"""The contract-checking harness for the windowed engine.
+
+The engine's speed rests on one promise: executing an
+:class:`~repro.engine.segments.ObliviousWindow` as a batched matrix
+product — sparse, dense, or a per-row mix — returns exactly what ``w``
+sequential :meth:`~repro.radio.network.RadioNetwork.deliver` calls
+would have. :class:`ValidatingRunner` turns that promise into a runtime
+assertion: it executes schedules normally on its primary network while
+*replaying* every window step-by-step through ``deliver`` on a shadow
+network over the same graph, and re-executing it on two more shadows
+through the forced-sparse and forced-dense strategies — plus the raw
+sparse matrix product directly, since the public sparse strategy
+routes narrow windows to the gather kernel. Any disagreement — a
+single ``hear_from`` bit anywhere in the cross-comparison — raises
+:class:`ObliviousnessViolationError` naming the first divergent step.
+
+``tests/test_schedule_contract.py`` drives every in-tree schedule
+emitter through this runner across the pipeline's graph families, so
+the windows being checked are the ones real protocols actually emit
+(mask distributions from Decay ladders, slot schedules, density
+guesses), not synthetic ones. The harness is shipped, not test-only:
+wrap any run in it when debugging a suspected engine/emitter mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..radio.errors import ProtocolError
+from ..radio.network import GATHER_WINDOW_WIDTH, RadioNetwork
+from ..radio.trace import CheapTrace
+from .runner import WindowedRunner
+
+
+class ObliviousnessViolationError(ProtocolError):
+    """A batched window diverged from its step-by-step replay."""
+
+
+class ValidatingRunner(WindowedRunner):
+    """A :class:`~repro.engine.runner.WindowedRunner` that re-executes
+    every window step-by-step and asserts bit-identical delivery.
+
+    Parameters are those of :class:`~repro.engine.runner.WindowedRunner`;
+    three shadow networks over ``network.graph`` are constructed
+    internally (cheap: the CSR adjacency is shared through the
+    per-graph context cache): one replaying every window through
+    sequential :meth:`~repro.radio.network.RadioNetwork.deliver` calls,
+    and one each forcing the sparse and dense window strategies.
+    Shadows carry :class:`~repro.radio.trace.CheapTrace`; the primary
+    network's trace and step accounting are exactly those of an
+    unvalidated run.
+
+    Attributes
+    ----------
+    windows_checked, steps_checked:
+        Running totals of validated window segments and radio steps,
+        so tests can assert the harness actually exercised something.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        max_steps: int | None = None,
+        delivery: str = "auto",
+    ) -> None:
+        super().__init__(network, max_steps=max_steps, delivery=delivery)
+        self.shadow_step = RadioNetwork(network.graph, trace=CheapTrace())
+        self.shadow_sparse = RadioNetwork(network.graph, trace=CheapTrace())
+        self.shadow_dense = RadioNetwork(network.graph, trace=CheapTrace())
+        self.windows_checked = 0
+        self.steps_checked = 0
+
+    def _compare(
+        self,
+        primary: np.ndarray,
+        masks: np.ndarray,
+    ) -> None:
+        """Cross-compare one window's delivery results: the primary
+        against the step replay, both sparse kernels, and the dense
+        matmul."""
+        if masks.shape[0] == 0:
+            replay = np.empty((0, self.network.n), dtype=np.int64)
+        else:
+            replay = np.stack(
+                [self.shadow_step.deliver(m) for m in masks]
+            )
+        alternates = [
+            ("step replay", replay),
+            ("sparse", self.shadow_sparse.deliver_window(masks, "sparse")),
+            ("dense", self.shadow_dense.deliver_window(masks, "dense")),
+        ]
+        if masks.shape[0] <= GATHER_WINDOW_WIDTH:
+            # At these widths the public "sparse" strategy routed to
+            # the gather kernel, so the sparse matrix product is run
+            # directly too — otherwise the width-1/width-2 joint
+            # windows the multiplexed paths emit would never
+            # cross-check it. (Wider windows already executed it as
+            # their "sparse" leg.)
+            spmm = np.full(
+                masks.shape, -1, dtype=np.int64
+            )  # NO_SENDER fill, kernels only write heard cells
+            self.shadow_sparse._deliver_window_spmm(masks, spmm)
+            alternates.append(("sparse product", spmm))
+        for name, other in alternates:
+            if primary.shape != other.shape:
+                raise ObliviousnessViolationError(
+                    f"window delivery shape {primary.shape} != "
+                    f"{name} shape {other.shape}"
+                )
+            if not (primary == other).all():
+                step, node = (
+                    int(i) for i in np.argwhere(primary != other)[0]
+                )
+                raise ObliviousnessViolationError(
+                    f"window of {masks.shape[0]} steps diverged from "
+                    f"its {name} at window step {step}, node {node}: "
+                    f"hear_from {primary[step, node]} != "
+                    f"{other[step, node]}"
+                )
+
+    def _execute_window(self, masks: np.ndarray) -> np.ndarray:
+        batched = super()._execute_window(masks)
+        self._compare(batched, masks)
+        self.windows_checked += 1
+        self.steps_checked += masks.shape[0]
+        return batched
+
+    def _execute_step(self, mask: np.ndarray) -> np.ndarray:
+        hear_from = super()._execute_step(mask)
+        self._compare(hear_from[None, :], np.asarray(mask)[None, :])
+        self.steps_checked += 1
+        return hear_from
+
+
+__all__ = ["ObliviousnessViolationError", "ValidatingRunner"]

@@ -27,9 +27,11 @@ counts and the unique-sender identities. Oblivious step sequences
 (masks that do not depend on intermediate receptions — Decay sweeps,
 round-robin rotations, the Compete background process) go through
 :meth:`RadioNetwork.deliver_window`, which executes a whole window of
-steps as one sparse matrix-matrix product; packet-level runs of
-hundreds of thousands of steps on graphs with thousands of nodes are
-practical. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
+steps as one matrix-matrix product — density-adaptive between a sparse
+product (sparse masks) and an exact packed dense matmul (rows where a
+large fraction of nodes transmit, the regime where the sparse output
+stops being sparse); packet-level runs of hundreds of thousands of
+steps on graphs with thousands of nodes are practical. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
 per-step trace accounting (cheap-trace mode) in bulk workloads.
 
 Protocols do not call these delivery entry points directly anymore:
@@ -55,6 +57,33 @@ from .trace import StepTrace
 
 #: Sentinel in ``hear_from`` arrays meaning "heard nothing this step".
 NO_SENDER = -1
+
+#: The window execution strategies :meth:`RadioNetwork.deliver_window`
+#: accepts — the single source of truth the runner and the CLI import.
+DELIVERY_MODES = ("auto", "sparse", "dense")
+
+#: Rows whose transmit-mask popcount density (``popcount / n``) reaches
+#: this fraction route through the dense matmul under ``mode="auto"``.
+#: Rationale: the sparse product pays COO materialization and index
+#: juggling per output entry, and its output stops being sparse as soon
+#: as a few percent of nodes transmit on a non-trivial graph — the
+#: measured crossover against the packed one-real-matmul dense path
+#: sits near density 0.03-0.05 across UDG densities at ``n = 2000``
+#: (calibrated in ``bench_p3_engine``; EstimateEffectiveDegree's
+#: ``p ~ 0.5`` levels are the canonical dense-regime rows). Both paths
+#: are exact small-integer sums, so the threshold is a performance
+#: knob, never a semantics knob.
+DENSE_ROW_DENSITY = 0.05
+
+#: Windows at most this wide skip the scipy sparse product and execute
+#: on the index-gather kernel (:meth:`RadioNetwork._deliver_window_gather`):
+#: for narrow windows — the width-1/width-2 joint windows the
+#: multiplexed ICP path emits by the thousand — the sparse product's
+#: cost is pure constructor overhead (csr/coo allocation and index-type
+#: checks dwarf the actual flops), while the gather kernel is a handful
+#: of numpy calls proportional to the transmitters' degree sum. Exact
+#: integer sums either way; a routing knob, never a semantics knob.
+GATHER_WINDOW_WIDTH = 32
 
 
 class RadioNetwork:
@@ -112,6 +141,13 @@ class RadioNetwork:
         self._rhs2 = np.empty((self.n, 2), dtype=np.float64)
         self._adj_complex: sp.csr_array | None = None
         self.degrees = self._context.degrees.copy()
+        # Largest packed sum the dense window path can produce; packing
+        # is exact only while it stays below 2^53 (see
+        # _deliver_window_dense).
+        max_degree = int(self.degrees.max()) if self.n else 0
+        self._dense_pack_ok = (
+            max_degree * (1.0 + self.n * (self.n + 1.0)) < 2.0**53
+        )
         self.trace = trace if trace is not None else StepTrace()
         self.steps_elapsed = 0
 
@@ -246,30 +282,180 @@ class RadioNetwork:
             self._adj_complex = self._adj.astype(np.complex128)
         return self._adj_complex
 
-    def deliver_window(self, masks: np.ndarray) -> np.ndarray:
-        """Execute a window of oblivious radio steps in one sparse product.
+    def dense_window_rows(self, masks: np.ndarray) -> np.ndarray:
+        """Rows of a window the ``auto`` router sends to the dense path.
+
+        A boolean vector over window rows: ``True`` where the row's
+        transmit popcount density reaches :data:`DENSE_ROW_DENSITY`.
+        Pure arithmetic on popcounts — no graph traversal — so routing
+        costs O(w n) bit-counting on top of the product it routes.
+        Exposed for introspection (benchmarks, the contract suite).
+        """
+        masks = np.asarray(masks)
+        return masks.sum(axis=1) >= DENSE_ROW_DENSITY * max(1, self.n)
+
+    def _deliver_window_gather(
+        self, masks: np.ndarray, hear_from: np.ndarray
+    ) -> int:
+        """Index-gather window execution; returns the reception count.
+
+        For narrow windows the sparse product is all constructor
+        overhead, so this kernel computes the same two sums directly:
+        every transmitter's CSR neighbor list is gathered (one ragged
+        vectorized slice), and per-(step, listener) transmitter counts
+        and 1-based id sums come from two ``bincount`` passes over the
+        flattened (step, neighbor) keys. Counts are integer bincounts
+        and id sums are float64 bincounts of exact small integers, so
+        results are bit-identical to every other delivery path.
+        """
+        w = masks.shape[0]
+        tx_step, tx_node = np.nonzero(masks)
+        indptr, indices = self._adj.indptr, self._adj.indices
+        starts = indptr[tx_node].astype(np.int64)
+        lens = indptr[tx_node + 1].astype(np.int64) - starts
+        total = int(lens.sum())
+        if total == 0:
+            return 0
+        offsets = np.repeat(np.cumsum(lens) - lens - starts, lens)
+        neighbors = indices[np.arange(total, dtype=np.int64) - offsets]
+        flat = np.repeat(tx_step, lens) * self.n + neighbors
+        counts = np.bincount(flat, minlength=w * self.n).reshape(
+            w, self.n
+        )
+        idsum1 = np.bincount(
+            flat,
+            weights=np.repeat(self._ids1[tx_node], lens),
+            minlength=w * self.n,
+        ).reshape(w, self.n)
+        clean = (counts == 1) & ~masks
+        hear_from[clean] = np.rint(idsum1[clean]).astype(np.int64) - 1
+        return int(clean.sum())
+
+    def _deliver_window_sparse(
+        self, masks: np.ndarray, hear_from: np.ndarray
+    ) -> int:
+        """Sparse-strategy window execution; returns the reception count.
+
+        Narrow windows (at most :data:`GATHER_WINDOW_WIDTH` rows) route
+        to :meth:`_deliver_window_gather`, the constructor-free kernel
+        computing the same exact sums; wider windows run the sparse
+        matrix product (:meth:`_deliver_window_spmm`).
+        """
+        if masks.shape[0] <= GATHER_WINDOW_WIDTH:
+            return self._deliver_window_gather(masks, hear_from)
+        return self._deliver_window_spmm(masks, hear_from)
+
+    def _deliver_window_spmm(
+        self, masks: np.ndarray, hear_from: np.ndarray
+    ) -> int:
+        """Sparse-product window execution; returns the reception count.
+
+        The window's transmit indicators form a sparse ``(n, w)`` matrix
+        whose entries carry ``1 + i (id + 1)`` — one complex product
+        against the adjacency then yields transmitter counts (real part)
+        and 1-based id sums (imaginary part) for every (listener, step)
+        pair at once.
+        """
+        w = masks.shape[0]
+        tx_step, tx_node = np.nonzero(masks)
+        if not tx_node.size:
+            return 0
+        data = np.empty(tx_node.size, dtype=np.complex128)
+        data.real = 1.0
+        data.imag = self._ids1[tx_node]
+        rhs = sp.csr_array((data, (tx_node, tx_step)), shape=(self.n, w))
+        out = (self._complex_adj() @ rhs).tocoo()
+        node, step = out.coords
+        counts = out.data.real
+        # Clean reception: exactly one transmitting neighbor, and the
+        # node itself was listening at that step.
+        clean = (counts == 1.0) & ~masks[step, node]
+        sender = np.rint(out.data.imag[clean]).astype(np.int64) - 1
+        hear_from[step[clean], node[clean]] = sender
+        return int(clean.sum())
+
+    def _deliver_window_dense(
+        self, masks: np.ndarray, hear_from: np.ndarray
+    ) -> int:
+        """Dense-matmul window execution; returns the reception count.
+
+        One sparse-times-dense product against a ``(n, w)`` right-hand
+        side gives every (listener, step) pair's transmitter count and
+        id-sum without materializing a COO output. When the packing
+        bound allows (all realistic sizes), a transmitting node ``v``
+        contributes the *real* value ``1 + (v + 1) M`` with modulus
+        ``M = n + 1``: a listener's sum then unpacks as
+        ``count = sum mod M`` and ``idsum1 = sum div M`` — one real
+        product instead of a complex one, at half the flops. Every
+        quantity is an exact integer below 2^53 in float64, so
+        accumulation order cannot change a single value — the results
+        are bit-identical to :meth:`_deliver_window_sparse` and to
+        step-wise :meth:`deliver` calls. Graphs too large for the
+        packing bound fall back to the complex-valued product (same
+        exactness argument, componentwise).
+        """
+        masks_t = masks.T  # (n, w) view
+        if self._dense_pack_ok:
+            modulus = float(self.n + 1)
+            vals = 1.0 + self._ids1 * modulus
+            rhs = np.where(masks_t, vals[:, None], 0.0)
+            out = self._adj @ rhs  # dense (n, w) float64
+            counts = np.remainder(out, modulus)
+            heard = (~masks_t) & (counts == 1.0)
+            node, step = np.nonzero(heard)
+            idsum1 = (out[node, step] - 1.0) / modulus
+        else:
+            rhs = np.where(masks_t, (1.0 + 1j * self._ids1)[:, None], 0.0)
+            out = self._complex_adj() @ rhs  # dense (n, w) complex
+            heard = (~masks_t) & (out.real == 1.0)
+            node, step = np.nonzero(heard)
+            idsum1 = out.imag[node, step]
+        hear_from[step, node] = np.rint(idsum1).astype(np.int64) - 1
+        return int(node.size)
+
+    def deliver_window(
+        self, masks: np.ndarray, mode: str = "auto"
+    ) -> np.ndarray:
+        """Execute a window of oblivious radio steps in one product.
 
         Semantically identical to calling :meth:`deliver` once per row of
         ``masks`` — same ``hear_from`` values, same trace totals, same
         ``steps_elapsed`` — but the whole window is computed as a single
-        sparse matrix-matrix product, which is what makes long oblivious
-        schedules (Decay sweeps, round-robin rotations, background
-        processes) fast. *Oblivious* means the caller could fix every
-        mask before the first step executes: masks must not depend on
-        what is heard inside the window.
+        matrix product, which is what makes long oblivious schedules
+        (Decay sweeps, round-robin rotations, background processes)
+        fast. *Oblivious* means the caller could fix every mask before
+        the first step executes: masks must not depend on what is heard
+        inside the window.
 
-        Implementation: the window's transmit indicators form a sparse
-        ``(n, w)`` matrix whose entries carry ``1 + i (id + 1)`` — one
-        complex product against the adjacency then yields transmitter
-        counts (real part) and 1-based id sums (imaginary part) for
-        every (listener, step) pair at once. Both are exact small-integer
-        sums, so results are bit-identical to the sequential path.
+        Two execution strategies implement the product, selected by
+        ``mode``:
+
+        * ``"sparse"`` — a sparse-sparse complex product; cost scales
+          with the transmitters' degree sum plus the nonzeros of the
+          output, ideal for the sparse masks of Decay ladders and slot
+          schedules.
+        * ``"dense"`` — an exact sparse-times-dense matmul; cost is
+          ``O(nnz(A) w)`` regardless of density, which wins when most
+          (listener, step) pairs hear energy and the sparse output
+          stops being sparse (EstimateEffectiveDegree near ``p = 0.5``
+          on dense graphs).
+        * ``"auto"`` (default) — routes *per row* on mask popcounts
+          (:meth:`dense_window_rows`): window steps are independent
+          given their masks, so a mixed window (EstimateEffectiveDegree
+          chunks straddle the whole density ladder) splits into a dense
+          sub-window and a sparse sub-window, each on its better path.
+
+        Both strategies compute exact small-integer sums in float64
+        components, so the returned matrix is bit-identical whichever
+        path runs — pinned per window by the contract suite.
 
         Parameters
         ----------
         masks:
             Boolean array of shape ``(w, n)``; row ``t`` is the transmit
             mask of window step ``t``.
+        mode:
+            ``"auto"``, ``"sparse"`` or ``"dense"``.
 
         Returns
         -------
@@ -277,6 +463,11 @@ class RadioNetwork:
             Integer array of shape ``(w, n)``: row ``t`` is exactly what
             :meth:`deliver` would have returned for ``masks[t]``.
         """
+        if mode not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery mode: {mode!r} "
+                f"(expected one of {DELIVERY_MODES})"
+            )
         masks = np.asarray(masks)
         if masks.ndim != 2 or masks.shape[1] != self.n:
             raise InvalidActionError(
@@ -291,33 +482,42 @@ class RadioNetwork:
         if w == 0:
             return hear_from
 
-        tx_step, tx_node = np.nonzero(masks)
-        if tx_node.size:
-            data = np.empty(tx_node.size, dtype=np.complex128)
-            data.real = 1.0
-            data.imag = self._ids1[tx_node]
-            rhs = sp.csr_array(
-                (data, (tx_node, tx_step)), shape=(self.n, w)
-            )
-            out = (self._complex_adj() @ rhs).tocoo()
-            node, step = out.coords
-            counts = out.data.real
-            # Clean reception: exactly one transmitting neighbor, and the
-            # node itself was listening at that step.
-            clean = (counts == 1.0) & ~masks[step, node]
-            sender = (
-                np.rint(out.data.imag[clean]).astype(np.int64) - 1
-            )
-            hear_from[step[clean], node[clean]] = sender
-            receptions = int(clean.sum())
-        else:
+        if not masks.any():
             receptions = 0
+        elif mode == "dense":
+            receptions = self._deliver_window_dense(masks, hear_from)
+        elif mode == "sparse":
+            receptions = self._deliver_window_sparse(masks, hear_from)
+        elif masks.shape[0] <= GATHER_WINDOW_WIDTH:
+            # auto, narrow: constructor overhead dominates both matrix
+            # strategies; the gather kernel wins outright.
+            receptions = self._deliver_window_gather(masks, hear_from)
+        else:
+            dense_rows = self.dense_window_rows(masks)
+            if dense_rows.all():
+                receptions = self._deliver_window_dense(masks, hear_from)
+            elif not dense_rows.any():
+                receptions = self._deliver_window_sparse(masks, hear_from)
+            else:
+                receptions = 0
+                for rows, execute in (
+                    (dense_rows, self._deliver_window_dense),
+                    (~dense_rows, self._deliver_window_sparse),
+                ):
+                    idx = np.nonzero(rows)[0]
+                    sub = np.full(
+                        (idx.size, self.n), NO_SENDER, dtype=np.int64
+                    )
+                    receptions += execute(masks[idx], sub)
+                    hear_from[idx] = sub
 
         self.steps_elapsed += w
         if self.trace.wants_detail:
+            # The exact popcount is only paid for when the trace keeps
+            # it; cheap-trace bulk workloads skip the extra mask scan.
             self.trace.record_window(
                 steps=w,
-                transmissions=int(tx_node.size),
+                transmissions=int(np.count_nonzero(masks)),
                 receptions=receptions,
             )
         else:

@@ -18,6 +18,25 @@ from repro import graphs
 from repro.radio import RadioNetwork
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--fuzz-rounds",
+        type=int,
+        default=2,
+        help=(
+            "rounds per twin pair in the differential fuzz suite "
+            "(tests/test_fuzz_differential.py); CI runs the small "
+            "default, opt into larger sweeps locally"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_rounds(request) -> int:
+    """How many randomized rounds each differential fuzz case runs."""
+    return int(request.config.getoption("--fuzz-rounds"))
+
+
 @pytest.fixture
 def rng(request) -> np.random.Generator:
     """Per-test deterministic generator (seeded from the test's own id)."""

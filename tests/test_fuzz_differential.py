@@ -1,0 +1,283 @@
+"""Differential fuzzing of every engine/reference twin pair.
+
+Each case draws seeded random graphs (mixing UDG, quasi-UDG, G(n, p),
+paths, and hard star-of-cliques instances) and runs a protocol through
+its independent implementations — the windowed engine, the step-wise
+``*_reference`` twin, and where one exists the fused (multiplexed)
+path — pinning:
+
+* the protocol **result** (every field that is seed-deterministic);
+* ``steps_elapsed`` and the **trace totals** (global and per phase);
+* the **final rng-stream state** (``bit_generator.state``), the
+  strictest possible check that both paths drew exactly the same
+  randomness in the same order (exception: the wake-up reduction,
+  whose windowed path documents a post-success rng divergence).
+
+The matrix is sized by ``--fuzz-rounds`` (default 2 — the CI tier-1
+budget); crank it up locally for a deeper sweep::
+
+    PYTHONPATH=src python -m pytest tests/test_fuzz_differential.py --fuzz-rounds 20
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import graphs
+from repro.baselines import (
+    bgi_broadcast,
+    bgi_broadcast_reference,
+    binary_search_election,
+    binary_search_election_reference,
+)
+from repro.core import (
+    MISConfig,
+    build_schedule,
+    compute_mis,
+    compute_mis_reference,
+    estimate_effective_degree,
+    estimate_effective_degree_reference,
+    intra_cluster_propagation,
+    partition,
+    run_decay,
+    run_decay_reference,
+)
+from repro.core.compete_packet import PacketCompeteConfig, compete_packet
+from repro.core.intra_cluster import DecayBackground, decay_background_schedule
+from repro.core.wakeup import (
+    mis_as_wakeup_strategy,
+    mis_as_wakeup_strategy_reference,
+)
+from repro.engine import run_schedule
+from repro.graphs import greedy_independent_set
+from repro.radio import RadioNetwork, run_steps
+
+
+def _assert_trace_equal(a: RadioNetwork, b: RadioNetwork) -> None:
+    assert a.steps_elapsed == b.steps_elapsed
+    assert a.trace.total_steps == b.trace.total_steps
+    assert a.trace.total_transmissions == b.trace.total_transmissions
+    assert a.trace.total_receptions == b.trace.total_receptions
+    assert {
+        k: (s.steps, s.transmissions, s.receptions)
+        for k, s in a.trace.phase_stats().items()
+    } == {
+        k: (s.steps, s.transmissions, s.receptions)
+        for k, s in b.trace.phase_stats().items()
+    }
+
+
+def _assert_rng_equal(*rngs: np.random.Generator) -> None:
+    states = [rng.bit_generator.state for rng in rngs]
+    assert all(state == states[0] for state in states[1:])
+
+
+def _fuzz_graph(round_index: int, case: str) -> nx.Graph:
+    """A fresh seeded random graph per (round, case)."""
+    seed = round_index * 7919 + sum(map(ord, case))
+    rng = np.random.default_rng(seed)
+    kind = int(rng.integers(5))
+    if kind == 0:
+        n = int(rng.integers(40, 90))
+        return graphs.random_udg(n, float(rng.uniform(2.5, 4.0)), rng)
+    if kind == 1:
+        return nx.convert_node_labels_to_integers(
+            graphs.random_qudg(int(rng.integers(35, 70)), 3.0, rng)
+        )
+    if kind == 2:
+        return nx.convert_node_labels_to_integers(
+            graphs.star_of_cliques(int(rng.integers(3, 6)), int(rng.integers(4, 8)))
+        )
+    if kind == 3:
+        return graphs.path(int(rng.integers(20, 60)))
+    return graphs.connected_gnp(
+        int(rng.integers(30, 70)), float(rng.uniform(0.06, 0.15)), rng
+    )
+
+
+def _seed(round_index: int, case: str) -> int:
+    return round_index * 104729 + sum(map(ord, case)) * 31
+
+
+class TestDifferentialFuzz:
+    def test_decay(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "decay")
+            n = g.number_of_nodes()
+            seed = _seed(r, "decay")
+            active = np.random.default_rng(seed).random(n) < 0.45
+            active[0] = True
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            a = run_decay(net_w, active, rng_w, iterations=5)
+            b = run_decay_reference(net_r, active, rng_r, iterations=5)
+            assert (a.heard == b.heard).all()
+            assert (a.heard_from == b.heard_from).all()
+            assert a.messages == b.messages
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    @pytest.mark.parametrize("delivery", ["sparse", "dense"])
+    def test_effective_degree(self, fuzz_rounds, delivery):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "eed" + delivery)
+            n = g.number_of_nodes()
+            seed = _seed(r, "eed")
+            setup = np.random.default_rng(seed)
+            p = setup.random(n) * 0.5
+            active = setup.random(n) < 0.85
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            a = estimate_effective_degree(
+                net_w, p, active, rng_w, C=5, delivery=delivery
+            )
+            b = estimate_effective_degree_reference(
+                net_r, p, active, rng_r, C=5
+            )
+            assert (a.high == b.high).all()
+            assert (a.counts == b.counts).all()
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    def test_mis(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "mis")
+            seed = _seed(r, "mis")
+            config = MISConfig(eed_C=3)
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = compute_mis(net_w, rng_w, config)
+            b = compute_mis_reference(net_r, rng_r, config)
+            assert a.mis == b.mis
+            assert a.steps_used == b.steps_used
+            assert a.rounds_used == b.rounds_used
+            assert a.history == b.history
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    def test_bgi_broadcast(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "bgi")
+            seed = _seed(r, "bgi")
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = bgi_broadcast(net_w, 0, rng_w)
+            b = bgi_broadcast_reference(net_r, 0, rng_r)
+            assert a == b
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    def test_binary_search_election(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "leader")
+            seed = _seed(r, "leader")
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = binary_search_election(net_w, rng_w)
+            b = binary_search_election_reference(net_r, rng_r)
+            assert a == b
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    def test_wakeup(self, fuzz_rounds):
+        # Result-only twin: the windowed path documents a post-success
+        # rng-state divergence (it pre-draws the rest of the final coin
+        # chunk), so each engine gets its own seeded generator.
+        for r in range(fuzz_rounds):
+            seed = _seed(r, "wakeup")
+            setup = np.random.default_rng(seed)
+            n = int(setup.integers(64, 1024))
+            k = int(setup.integers(2, min(48, n)))
+            a = mis_as_wakeup_strategy(n, k, np.random.default_rng(seed))
+            b = mis_as_wakeup_strategy_reference(
+                n, k, np.random.default_rng(seed)
+            )
+            assert a == b
+
+    def test_icp_three_engines(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = nx.convert_node_labels_to_integers(_fuzz_graph(r, "icp"))
+            seed = _seed(r, "icp")
+            setup = np.random.default_rng(seed)
+            mis = sorted(greedy_independent_set(g, setup, "random"))
+            clustering = partition(g, 0.3, mis, setup)
+            schedule = build_schedule(g, clustering)
+            know = np.full(g.number_of_nodes(), -1, dtype=np.int64)
+            know[0] = 3
+            ell = int(setup.integers(2, 6))
+            runs = {}
+            for engine in ("reference", "windowed", "fused"):
+                net = RadioNetwork(g)
+                rng = np.random.default_rng(seed + 1)
+                res = intra_cluster_propagation(
+                    net, clustering, schedule, know, ell, rng,
+                    engine=engine,
+                )
+                runs[engine] = (res, net, rng)
+            ref, net_ref, rng_ref = runs["reference"]
+            for engine in ("windowed", "fused"):
+                res, net, rng = runs[engine]
+                assert (res.knowledge == ref.knowledge).all()
+                assert res.steps == ref.steps
+                _assert_trace_equal(net, net_ref)
+                _assert_rng_equal(rng, rng_ref)
+
+    def test_decay_background(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = nx.convert_node_labels_to_integers(_fuzz_graph(r, "bg"))
+            seed = _seed(r, "bg")
+            setup = np.random.default_rng(seed)
+            mis = sorted(greedy_independent_set(g, setup, "random"))
+            clustering = partition(g, 0.35, mis, setup)
+            n = g.number_of_nodes()
+            know_w = np.full(n, -1, dtype=np.int64)
+            know_w[: min(4, n)] = [6, -1, 2, 9][: min(4, n)]
+            know_r = know_w.copy()
+            total = int(setup.integers(50, 900))
+            net_w, net_r = RadioNetwork(g), RadioNetwork(g)
+            rng_w = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            run_schedule(
+                net_w,
+                decay_background_schedule(
+                    net_w, clustering, know_w, rng_w, total_steps=total
+                ),
+            )
+            run_steps(
+                DecayBackground(net_r, clustering, know_r), rng_r, total
+            )
+            assert (know_w == know_r).all()
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+
+    def test_packet_compete(self, fuzz_rounds):
+        # The full packet pipeline across all three engines; small
+        # graphs — every stage is simulated step-for-step on the
+        # reference side.
+        for r in range(min(fuzz_rounds, 3)):
+            seed = _seed(r, "compete")
+            setup = np.random.default_rng(seed)
+            g = nx.convert_node_labels_to_integers(
+                graphs.random_udg(int(setup.integers(25, 45)), 2.5, setup)
+            )
+            sources = {0: 2, g.number_of_nodes() - 1: 5}
+            runs = {}
+            for engine in ("reference", "windowed", "fused"):
+                net = RadioNetwork(g)
+                res = compete_packet(
+                    net, dict(sources), np.random.default_rng(seed + 1),
+                    config=PacketCompeteConfig(engine=engine),
+                )
+                runs[engine] = (res, net)
+            ref, net_ref = runs["reference"]
+            for engine in ("windowed", "fused"):
+                res, net = runs[engine]
+                assert res == ref
+                _assert_trace_equal(net, net_ref)

@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Line-coverage floor for the engine layer (``src/repro/engine``).
+
+Stdlib-only (the container bakes no ``coverage``/``pytest-cov``): line
+events are collected with ``sys.monitoring`` on Python 3.12+ (cheap —
+non-engine code objects are disabled after their first event) or a
+``sys.settrace`` local-trace filter on 3.11, while the engine-focused
+test files run in-process through ``pytest.main``. Executable lines
+come from compiling each engine module and walking its code objects'
+``co_lines`` tables.
+
+The floor is a regression gate for the scheduler layer specifically:
+the engine is the substrate every protocol's correctness argument rests
+on, so untested engine branches are a categorically worse smell than
+untested leaf protocols. Run from the repository root::
+
+    PYTHONPATH=src python tools/check_engine_coverage.py
+
+Exit status is nonzero when overall engine coverage drops below
+``FLOOR`` (or any single module below ``FILE_FLOOR``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import types
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+ENGINE_DIR = (REPO_ROOT / "src" / "repro" / "engine").resolve()
+
+#: Overall executable-line coverage the engine package must keep.
+FLOOR = 0.90
+#: Per-module floor (looser: small modules swing harder per line).
+FILE_FLOOR = 0.85
+
+#: The test files that exercise the engine layer. Contract + fuzz
+#: suites are included on purpose: their replay/twin checks are where
+#: the rarely-taken engine branches (dense routing, mux edge cases)
+#: actually fire.
+TEST_FILES = [
+    "tests/test_engine_windowed.py",
+    "tests/test_engine_mux.py",
+    "tests/test_engine_budget.py",
+    "tests/test_schedule_contract.py",
+    "tests/test_fuzz_differential.py",
+]
+
+_executed: dict[str, set[int]] = {}
+_prefix = str(ENGINE_DIR)
+
+
+def _start_settrace() -> None:
+    def global_trace(frame, event, arg):
+        if event != "call":
+            return None
+        if not frame.f_code.co_filename.startswith(_prefix):
+            return None
+        lines = _executed.setdefault(frame.f_code.co_filename, set())
+        lines.add(frame.f_lineno)
+
+        def local_trace(frame, event, arg):
+            if event == "line":
+                lines.add(frame.f_lineno)
+            return local_trace
+
+        return local_trace
+
+    sys.settrace(global_trace)
+
+
+def _start_monitoring() -> None:
+    mon = sys.monitoring
+    tool = mon.COVERAGE_ID
+    mon.use_tool_id(tool, "engine-coverage")
+
+    def on_line(code: types.CodeType, line: int):
+        if code.co_filename.startswith(_prefix):
+            _executed.setdefault(code.co_filename, set()).add(line)
+            return None
+        return mon.DISABLE
+
+    def on_start(code: types.CodeType, _offset: int):
+        if code.co_filename.startswith(_prefix):
+            _executed.setdefault(code.co_filename, set()).add(
+                code.co_firstlineno
+            )
+            return None
+        return mon.DISABLE
+
+    mon.register_callback(tool, mon.events.LINE, on_line)
+    mon.register_callback(tool, mon.events.PY_START, on_start)
+    mon.set_events(tool, mon.events.LINE | mon.events.PY_START)
+
+
+def _stop_tracing() -> None:
+    if hasattr(sys, "monitoring"):
+        mon = sys.monitoring
+        mon.set_events(mon.COVERAGE_ID, 0)
+        mon.free_tool_id(mon.COVERAGE_ID)
+    else:
+        sys.settrace(None)
+
+
+def executable_lines(path: pathlib.Path) -> set[int]:
+    """Line numbers with executable instructions, from the code objects.
+
+    Function/def header lines are mapped by the interpreter to entry
+    events rather than line events on some versions, so they are
+    tracked separately via ``co_firstlineno`` (see ``on_start`` /
+    the settrace call event) — here every line a ``co_lines`` table
+    names is executable.
+    """
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for const in co.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+        for _start, _end, line in co.co_lines():
+            if line is not None:
+                lines.add(line)
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    if any(name.startswith("repro") for name in sys.modules):
+        print(
+            "error: repro imported before tracing started; run this "
+            "tool as a fresh process",
+            file=sys.stderr,
+        )
+        return 2
+
+    if hasattr(sys, "monitoring"):
+        _start_monitoring()
+    else:
+        _start_settrace()
+    try:
+        rc = pytest.main(
+            ["-q", "-p", "no:cacheprovider", "--fuzz-rounds", "1"]
+            + [str(REPO_ROOT / t) for t in TEST_FILES]
+        )
+    finally:
+        _stop_tracing()
+    if rc != 0:
+        print(f"engine test run failed (pytest exit {rc})", file=sys.stderr)
+        return int(rc)
+
+    total_expected = 0
+    total_hit = 0
+    failed = False
+    print("\nengine line coverage:")
+    for path in sorted(ENGINE_DIR.glob("*.py")):
+        expected = executable_lines(path)
+        hit = _executed.get(str(path), set()) & expected
+        missed = sorted(expected - hit)
+        ratio = len(hit) / len(expected) if expected else 1.0
+        total_expected += len(expected)
+        total_hit += len(hit)
+        flag = ""
+        if ratio < FILE_FLOOR:
+            failed = True
+            flag = f"  << below file floor {FILE_FLOOR:.0%}"
+        print(
+            f"  {path.name:14s} {ratio:7.1%} "
+            f"({len(hit)}/{len(expected)}){flag}"
+        )
+        if missed and ratio < 1.0:
+            preview = ", ".join(map(str, missed[:12]))
+            more = "" if len(missed) <= 12 else f", ... +{len(missed) - 12}"
+            print(f"    missed lines: {preview}{more}")
+
+    overall = total_hit / total_expected if total_expected else 1.0
+    print(f"  {'TOTAL':14s} {overall:7.1%} ({total_hit}/{total_expected})")
+    if overall < FLOOR:
+        failed = True
+        print(f"overall engine coverage below floor {FLOOR:.0%}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
