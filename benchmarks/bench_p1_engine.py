@@ -133,8 +133,37 @@ def bench_partition(n: int = 2000, draws: int = 3, seed: int = 202) -> dict:
     }
 
 
+def peak_memory(n: int = 2000, seed: int = 101) -> int:
+    """Tracemalloc peak of the engine-path radio window workload.
+
+    A separate traced pass: tracing taxes small allocations heavily
+    enough to distort the floor-gated timing ratios, so the timed
+    benches run untraced and this re-execution records the memory side
+    of the trajectory.
+    """
+    from repro.analysis.experiments import measure_peak
+    from repro.core.decay import claim10_iterations, run_decay
+    from repro.radio import RadioNetwork
+
+    g = _workload_graph(n, seed)
+    active = np.random.default_rng(seed + 1).random(n) < 0.5
+    net = RadioNetwork(g)
+    _, peak = measure_peak(
+        lambda: run_decay(
+            net, active, np.random.default_rng(seed + 2),
+            iterations=claim10_iterations(n),
+        )
+    )
+    return int(peak)
+
+
 def run_bench(n: int = 2000) -> dict:
-    """Run both engine benchmarks and assemble the persistable record."""
+    """Run both engine benchmarks and assemble the persistable record.
+
+    ``peak_mem_bytes`` (tracemalloc over the engine-path radio window
+    workload, numpy buffers included) rides alongside the wall times so
+    the ``BENCH_*.json`` trajectory tracks memory as well as speed.
+    """
     radio = bench_radio_window(n=n)
     mpx = bench_partition(n=n)
     return {
@@ -142,6 +171,7 @@ def run_bench(n: int = 2000) -> dict:
         "generated": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "peak_mem_bytes": peak_memory(n=n),
         "radio_window": radio,
         "mpx_partition": mpx,
         "passes_floors": bool(

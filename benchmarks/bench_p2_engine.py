@@ -242,8 +242,34 @@ def bench_trial_runner(n: int = 600, trials: int = 6, seed: int = 11) -> dict:
     return record
 
 
+def peak_memory(n: int = 2000, seed: int = 101) -> int:
+    """Tracemalloc peak of the windowed Radio MIS workload.
+
+    A separate traced pass: tracing taxes small allocations heavily
+    enough to distort the floor-gated timing ratios, so the timed
+    benches run untraced and this re-execution records the memory side
+    of the trajectory.
+    """
+    from repro.analysis.experiments import measure_peak
+    from repro.core import MISConfig, compute_mis
+    from repro.radio import CheapTrace, RadioNetwork
+
+    g = _udg(n, (n / 31.0) ** 0.5, seed)
+    net = RadioNetwork(g, trace=CheapTrace())
+    config = MISConfig(eed_C=8, record_golden=False)
+    _, peak = measure_peak(
+        lambda: compute_mis(net, np.random.default_rng(seed + 1), config)
+    )
+    return int(peak)
+
+
 def run_bench(n: int = 2000) -> dict:
-    """Run the PR 2 benchmarks and assemble the persistable record."""
+    """Run the PR 2 benchmarks and assemble the persistable record.
+
+    ``peak_mem_bytes`` (tracemalloc over the windowed MIS workload,
+    numpy buffers included) rides alongside the wall times so the
+    ``BENCH_*.json`` trajectory tracks memory as well as speed.
+    """
     mis = bench_mis(n=n)
     eed = bench_effective_degree(n=n)
     bgi = bench_bgi(n=n)
@@ -253,6 +279,7 @@ def run_bench(n: int = 2000) -> dict:
         "generated": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "peak_mem_bytes": peak_memory(n=n),
         "radio_mis": mis,
         "effective_degree": eed,
         "bgi_broadcast": bgi,

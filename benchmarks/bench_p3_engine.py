@@ -175,8 +175,39 @@ def bench_dense_window(n: int = 2000, seed: int = 505) -> dict:
     }
 
 
+def peak_memory(n: int = 2000, seed: int = 404, ell: int = 6) -> int:
+    """Tracemalloc peak of the fused (multiplexed) ICP workload.
+
+    A separate traced pass: tracing taxes small allocations heavily
+    enough to distort the floor-gated timing ratios, so the timed
+    benches run untraced and this re-execution records the memory side
+    of the trajectory.
+    """
+    from repro.analysis.experiments import measure_peak
+    from repro.core import build_icp_inputs, intra_cluster_propagation
+    from repro.radio import CheapTrace, RadioNetwork
+
+    g = _udg(n, (n / 31.0) ** 0.5, seed)
+    clustering, schedule, knowledge = build_icp_inputs(
+        g, np.random.default_rng(seed + 1), beta=0.3, sources={0: 9}
+    )
+    net = RadioNetwork(g, trace=CheapTrace())
+    _, peak = measure_peak(
+        lambda: intra_cluster_propagation(
+            net, clustering, schedule, knowledge, ell,
+            np.random.default_rng(seed + 2), engine="fused",
+        )
+    )
+    return int(peak)
+
+
 def run_bench(n: int = 2000) -> dict:
-    """Run the PR 3 benchmarks and assemble the persistable record."""
+    """Run the PR 3 benchmarks and assemble the persistable record.
+
+    ``peak_mem_bytes`` (tracemalloc over the fused ICP workload, numpy
+    buffers included) rides alongside the wall times so the
+    ``BENCH_*.json`` trajectory tracks memory as well as speed.
+    """
     icp = bench_fused_icp(n=n)
     dense = bench_dense_window(n=n)
     return {
@@ -184,6 +215,7 @@ def run_bench(n: int = 2000) -> dict:
         "generated": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "peak_mem_bytes": peak_memory(n=n),
         "fused_icp": icp,
         "dense_window": dense,
         "passes_floors": bool(

@@ -6,18 +6,23 @@ persisted to ``BENCH_PR1.json``), the ``bench_p2_engine`` pass
 (PR 2: the unified windowed protocol engine — Radio MIS and
 EstimateEffectiveDegree against their step-wise references, plus the
 E1/E6 trial slices through ``run_trials_parallel`` — persisted to
-``BENCH_PR2.json``), and the ``bench_p3_engine`` pass (PR 3: the
+``BENCH_PR2.json``), the ``bench_p3_engine`` pass (PR 3: the
 window-multiplexed fused ICP path and the density-adaptive dense
-window delivery — persisted to ``BENCH_PR3.json``). The
+window delivery — persisted to ``BENCH_PR3.json``), and the
+``bench_p4_streaming`` pass (PR 4: streamed window execution at
+``n = 10^5``, wall time *and* tracemalloc peak against the monolithic
+``(w, n)`` footprint — persisted to ``BENCH_PR4.json``). Every bench
+record carries ``peak_mem_bytes`` alongside its wall times. The
 ``BENCH_*.json`` records are the perf trajectory future PRs compare
 themselves against.
 
 Usage::
 
-    python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1] [--n 2000]
+    python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
+        [--skip-p4] [--n 2000] [--p4-n 100000]
 
-Exit status is nonzero if the test suite fails or a speedup floor is
-missed, so this doubles as a CI gate.
+Exit status is nonzero if the test suite fails or a speedup/memory
+floor is missed, so this doubles as a CI gate.
 """
 
 from __future__ import annotations
@@ -78,6 +83,17 @@ def main(argv: list[str] | None = None) -> int:
         default=2000,
         help="benchmark graph size (acceptance floors assume >= 2000)",
     )
+    parser.add_argument(
+        "--skip-p4",
+        action="store_true",
+        help="skip the PR 4 streaming bench (BENCH_PR4.json untouched)",
+    )
+    parser.add_argument(
+        "--p4-n",
+        type=int,
+        default=100000,
+        help="scale of the PR 4 streaming bench (default 100000)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -85,6 +101,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p1_engine
     import bench_p2_engine
     import bench_p3_engine
+    import bench_p4_streaming
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -137,6 +154,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"persisted to {bench_p3_engine.RESULT_PATH}")
     ok = ok and p3["passes_floors"]
+
+    if not args.skip_p4:
+        p4 = bench_p4_streaming.run_bench(n=args.p4_n)
+        if tier1 is not None:
+            p4["tier1"] = tier1
+        bench_p4_streaming.write_results(p4)
+
+        eed, dec = p4["streamed_eed"], p4["streamed_decay"]
+        print(
+            f"streamed EED n={eed['n']}: peak "
+            f"{eed['peak_mem_bytes'] / 2**20:.0f} MiB, "
+            f"{eed['mem_ratio']:.1f}x under monolithic "
+            f"(floor {eed['floor']}x); streamed Decay: "
+            f"{dec['mem_ratio']:.1f}x (floor {dec['floor']}x)"
+        )
+        print(f"persisted to {bench_p4_streaming.RESULT_PATH}")
+        ok = ok and p4["passes_floors"]
 
     return 0 if ok else 1
 

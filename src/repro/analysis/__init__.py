@@ -5,6 +5,7 @@ from .experiments import (
     TrialStats,
     fit_power_law,
     geometric_sizes,
+    measure_peak,
     run_trials,
     run_trials_parallel,
     success_rate,
@@ -17,6 +18,7 @@ __all__ = [
     "TrialStats",
     "fit_power_law",
     "geometric_sizes",
+    "measure_peak",
     "run_trials",
     "run_trials_parallel",
     "success_rate",

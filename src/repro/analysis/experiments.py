@@ -24,13 +24,68 @@ that, and threads the E1/E6 slices through
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import dataclasses
 import math
 import os
 import pickle
-from typing import Callable, Iterable, Sequence
+import tracemalloc
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from ..engine.streaming import memory_budget, set_memory_budget
+
+
+@contextlib.contextmanager
+def _trial_memory_budget(mem_budget: int | None) -> Iterator[None]:
+    """Impose the process-wide streaming budget for a block of trials.
+
+    ``None`` leaves the current budget untouched; otherwise the
+    previous budget is restored on exit, so nesting experiments with
+    different caps behaves.
+    """
+    if mem_budget is None:
+        yield
+        return
+    previous = memory_budget()
+    set_memory_budget(mem_budget)
+    try:
+        yield
+    finally:
+        set_memory_budget(previous)
+
+
+def measure_peak(fn: Callable[[], Any]) -> tuple[Any, int]:
+    """Run ``fn`` and return ``(result, peak_bytes)`` via ``tracemalloc``.
+
+    ``peak_bytes`` is the workload's peak allocation above the baseline
+    at entry (numpy buffers included — numpy allocates through the
+    traced ``PyDataMem`` hooks). Benchmarks record it next to wall time
+    in every ``BENCH_*.json`` artifact, and the memory-ceiling
+    regression tests assert streamed runs stay under their configured
+    budget. Tracing costs some speed, so callers time and measure in
+    separate passes when both numbers matter.
+
+    Do **not** nest: the peak is process-global tracemalloc state, and
+    an inner call's ``reset_peak`` necessarily discards the peak the
+    outer call was accumulating (the outer result then reflects only
+    allocations after the inner call returned). ``fn`` must not call
+    ``measure_peak`` itself.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    baseline, _ = tracemalloc.get_traced_memory()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if started_here:
+            tracemalloc.stop()
+    return result, max(0, peak - baseline)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,27 +116,43 @@ def run_trials(
     measure: Callable[[np.random.Generator], float],
     n_trials: int,
     seed: int,
+    mem_budget: int | None = None,
 ) -> TrialStats:
     """Run ``measure`` with ``n_trials`` independent child generators.
 
     Seeding: a single ``SeedSequence`` spawns one child per trial, so
     trials are independent and the whole experiment is reproducible from
     one integer.
+
+    ``mem_budget`` imposes the process-wide streaming budget
+    (:func:`repro.engine.streaming.set_memory_budget`) around the
+    trials: every engine-backed protocol a trial runs then picks its
+    streamed slab height from that target peak-bytes cap. A memory knob
+    only — streamed execution is bit-identical, so trial values do not
+    depend on it.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     seq = np.random.SeedSequence(seed)
     children = seq.spawn(n_trials)
-    values = [measure(np.random.default_rng(child)) for child in children]
+    with _trial_memory_budget(mem_budget):
+        values = [
+            measure(np.random.default_rng(child)) for child in children
+        ]
     return TrialStats.from_values(values)
 
 
 def _run_one_trial(
-    payload: tuple[Callable[[np.random.Generator], float], np.random.SeedSequence]
+    payload: tuple[
+        Callable[[np.random.Generator], float],
+        np.random.SeedSequence,
+        int | None,
+    ]
 ) -> float:
     """Process-pool worker: run one seeded trial (module-level for pickling)."""
-    measure, child = payload
-    return measure(np.random.default_rng(child))
+    measure, child, mem_budget = payload
+    with _trial_memory_budget(mem_budget):
+        return measure(np.random.default_rng(child))
 
 
 def run_trials_parallel(
@@ -89,6 +160,7 @@ def run_trials_parallel(
     n_trials: int,
     seed: int,
     processes: int | None = None,
+    mem_budget: int | None = None,
 ) -> TrialStats:
     """Like :func:`run_trials`, fanned across a process pool.
 
@@ -109,6 +181,13 @@ def run_trials_parallel(
     processes:
         Worker count; defaults to ``min(cpu_count, n_trials)``. ``1``
         short-circuits to the serial runner.
+    mem_budget:
+        As in :func:`run_trials`; the budget travels inside each
+        worker's payload, so pool workers impose the same streaming cap
+        as the serial path (budgets don't survive process boundaries as
+        globals). The cap is per trial, and trials within one worker
+        run sequentially, so total worker memory stays near the cap
+        plus the trial's graph fixtures.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -120,7 +199,7 @@ def run_trials_parallel(
         else min(os.cpu_count() or 1, n_trials)
     )
     if workers == 1 or n_trials == 1:
-        return run_trials(measure, n_trials, seed)
+        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
 
     # Probe picklability up front so closures/lambdas take the serial
     # path immediately — the pool itself is then only guarded against
@@ -129,10 +208,10 @@ def run_trials_parallel(
     try:
         pickle.dumps(measure)
     except Exception:
-        return run_trials(measure, n_trials, seed)
+        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
 
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    payloads = [(measure, child) for child in children]
+    payloads = [(measure, child, mem_budget) for child in children]
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
@@ -151,7 +230,7 @@ def run_trials_parallel(
         # Sandboxed environments that cannot spawn worker processes:
         # degrade gracefully to the serial path (same seeding, same
         # results, just slower).
-        return run_trials(measure, n_trials, seed)
+        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
     return TrialStats.from_values(values)
 
 

@@ -7,6 +7,7 @@ Subcommands mirror the library's entry points:
     python -m repro mis --graph udg --n 150 --seed 7
     python -m repro mis --n 150 --engine reference   # step-wise twin
     python -m repro mis --n 150 --delivery dense     # force dense windows
+    python -m repro mis --n 100000 --mem-budget 256M # stream big runs
     python -m repro broadcast --graph grid --rows 3 --cols 40
     python -m repro broadcast --graph udg --n 80 --packet
     python -m repro leader --graph gnp --n 100 --p 0.08
@@ -28,6 +29,9 @@ selects the window execution strategy (bit-identical; ``auto`` routes
 per window row on mask density), and ``icp --fused`` runs one
 Intra-Cluster Propagation phase through the window-multiplexing
 combinator instead of step-at-a-time decision points.
+``--chunk-steps``/``--mem-budget`` bound the streamed slab height of
+window execution — memory knobs only (bit-identical); ``--mem-budget
+256M`` is what makes ``n >= 10^5`` runs practical on a laptop.
 """
 
 from __future__ import annotations
@@ -103,6 +107,43 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_mem_budget(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (e.g. ``64M``)."""
+    original = text
+    text = text.strip()
+    scale = 1
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(text) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected bytes with optional K/M/G suffix, got {original!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"memory budget must be >= 1 byte, got {value}"
+        )
+    return value
+
+
+def _parse_chunk_steps(text: str) -> int:
+    """Parse a positive slab height (argparse type for --chunk-steps)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"chunk steps must be >= 1, got {value}"
+        )
+    return value
+
+
 def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
     from .radio.network import DELIVERY_MODES
 
@@ -113,6 +154,27 @@ def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
         help=(
             "window execution strategy (bit-identical; auto routes per "
             "window row on mask density)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-steps",
+        type=_parse_chunk_steps,
+        default=None,
+        metavar="K",
+        help=(
+            "streamed-window slab height in radio steps (memory knob "
+            "only; bit-identical at any setting)"
+        ),
+    )
+    parser.add_argument(
+        "--mem-budget",
+        type=_parse_mem_budget,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "target peak memory for window execution, with optional "
+            "K/M/G suffix (e.g. 64M); picks --chunk-steps from a "
+            "bytes-per-step cost model"
         ),
     )
 
@@ -131,7 +193,8 @@ def _cmd_mis(args: argparse.Namespace) -> int:
     net = RadioNetwork(g)
     config = MISConfig(oracle_degree=args.oracle_degree, eed_C=args.eed_c)
     result = compute_mis(
-        net, rng, config, engine=args.engine, delivery=args.delivery
+        net, rng, config, engine=args.engine, delivery=args.delivery,
+        chunk_steps=args.chunk_steps, mem_budget=args.mem_budget,
     )
     valid = graphs.is_maximal_independent_set(g, result.mis)
     _emit(
@@ -171,6 +234,7 @@ def _cmd_icp(args: argparse.Namespace) -> int:
         net, clustering, schedule, knowledge, args.ell, rng,
         with_background=not args.no_background,
         engine=engine, delivery=args.delivery,
+        chunk_steps=args.chunk_steps, mem_budget=args.mem_budget,
     )
     informed = int((result.knowledge >= 0).sum())
     _emit(

@@ -37,8 +37,8 @@ from typing import Any
 import numpy as np
 
 from ..engine.runner import run_schedule
-from ..engine.segments import ObliviousWindow, ProtocolSchedule, coin_chunk
-from ..radio.network import NO_SENDER, RadioNetwork
+from ..engine.segments import ProtocolSchedule, StreamedWindow
+from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
 
 
@@ -194,13 +194,16 @@ def decay_block_schedule(
 ) -> ProtocolSchedule:
     """Schedule emitter for one full Decay block.
 
-    Emits the block as chunked
-    :class:`~repro.engine.segments.ObliviousWindow` segments — every
-    mask is the fixed active set gated by fresh coins, so the whole
-    block is oblivious. Coins are drawn chunk-row-major, which is
-    stream-identical to the per-step draws of the :class:`Decay`
-    protocol; receptions fold in step order. Returns the block's
-    :class:`DecayResult`.
+    Emits the block as a single
+    :class:`~repro.engine.segments.StreamedWindow` — every mask is the
+    fixed active set gated by fresh coins, so the whole block is
+    oblivious, and the runner executes it in bounded ``(chunk_steps,
+    n)`` slabs (its memory knob; the legacy coin-budget granularity by
+    default). Coins are drawn lazily inside the plan, chunk-row-major,
+    which is stream-identical to the per-step draws of the
+    :class:`Decay` protocol whatever the slab height; receptions fold
+    in step order through :meth:`Decay._absorb_window`. Returns the
+    block's :class:`DecayResult`.
     """
     protocol = Decay(
         network,
@@ -214,15 +217,14 @@ def decay_block_schedule(
         n = network.n
         # Per-step transmission probabilities of the sweep ladder.
         probs = 2.0 ** -((np.arange(total) % protocol.span) + 1.0)
-        chunk = coin_chunk(n)
-        done = 0
-        while done < total:
-            k = min(chunk, total - done)
-            coins = rng.random((k, n)) < probs[done : done + k, None]
-            masks = coins & protocol.active[None, :]
-            hear_window = yield ObliviousWindow(masks)
-            protocol._absorb_window(hear_window)
-            done += k
+
+        def masks(start: int, stop: int) -> np.ndarray:
+            coins = rng.random((stop - start, n)) < probs[start:stop, None]
+            return coins & protocol.active[None, :]
+
+        yield StreamedWindow(
+            TransmitPlan(total, masks), protocol._absorb_window
+        )
     return protocol.result()
 
 
@@ -233,6 +235,8 @@ def run_decay(
     messages: list[Any] | None = None,
     iterations: int = 1,
     n_estimate: int | None = None,
+    chunk_steps: int | None = None,
+    mem_budget: int | None = None,
 ) -> DecayResult:
     """Run a full Decay block and return its :class:`DecayResult`.
 
@@ -243,6 +247,8 @@ def run_decay(
     The block executes :func:`decay_block_schedule` on the windowed engine
     (see the module docstring); results and rng consumption are
     identical to :func:`run_decay_reference`, just much faster.
+    ``chunk_steps``/``mem_budget`` bound the streamed slab height
+    (memory knobs only — bit-identical at any setting).
     """
     return run_schedule(
         network,
@@ -254,6 +260,8 @@ def run_decay(
             iterations=iterations,
             n_estimate=n_estimate,
         ),
+        chunk_steps=chunk_steps,
+        mem_budget=mem_budget,
     )
 
 

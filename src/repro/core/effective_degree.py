@@ -35,8 +35,8 @@ import math
 import numpy as np
 
 from ..engine.runner import run_schedule
-from ..engine.segments import ObliviousWindow, ProtocolSchedule, coin_chunk
-from ..radio.network import NO_SENDER, RadioNetwork
+from ..engine.segments import ProtocolSchedule, StreamedWindow
+from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
 
 #: Lemma 11's hearing-rate threshold: High iff some round-``i`` hear count
@@ -168,9 +168,12 @@ def effective_degree_schedule(
     """Schedule emitter for one full EstimateEffectiveDegree block.
 
     Step ``t`` of the block transmits with probability
-    ``p(v) / 2^(t // steps_per_level)``; coins are drawn chunk-row-major
-    (stream-identical to the protocol's per-step draws) and the whole
-    block goes out as oblivious windows. Returns the block's
+    ``p(v) / 2^(t // steps_per_level)``; the whole block goes out as one
+    :class:`~repro.engine.segments.StreamedWindow`, its coins drawn
+    lazily chunk-row-major inside the plan (stream-identical to the
+    protocol's per-step draws whatever slab height the runner picks) and
+    its receptions folded per chunk through
+    :meth:`EstimateEffectiveDegree._absorb_window`. Returns the block's
     :class:`EffectiveDegreeResult`.
     """
     protocol = EstimateEffectiveDegree(
@@ -182,15 +185,15 @@ def effective_degree_schedule(
         # 2^i is exact, so dividing row-wise reproduces the protocol's
         # per-step `p / 2**i` values bit-for-bit.
         pow2 = 2.0 ** (np.arange(total) // protocol.steps_per_level)
-        chunk = coin_chunk(n)
-        done = 0
-        while done < total:
-            k = min(chunk, total - done)
-            probs = protocol.p[None, :] / pow2[done : done + k, None]
-            masks = protocol.active[None, :] & (rng.random((k, n)) < probs)
-            hear_window = yield ObliviousWindow(masks)
-            protocol._absorb_window(hear_window)
-            done += k
+
+        def masks(start: int, stop: int) -> np.ndarray:
+            probs = protocol.p[None, :] / pow2[start:stop, None]
+            coins = rng.random((stop - start, n)) < probs
+            return protocol.active[None, :] & coins
+
+        yield StreamedWindow(
+            TransmitPlan(total, masks), protocol._absorb_window
+        )
     return protocol.result()
 
 
@@ -202,6 +205,8 @@ def estimate_effective_degree(
     C: int = 24,
     n_estimate: int | None = None,
     delivery: str = "auto",
+    chunk_steps: int | None = None,
+    mem_budget: int | None = None,
 ) -> EffectiveDegreeResult:
     """Run one full EstimateEffectiveDegree block on the windowed engine.
 
@@ -211,6 +216,10 @@ def estimate_effective_degree(
     the regime where ``"auto"`` routes the low-``i`` density levels
     through the dense matmul (most (listener, step) pairs hear energy,
     so the sparse product's output stops being sparse).
+    ``chunk_steps``/``mem_budget`` bound the streamed slab height
+    (memory knobs only — bit-identical at any setting); this block is
+    the canonical out-of-core workload, since its ``O(log^2 n)`` steps
+    are what stalled ``n >= 10^5`` runs when materialized whole.
     """
     return run_schedule(
         network,
@@ -218,6 +227,8 @@ def estimate_effective_degree(
             network, p, active, rng, C=C, n_estimate=n_estimate
         ),
         delivery=delivery,
+        chunk_steps=chunk_steps,
+        mem_budget=mem_budget,
     )
 
 

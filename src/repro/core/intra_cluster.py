@@ -436,6 +436,8 @@ def intra_cluster_propagation(
     with_background: bool = True,
     engine: str = "windowed",
     delivery: str = "auto",
+    chunk_steps: int | None = None,
+    mem_budget: int | None = None,
 ) -> ICPResult:
     """Run one packet-level ICP phase, mutating and returning knowledge.
 
@@ -466,6 +468,10 @@ def intra_cluster_propagation(
     ``"sparse"``, ``"dense"``); the reference path ignores it. Without
     a background there is nothing to multiplex: ``engine="fused"``
     runs the slot passes exactly as ``"windowed"`` does.
+    ``chunk_steps``/``mem_budget`` bound the engine paths' streamed
+    slab height (the fused path's joint windows stream, so joint
+    hear-windows never materialize whole); memory knobs only,
+    bit-identical at any setting, ignored by the reference path.
     """
     if engine not in ("windowed", "reference", "fused"):
         raise ValueError(f"unknown ICP engine: {engine!r}")
@@ -482,8 +488,11 @@ def intra_cluster_propagation(
                 ProtocolSegmentSource(main, steps=main_slots),
                 DecayBackgroundSource(background),
                 rng=rng,
+                stream=True,
             ),
             delivery=delivery,
+            chunk_steps=chunk_steps,
+            mem_budget=mem_budget,
         )
     else:
         if with_background:
@@ -502,6 +511,8 @@ def intra_cluster_propagation(
                 network,
                 protocol_schedule(muxed, rng, steps=total),
                 delivery=delivery,
+                chunk_steps=chunk_steps,
+                mem_budget=mem_budget,
             )
     network.trace.enter_phase("default")
     return ICPResult(

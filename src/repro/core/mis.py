@@ -245,6 +245,8 @@ def compute_mis(
     n_estimate: int | None = None,
     engine: str = "windowed",
     delivery: str = "auto",
+    chunk_steps: int | None = None,
+    mem_budget: int | None = None,
 ) -> MISResult:
     """Run Radio MIS (Algorithm 7) on ``network``.
 
@@ -268,6 +270,14 @@ def compute_mis(
         Window execution strategy for the engine path (``"auto"``,
         ``"sparse"``, ``"dense"``); a performance knob only — all
         strategies are bit-identical. Ignored by the reference engine.
+    chunk_steps, mem_budget:
+        Streaming slab height for the engine path, directly or derived
+        from a target peak-bytes cap — the whole round loop streams
+        (its Decay and EstimateEffectiveDegree blocks are
+        :class:`~repro.engine.segments.StreamedWindow` segments), so
+        peak memory is bounded by the slab instead of growing with
+        ``log^2 n * n``. Memory knobs only — bit-identical at any
+        setting; ignored by the reference engine.
 
     Returns
     -------
@@ -281,6 +291,8 @@ def compute_mis(
             network,
             mis_schedule(network, rng, config, n_estimate),
             delivery=delivery,
+            chunk_steps=chunk_steps,
+            mem_budget=mem_budget,
         )
     if engine == "reference":
         return compute_mis_reference(network, rng, config, n_estimate)

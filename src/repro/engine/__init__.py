@@ -30,9 +30,21 @@ On top of the generator form sits the *plan/commit* form
 (:class:`~repro.engine.segments.SegmentProtocol`): planning the next
 segment and committing the previous segment's receptions are separate
 calls, which is what lets the :func:`~repro.engine.mux.multiplex`
-combinator zip two protocols' planned windows into joint oblivious
+combinator zip protocols' planned windows into joint oblivious
 windows — how ICP's time-multiplexed Decay background runs fused
 instead of step-at-a-time.
+
+Orthogonal to both forms is *streaming* execution
+(:mod:`repro.engine.streaming`): a window too wide to materialize is
+carried as a :class:`~repro.engine.segments.StreamedWindow` — a lazy
+:class:`~repro.radio.network.TransmitPlan` plus a per-chunk fold — and
+the runner executes it through
+:meth:`~repro.radio.network.RadioNetwork.deliver_window_chunks` in
+``(chunk_steps, n)`` slabs, with the slab height derived from a peak-
+memory budget. Bit-identical to the monolithic path on shared seeds;
+peak memory becomes a tunable instead of a function of ``w * n``, which
+is what makes ``n >= 10^5`` runs practical (DESIGN.md, "Streaming
+windows").
 """
 
 from .mux import multiplex
@@ -52,8 +64,18 @@ from .segments import (
     ScheduleSegmentAdapter,
     Segment,
     SegmentProtocol,
+    StreamedWindow,
     TracePhase,
     coin_chunk,
+)
+from .streaming import (
+    STREAM_CELL_BYTES,
+    StreamedCommitAdapter,
+    StreamingSegmentProtocol,
+    chunk_steps_for_budget,
+    memory_budget,
+    resolve_chunk_steps,
+    set_memory_budget,
 )
 from .validate import ObliviousnessViolationError, ValidatingRunner
 
@@ -65,15 +87,23 @@ __all__ = [
     "ObliviousWindow",
     "ProtocolSchedule",
     "ProtocolSegmentSource",
+    "STREAM_CELL_BYTES",
     "ScheduleSegmentAdapter",
     "Segment",
     "SegmentProtocol",
+    "StreamedCommitAdapter",
+    "StreamedWindow",
+    "StreamingSegmentProtocol",
     "TracePhase",
     "ValidatingRunner",
     "WindowedRunner",
+    "chunk_steps_for_budget",
     "coin_chunk",
+    "memory_budget",
     "multiplex",
     "protocol_schedule",
+    "resolve_chunk_steps",
     "run_schedule",
     "segment_schedule",
+    "set_memory_budget",
 ]

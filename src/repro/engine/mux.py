@@ -1,4 +1,4 @@
-"""Window multiplexing: fuse two planned protocol streams into one.
+"""Window multiplexing: fuse planned protocol streams into one.
 
 The paper's background processes run "concurrently via time
 multiplexing" (Appendix A): a main protocol takes the even steps, a
@@ -8,7 +8,7 @@ multiplexed step a :class:`~repro.engine.segments.DecisionStep`, one
 fused dense delivery per step — because the generator IR could not see
 both protocols' upcoming windows at once. The plan/commit split
 (:class:`~repro.engine.segments.SegmentProtocol`) removes that
-limitation, and :func:`multiplex` is the payoff: it *zips* the two
+limitation, and :func:`multiplex` is the payoff: it *zips* the
 streams' planned mask rows into joint
 :class:`~repro.engine.segments.ObliviousWindow` segments, which the
 runner executes as (mostly sparse, density-routed) window products.
@@ -16,6 +16,14 @@ ICP's Decay background is the motivating case: its sweeps are planned
 span-wide, so the fused run executes ~half as many delivery calls, each
 a cheap sparse product over the few transmitters of a slot or a sweep
 row, instead of one dense matvec per step.
+
+The combinator is **k-way**: ``multiplex(main, *backgrounds, slots=...)``
+zips one terminating main stream with any number of background streams,
+the repeating ``slots`` pattern assigning each joint step to a stream
+(``0`` the main, ``i >= 1`` the ``i``-th background). The default
+pattern is strict round-robin over all streams — the paper's
+time multiplexing for one background, its natural generalization
+beyond.
 
 Bit-identity argument (pinned by ``tests/test_engine_mux.py`` and the
 fuzz suite): a radio step's ``hear_from`` is a pure function of that
@@ -39,13 +47,27 @@ predetermined, which is why the main stream must report an exact
 :meth:`~repro.engine.segments.SegmentProtocol.steps_remaining` —
 deterministic-length protocols like ICP's slot passes do; for anything
 else the reference interleaving is the only faithful execution and
-:func:`multiplex` refuses rather than guess.
+:func:`multiplex` refuses with a :class:`~repro.radio.errors
+.ProtocolError` naming the offending source (one consistent refusal at
+the combinator, wherever the call came from — the CLI's ``icp
+--fused``, packet Compete's fused phases, or a direct call).
+
+Streaming: with ``stream=True`` the flushed joint windows go out as
+:class:`~repro.engine.segments.StreamedWindow` segments — the runner
+executes them in bounded slabs and the combinator folds each slab's
+rows (committing completed sub-segments, in row order) as it arrives,
+so joint hear-windows never materialize whole. Commits then land
+mid-window instead of after it, which is *closer* to the step-wise
+drivers' observe-per-step order and reads the same shared state: no
+source plans until the whole window is flushed either way.
 
 :class:`~repro.engine.segments.TracePhase` is not allowed inside
-multiplexed sub-streams — phase attribution is ambiguous when two
+multiplexed sub-streams — phase attribution is ambiguous when
 protocols interleave (set the phase around the whole multiplexed run
-instead). This was a docstring promise of :mod:`repro.engine.segments`;
-here it is enforced with :class:`~repro.radio.errors.ProtocolError`.
+instead). Nor are nested :class:`~repro.engine.segments
+.StreamedWindow` plans: a sub-stream's planned rows must be
+materialized to be zipped (the joint windows themselves are what
+stream).
 """
 
 from __future__ import annotations
@@ -55,15 +77,18 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..radio.errors import ProtocolError
+from ..radio.network import as_transmit_plan
 from .segments import (
     DecisionStep,
     ObliviousWindow,
     ProtocolSchedule,
     SegmentProtocol,
+    StreamedWindow,
     TracePhase,
 )
 
-#: Stream indices in the ``slots`` pattern.
+#: Stream indices in the ``slots`` pattern (the first background; a
+#: k-way pattern uses indices ``0 .. k``).
 MAIN, BACKGROUND = 0, 1
 
 
@@ -71,10 +96,17 @@ def _coerce_masks(segment: Any, n: int, who: str) -> np.ndarray:
     """Validate a sub-stream's planned segment, returning its mask rows."""
     if isinstance(segment, TracePhase):
         raise ProtocolError(
-            f"{who} sub-stream planned a TracePhase inside multiplex(); "
-            "phase attribution is ambiguous when two protocols "
+            f"{who} planned a TracePhase inside multiplex(); "
+            "phase attribution is ambiguous when protocols "
             "interleave — set the phase around the whole multiplexed "
             "run instead"
+        )
+    if isinstance(segment, StreamedWindow):
+        raise ProtocolError(
+            f"{who} planned a StreamedWindow inside multiplex(); "
+            "sub-stream rows must be materialized to be zipped — "
+            "plan ObliviousWindows and let the joint windows stream "
+            "(multiplex(..., stream=True)) instead"
         )
     if isinstance(segment, DecisionStep):
         masks = np.asarray(segment.mask)[None, :]
@@ -82,16 +114,16 @@ def _coerce_masks(segment: Any, n: int, who: str) -> np.ndarray:
         masks = np.asarray(segment.masks)
     else:
         raise ProtocolError(
-            f"{who} sub-stream planned a non-segment: {segment!r}"
+            f"{who} planned a non-segment: {segment!r}"
         )
     if masks.ndim != 2 or masks.shape[1] != n:
         raise ProtocolError(
-            f"{who} sub-stream planned masks of shape {masks.shape}, "
+            f"{who} planned masks of shape {masks.shape}, "
             f"expected (w, {n})"
         )
     if masks.dtype != np.bool_:
         raise ProtocolError(
-            f"{who} sub-stream planned masks of dtype {masks.dtype}, "
+            f"{who} planned masks of dtype {masks.dtype}, "
             "expected bool"
         )
     return masks
@@ -99,13 +131,13 @@ def _coerce_masks(segment: Any, n: int, who: str) -> np.ndarray:
 
 def multiplex(
     main: SegmentProtocol,
-    background: SegmentProtocol,
-    slots: Sequence[int] = (MAIN, BACKGROUND),
-    *,
+    *backgrounds: SegmentProtocol,
+    slots: Sequence[int] | None = None,
     rng: np.random.Generator,
     max_steps: int | None = None,
+    stream: bool = False,
 ) -> ProtocolSchedule:
-    """Zip two plan/commit streams into one joint oblivious schedule.
+    """Zip plan/commit streams into one joint oblivious schedule.
 
     Parameters
     ----------
@@ -115,19 +147,21 @@ def multiplex(
         (see module docstring); the multiplexed run ends when it has no
         more rows, exactly as :class:`~repro.radio.protocol
         .TimeMultiplexer` finishes with its main protocol.
-    background:
-        The concurrent stream. Runs until ``main`` ends; if it ends
-        first (``plan`` returns ``None``), its remaining slots transmit
-        silence, matching the reference multiplexer's treatment of a
-        finished sub-protocol.
+    *backgrounds:
+        One or more concurrent streams. Each runs until ``main`` ends;
+        a background that ends first (``plan`` returns ``None``) has
+        its remaining slots transmit silence, matching the reference
+        multiplexer's treatment of a finished sub-protocol.
     slots:
-        The repeating interleaving pattern as stream indices, default
-        ``(0, 1)`` — strict alternation, the paper's time multiplexing.
-        Patterns like ``(0, 1, 1)`` give the background two steps per
-        main step. Must contain a ``0`` (the main stream must get
-        slots) and only values 0 and 1.
+        The repeating interleaving pattern as stream indices — ``0``
+        the main stream, ``i >= 1`` the ``i``-th background. Defaults
+        to strict round-robin over all streams (``(0, 1)`` for one
+        background: the paper's time multiplexing). Patterns like
+        ``(0, 1, 1)`` give a background extra steps, ``(0, 1, 2)``
+        interleaves two backgrounds. Must contain a ``0`` (the main
+        stream must get slots) and only indices of actual streams.
     rng:
-        Randomness source forwarded to both streams' ``plan`` calls —
+        Randomness source forwarded to every stream's ``plan`` call —
         one shared generator, so draws interleave in exactly the
         reference drivers' order.
     max_steps:
@@ -136,20 +170,47 @@ def multiplex(
         stops (mid-segment if necessary) once the cap is reached.
         Planned-but-unexecuted segments are never committed, matching a
         reference run that stops mid-block.
+    stream:
+        Emit flushed joint windows as
+        :class:`~repro.engine.segments.StreamedWindow` segments (the
+        runner's ``chunk_steps``/``mem_budget`` knobs then bound the
+        joint hear-window's materialization). Bit-identical either
+        way; see module docstring.
 
     Returns
     -------
     ProtocolSchedule
         A generator-form schedule yielding joint
-        :class:`~repro.engine.segments.ObliviousWindow` segments; its
-        ``StopIteration`` value is ``main.result()``.
+        :class:`~repro.engine.segments.ObliviousWindow` (or streamed)
+        segments; its ``StopIteration`` value is ``main.result()``.
     """
     # Validate eagerly — this wrapper is a plain function, so contract
     # violations surface at the call site, not at the first send().
-    slots = tuple(slots)
-    if not slots or any(s not in (MAIN, BACKGROUND) for s in slots):
+    if not backgrounds:
         raise ProtocolError(
-            f"slots must be a non-empty pattern over {{0, 1}}, got {slots!r}"
+            "multiplex() needs at least one background stream"
+        )
+    for stream_ in (main, *backgrounds):
+        # Catch the pre-k-way calling convention (slots passed
+        # positionally) and plain misuse with a clear error instead of
+        # an AttributeError deep in validation.
+        if not isinstance(stream_, SegmentProtocol):
+            raise ProtocolError(
+                f"multiplex() streams must be SegmentProtocol "
+                f"instances, got {stream_!r} (note: slots is "
+                "keyword-only — multiplex(main, *backgrounds, "
+                "slots=...))"
+            )
+    streams = (main, *backgrounds)
+    slots = (
+        tuple(range(len(streams))) if slots is None else tuple(slots)
+    )
+    if not slots or any(
+        s not in range(len(streams)) for s in slots
+    ):
+        raise ProtocolError(
+            f"slots must be a non-empty pattern over stream indices "
+            f"0..{len(streams) - 1}, got {slots!r}"
         )
     if MAIN not in slots:
         raise ProtocolError(
@@ -158,48 +219,58 @@ def multiplex(
         )
     if main.steps_remaining() is None:
         raise ProtocolError(
-            "multiplex() needs a main stream with an exact "
-            "steps_remaining(): the step-wise reference re-checks "
-            "termination between every pair of steps, and batching "
-            "past those checks is only sound when their outcomes are "
-            "predetermined (wrap deterministic-length protocols in "
-            "ProtocolSegmentSource(protocol, steps=...))"
+            f"multiplex() needs a main stream with an exact "
+            f"steps_remaining(), but {type(main).__name__} reports "
+            "None (data-dependent length): the step-wise reference "
+            "re-checks termination between every pair of steps, and "
+            "batching past those checks is only sound when their "
+            "outcomes are predetermined (wrap deterministic-length "
+            "protocols in ProtocolSegmentSource(protocol, steps=...))"
         )
-    if background.n != main.n:
-        raise ProtocolError(
-            f"stream sizes disagree: main n={main.n}, "
-            f"background n={background.n}"
-        )
+    for i, background in enumerate(backgrounds, start=1):
+        if background.n != main.n:
+            raise ProtocolError(
+                f"stream sizes disagree: main n={main.n}, "
+                f"background {i} ({type(background).__name__}) "
+                f"n={background.n}"
+            )
     if max_steps is not None and max_steps < 0:
         raise ProtocolError(f"max_steps must be >= 0, got {max_steps}")
-    return _multiplex(main, background, slots, rng, max_steps)
+    return _multiplex(streams, slots, rng, max_steps, stream)
 
 
 def _multiplex(
-    main: SegmentProtocol,
-    background: SegmentProtocol,
+    streams: tuple[SegmentProtocol, ...],
     slots: tuple[int, ...],
     rng: np.random.Generator,
     max_steps: int | None,
+    stream: bool,
 ) -> ProtocolSchedule:
     """Generator body of :func:`multiplex` (arguments pre-validated)."""
+    main = streams[MAIN]
     n = main.n
-    streams = (main, background)
-    cur: list[np.ndarray | None] = [None, None]  # planned segment rows
-    taken = [0, 0]  # rows of cur handed into joint windows
-    heard: list[list[np.ndarray]] = [[], []]  # executed, uncommitted rows
-    decision = [False, False]  # current segment was a DecisionStep
-    ended = [False, False]  # plan() returned None
+    k = len(streams)
+    who = ["main"] + [
+        f"background {i} ({type(s).__name__})"
+        for i, s in enumerate(streams[1:], start=1)
+    ]
+    cur: list[np.ndarray | None] = [None] * k  # planned segment rows
+    taken = [0] * k  # rows of cur handed into joint windows
+    heard: list[list[np.ndarray]] = [[] for _ in range(k)]
+    decision = [False] * k  # current segment was a DecisionStep
+    ended = [False] * k  # plan() returned None
     rows: list[np.ndarray] = []  # the open joint window
     owners: list[int | None] = []
     silent = np.zeros(n, dtype=bool)
     total = 0
     pos = 0
 
-    def _fold(reply: np.ndarray) -> None:
-        """Route a flushed window's hear rows; commit completed segments
-        in row order (the step-wise drivers' observe order)."""
-        for i, owner in enumerate(owners):
+    def _fold_rows(
+        reply: np.ndarray, owner_rows: Sequence[int | None]
+    ) -> None:
+        """Route executed hear rows to their streams; commit completed
+        segments in row order (the step-wise drivers' observe order)."""
+        for i, owner in enumerate(owner_rows):
             if owner is None:
                 continue
             heard[owner].append(reply[i])
@@ -215,8 +286,23 @@ def _multiplex(
                 heard[owner] = []
                 cur[owner] = None
                 taken[owner] = 0
+
+    def _flush_segment():
+        """The open joint window as one segment; clears the buffers."""
+        joint = np.array(rows)
+        owner_rows = tuple(owners)
         rows.clear()
         owners.clear()
+        if not stream:
+            return ObliviousWindow(joint), owner_rows
+        cursor = 0
+
+        def consume(slab: np.ndarray) -> None:
+            nonlocal cursor
+            _fold_rows(slab, owner_rows[cursor : cursor + slab.shape[0]])
+            cursor += slab.shape[0]
+
+        return StreamedWindow(as_transmit_plan(joint), consume), None
 
     def _main_has_more() -> bool:
         segment = cur[MAIN]
@@ -227,7 +313,8 @@ def _multiplex(
         remaining = main.steps_remaining()
         if remaining is None:
             raise ProtocolError(
-                "main stream's steps_remaining() became unknown mid-run"
+                f"main stream {type(main).__name__}'s steps_remaining() "
+                "became unknown mid-run"
             )
         return remaining > 0
 
@@ -243,15 +330,15 @@ def _multiplex(
             # pins every plan() to its reference-driver causal point.
             while cur[s] is None or taken[s] == cur[s].shape[0]:
                 if rows:
-                    reply = yield ObliviousWindow(np.array(rows))
-                    _fold(reply)
+                    segment, owner_rows = _flush_segment()
+                    reply = yield segment
+                    if owner_rows is not None:
+                        _fold_rows(reply, owner_rows)
                 segment = streams[s].plan(rng)
                 if segment is None:
                     ended[s] = True
                     break
-                masks = _coerce_masks(
-                    segment, n, "main" if s == MAIN else "background"
-                )
+                masks = _coerce_masks(segment, n, who[s])
                 decision[s] = isinstance(segment, DecisionStep)
                 if masks.shape[0] == 0:
                     # A zero-step segment executes nothing; commit its
@@ -279,8 +366,10 @@ def _multiplex(
         pos += 1
 
     if rows:
-        reply = yield ObliviousWindow(np.array(rows))
-        _fold(reply)
+        segment, owner_rows = _flush_segment()
+        reply = yield segment
+        if owner_rows is not None:
+            _fold_rows(reply, owner_rows)
     return main.result()
 
 

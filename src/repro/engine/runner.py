@@ -38,19 +38,28 @@ same runner (and the same budget accounting) as everything else.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 import numpy as np
 
 from ..radio.errors import BudgetExceededError, ProtocolError
-from ..radio.network import DELIVERY_MODES, RadioNetwork
+from ..radio.network import (
+    DELIVERY_MODES,
+    NO_SENDER,
+    RadioNetwork,
+    TransmitPlan,
+    as_transmit_plan,
+)
 from .segments import (
     DecisionStep,
     ObliviousWindow,
     ProtocolSchedule,
     SegmentProtocol,
+    StreamedWindow,
     TracePhase,
 )
+from .streaming import default_stream_chunk, resolve_chunk_steps
 
 
 class WindowedRunner:
@@ -75,6 +84,21 @@ class WindowedRunner:
         ``"auto"`` (default) routes each window by its estimated
         density, ``"sparse"``/``"dense"`` force one path. All three are
         bit-identical; this is a performance knob only.
+    chunk_steps, mem_budget:
+        The streaming knobs — memory knobs only, never semantics knobs
+        (streamed execution is bit-identical whatever the slab height).
+        ``chunk_steps`` fixes the slab height directly; ``mem_budget``
+        derives it from a target peak-bytes cap through
+        :func:`~repro.engine.streaming.chunk_steps_for_budget`; with
+        neither set, the process-wide default budget
+        (:func:`~repro.engine.streaming.set_memory_budget`) applies, and
+        absent that, :class:`~repro.engine.segments.StreamedWindow`
+        plans stream at the legacy
+        :func:`~repro.engine.segments.coin_chunk` granularity while
+        materialized :class:`~repro.engine.segments.ObliviousWindow`
+        segments execute unchunked (the pre-streaming behavior). When a
+        bound *is* configured, materialized windows wider than it are
+        executed slab-wise too, bounding the kernels' working set.
     """
 
     def __init__(
@@ -82,16 +106,29 @@ class WindowedRunner:
         network: RadioNetwork,
         max_steps: int | None = None,
         delivery: str = "auto",
+        chunk_steps: int | None = None,
+        mem_budget: int | None = None,
     ) -> None:
         if delivery not in DELIVERY_MODES:
             raise ValueError(
                 f"unknown delivery mode: {delivery!r} "
                 f"(expected one of {DELIVERY_MODES})"
             )
+        # Validate the streaming knobs eagerly (resolution also consults
+        # the process-wide default, so it happens per execution).
+        resolve_chunk_steps(network.n, chunk_steps, mem_budget)
         self.network = network
         self.max_steps = max_steps
         self.delivery = delivery
+        self.chunk_steps = chunk_steps
+        self.mem_budget = mem_budget
         self.steps_executed = 0
+
+    def _resolved_chunk_steps(self) -> int | None:
+        """The configured streaming bound, or ``None`` when unset."""
+        return resolve_chunk_steps(
+            self.network.n, self.chunk_steps, self.mem_budget
+        )
 
     def _charge(self, steps: int) -> None:
         if (
@@ -104,16 +141,78 @@ class WindowedRunner:
             )
         self.steps_executed += steps
 
-    # The two execution hooks exist so the contract-checking
+    # The execution hooks exist so the contract-checking
     # ValidatingRunner (repro.engine.validate) can interpose replay
     # checks without duplicating the dispatch loop.
     def _execute_window(self, masks: np.ndarray) -> np.ndarray:
-        """Execute one charged oblivious window."""
-        return self.network.deliver_window(masks, mode=self.delivery)
+        """Execute one charged oblivious window.
+
+        When a streaming bound is configured and the window is wider,
+        the kernels run slab-wise through ``deliver_window_chunks`` into
+        one preallocated reply — identical results, trace, and step
+        accounting (the trace keeps aggregates), with the kernels'
+        working set bounded by the slab height.
+        """
+        chunk = self._resolved_chunk_steps()
+        w = masks.shape[0]
+        if chunk is None or w <= chunk:
+            return self.network.deliver_window(masks, mode=self.delivery)
+        hear_from = np.full((w, self.network.n), NO_SENDER, dtype=np.int64)
+        done = 0
+        for slab in self.network.deliver_window_chunks(
+            masks, chunk_steps=chunk, mode=self.delivery
+        ):
+            hear_from[done : done + slab.shape[0]] = slab
+            done += slab.shape[0]
+        return hear_from
 
     def _execute_step(self, mask: np.ndarray) -> np.ndarray:
         """Execute one charged decision step."""
         return self.network.deliver(mask)
+
+    def _execute_stream(self, segment: StreamedWindow) -> None:
+        """Execute one streamed window, folding chunks as they arrive.
+
+        Budget charges land per chunk, after its masks are produced and
+        before it executes — the granularity (and rng consumption on an
+        aborted run) of the pre-streaming emitters, which drew each
+        chunk's coins before yielding it. Per-slab processing goes
+        through :meth:`_consume_stream_slab`, the hook the validating
+        runner interposes on — there is exactly one streaming loop.
+        """
+        plan = segment.plan
+        consume = segment.consume
+        assert consume is not None
+        chunk = default_stream_chunk(
+            self.network.n, self._resolved_chunk_steps()
+        )
+        inner = plan.masks
+        # Plans are one-shot (lazy coin draws cannot be replayed), so
+        # the charging wrapper also stashes each chunk's masks for the
+        # per-slab hook; exactly one chunk is in flight at a time.
+        current: list[np.ndarray] = []
+
+        def charged(start: int, stop: int) -> np.ndarray:
+            masks = np.asarray(inner(start, stop))
+            self._charge(stop - start)
+            current.append(masks)
+            return masks
+
+        for slab in self.network.deliver_window_chunks(
+            TransmitPlan(plan.total_steps, charged),
+            chunk_steps=chunk,
+            mode=self.delivery,
+        ):
+            self._consume_stream_slab(slab, current.pop(), consume)
+
+    def _consume_stream_slab(
+        self,
+        slab: np.ndarray,
+        masks: np.ndarray,
+        consume: Any,
+    ) -> None:
+        """Fold one executed stream slab (hook for the validator)."""
+        consume(slab)
 
     def run(self, schedule: ProtocolSchedule) -> Any:
         """Execute ``schedule`` to completion and return its result.
@@ -130,6 +229,16 @@ class WindowedRunner:
             if isinstance(segment, ObliviousWindow):
                 self._charge(segment.masks.shape[0])
                 reply = self._execute_window(segment.masks)
+            elif isinstance(segment, StreamedWindow):
+                if segment.consume is None:
+                    raise ProtocolError(
+                        "schedule yielded a StreamedWindow without a "
+                        "consume callback; generator-form emitters must "
+                        "bind one (plan/commit sources get theirs from "
+                        "segment_schedule)"
+                    )
+                self._execute_stream(segment)
+                reply = None
             elif isinstance(segment, DecisionStep):
                 self._charge(1)
                 reply = self._execute_step(segment.mask)
@@ -153,10 +262,16 @@ def run_schedule(
     schedule: ProtocolSchedule,
     max_steps: int | None = None,
     delivery: str = "auto",
+    chunk_steps: int | None = None,
+    mem_budget: int | None = None,
 ) -> Any:
     """One-shot convenience: ``WindowedRunner(network, ...).run(...)``."""
     return WindowedRunner(
-        network, max_steps=max_steps, delivery=delivery
+        network,
+        max_steps=max_steps,
+        delivery=delivery,
+        chunk_steps=chunk_steps,
+        mem_budget=mem_budget,
     ).run(schedule)
 
 
@@ -169,6 +284,14 @@ def segment_schedule(
     degenerate (single-stream) interleaving, under which the plan/commit
     form is trivially equivalent to the generator form. Returns
     ``source.result()``.
+
+    Streamed windows
+    (:class:`~repro.engine.segments.StreamedWindow`) planned without a
+    ``consume`` callback — the
+    :class:`~repro.engine.streaming.StreamingSegmentProtocol` form —
+    have their chunks routed to the source's ``commit(hear_chunk)``,
+    one call per executed chunk in step order; no trailing whole-window
+    commit follows (there is no materialized reply to deliver).
     """
     while True:
         segment = source.plan(rng)
@@ -177,6 +300,12 @@ def segment_schedule(
         if isinstance(segment, TracePhase):
             yield segment
             source.commit(None)
+        elif isinstance(segment, StreamedWindow):
+            if segment.consume is None:
+                segment = dataclasses.replace(
+                    segment, consume=source.commit
+                )
+            yield segment
         else:
             reply = yield segment
             source.commit(reply)

@@ -55,11 +55,12 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Any, Generator, Union
+from typing import Any, Callable, Generator, Union
 
 import numpy as np
 
 from ..radio.errors import ProtocolError
+from ..radio.network import TransmitPlan
 
 #: Cap on the number of boolean coin-matrix entries an emitter should
 #: materialize per window: windows larger than this are chunked. Chunked
@@ -98,6 +99,42 @@ class DecisionStep:
 
 
 @dataclasses.dataclass
+class StreamedWindow:
+    """An oblivious window executed as a stream of bounded chunks.
+
+    The out-of-core form of :class:`ObliviousWindow`: instead of
+    materializing ``(w, n)`` masks and receiving a ``(w, n)``
+    ``hear_from`` reply, the segment carries a lazy
+    :class:`~repro.radio.network.TransmitPlan` and the runner executes
+    it through
+    :meth:`~repro.radio.network.RadioNetwork.deliver_window_chunks`,
+    delivering each ``(w_chunk, n)`` hear slab to ``consume`` as it is
+    produced. The runner's reply to the segment is ``None`` — by the
+    time the generator resumes, every chunk has already been folded.
+
+    ``consume`` is the per-chunk folding callback. Generator-form
+    emitters bind it to their own state (e.g. ``Decay._absorb_window``);
+    a plan/commit source in streaming form
+    (:class:`~repro.engine.streaming.StreamingSegmentProtocol`) leaves
+    it ``None`` and the driving :func:`~repro.engine.runner
+    .segment_schedule` routes chunks to the source's
+    ``commit(hear_chunk)`` instead. Chunks arrive in step order, so an
+    order-dependent fold (first-hear semantics) is exactly the fold of
+    the monolithic reply.
+
+    The obliviousness promise of :class:`ObliviousWindow` applies
+    unchanged: no mask row may depend on anything heard inside the
+    window. The chunk size is the *runner's* choice (its
+    ``chunk_steps`` / ``mem_budget`` knobs) — a memory knob, never a
+    semantics knob, because plans draw randomness lazily in row order
+    (see :class:`~repro.radio.network.TransmitPlan`).
+    """
+
+    plan: TransmitPlan
+    consume: Callable[[np.ndarray], None] | None = None
+
+
+@dataclasses.dataclass
 class TracePhase:
     """Switch the network trace's current phase (costs no radio step).
 
@@ -109,7 +146,7 @@ class TracePhase:
     name: str
 
 
-Segment = Union[ObliviousWindow, DecisionStep, TracePhase]
+Segment = Union[ObliviousWindow, StreamedWindow, DecisionStep, TracePhase]
 """A single element of a protocol schedule."""
 
 ProtocolSchedule = Generator[Segment, Any, Any]
@@ -216,7 +253,11 @@ class ScheduleSegmentAdapter(SegmentProtocol):
             self._result = stop.value
             return None
         self._started = True
-        self._awaiting_commit = True
+        # A StreamedWindow's receptions are folded in-stream through its
+        # consume callback and its reply is None, so there is nothing
+        # left to commit: the generator just resumes with None at the
+        # next plan() call.
+        self._awaiting_commit = not isinstance(segment, StreamedWindow)
         self._reply = None
         return segment
 
@@ -249,6 +290,7 @@ __all__ = [
     "ScheduleSegmentAdapter",
     "Segment",
     "SegmentProtocol",
+    "StreamedWindow",
     "TracePhase",
     "coin_chunk",
 ]

@@ -62,8 +62,16 @@ class ValidatingRunner(WindowedRunner):
         network: RadioNetwork,
         max_steps: int | None = None,
         delivery: str = "auto",
+        chunk_steps: int | None = None,
+        mem_budget: int | None = None,
     ) -> None:
-        super().__init__(network, max_steps=max_steps, delivery=delivery)
+        super().__init__(
+            network,
+            max_steps=max_steps,
+            delivery=delivery,
+            chunk_steps=chunk_steps,
+            mem_budget=mem_budget,
+        )
         self.shadow_step = RadioNetwork(network.graph, trace=CheapTrace())
         self.shadow_sparse = RadioNetwork(network.graph, trace=CheapTrace())
         self.shadow_dense = RadioNetwork(network.graph, trace=CheapTrace())
@@ -124,6 +132,21 @@ class ValidatingRunner(WindowedRunner):
         self.windows_checked += 1
         self.steps_checked += masks.shape[0]
         return batched
+
+    def _consume_stream_slab(self, slab, masks, consume) -> None:
+        """Cross-check one executed stream slab before folding it.
+
+        Streamed windows run through the base runner's single streaming
+        loop (production plan-contract validation, charge ordering, and
+        accounting); this hook interposes the step-replay and
+        forced-strategy comparisons per slab, using the masks the loop
+        stashed (plans are one-shot — their lazy coin draws cannot be
+        replayed).
+        """
+        self._compare(slab, masks)
+        self.windows_checked += 1
+        self.steps_checked += slab.shape[0]
+        consume(slab)
 
     def _execute_step(self, mask: np.ndarray) -> np.ndarray:
         hear_from = super()._execute_step(mask)

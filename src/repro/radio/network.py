@@ -31,7 +31,12 @@ steps as one matrix-matrix product — density-adaptive between a sparse
 product (sparse masks) and an exact packed dense matmul (rows where a
 large fraction of nodes transmit, the regime where the sparse output
 stops being sparse); packet-level runs of hundreds of thousands of
-steps on graphs with thousands of nodes are practical. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
+steps on graphs with thousands of nodes are practical. For windows too
+wide to materialize (``n >= 10^5`` scaling runs),
+:meth:`RadioNetwork.deliver_window_chunks` streams the same product as
+bounded ``(chunk_steps, n)`` slabs from a lazy :class:`TransmitPlan` —
+bit-identical, with peak memory a tunable instead of a function of
+``w * n``. Pass a :class:`~repro.radio.trace.CheapTrace` to skip
 per-step trace accounting (cheap-trace mode) in bulk workloads.
 
 Protocols do not call these delivery entry points directly anymore:
@@ -45,7 +50,8 @@ equivalent to the step-wise reference loops.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Mapping
+import dataclasses
+from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 
 import networkx as nx
 import numpy as np
@@ -84,6 +90,37 @@ DENSE_ROW_DENSITY = 0.05
 #: of numpy calls proportional to the transmitters' degree sum. Exact
 #: integer sums either way; a routing knob, never a semantics knob.
 GATHER_WINDOW_WIDTH = 32
+
+
+@dataclasses.dataclass
+class TransmitPlan:
+    """A lazily produced window of oblivious transmit masks.
+
+    ``masks(start, stop)`` returns the boolean ``(stop - start, n)``
+    mask rows for window steps ``start .. stop - 1``. The streaming
+    executor (:meth:`RadioNetwork.deliver_window_chunks`) calls it for
+    consecutive, non-overlapping intervals covering ``[0, total_steps)``
+    in order, exactly once each — so a producer may draw its coins
+    lazily inside ``masks`` and still consume the rng stream in the
+    same order (and the same total amount) as one monolithic
+    row-major draw, whatever chunk size the executor picks. The chunk
+    size is therefore a memory knob, never a semantics knob.
+    """
+
+    total_steps: int
+    masks: Callable[[int, int], np.ndarray]
+
+
+def as_transmit_plan(plan: TransmitPlan | np.ndarray) -> TransmitPlan:
+    """Coerce a materialized ``(w, n)`` mask matrix to a :class:`TransmitPlan`.
+
+    A :class:`TransmitPlan` passes through unchanged; an array becomes a
+    plan that slices it (no copy).
+    """
+    if isinstance(plan, TransmitPlan):
+        return plan
+    masks = np.asarray(plan)
+    return TransmitPlan(masks.shape[0], lambda start, stop: masks[start:stop])
 
 
 class RadioNetwork:
@@ -292,7 +329,13 @@ class RadioNetwork:
         Exposed for introspection (benchmarks, the contract suite).
         """
         masks = np.asarray(masks)
-        return masks.sum(axis=1) >= DENSE_ROW_DENSITY * max(1, self.n)
+        return self._dense_row_mask(np.count_nonzero(masks, axis=1))
+
+    def _dense_row_mask(self, row_counts: np.ndarray) -> np.ndarray:
+        """The dense-route predicate over per-row transmit popcounts —
+        the single definition both :meth:`dense_window_rows` and the
+        auto router apply."""
+        return row_counts >= DENSE_ROW_DENSITY * max(1, self.n)
 
     def _deliver_window_gather(
         self, masks: np.ndarray, hear_from: np.ndarray
@@ -463,12 +506,25 @@ class RadioNetwork:
             Integer array of shape ``(w, n)``: row ``t`` is exactly what
             :meth:`deliver` would have returned for ``masks[t]``.
         """
+        self._check_delivery_mode(mode)
+        masks = self._validate_window_masks(np.asarray(masks))
+        w = masks.shape[0]
+        hear_from = np.full((w, self.n), NO_SENDER, dtype=np.int64)
+        if w == 0:
+            return hear_from
+        receptions = self._execute_window_rows(masks, hear_from, mode)
+        self._account_window(masks, receptions)
+        return hear_from
+
+    def _check_delivery_mode(self, mode: str) -> None:
         if mode not in DELIVERY_MODES:
             raise ValueError(
                 f"unknown delivery mode: {mode!r} "
                 f"(expected one of {DELIVERY_MODES})"
             )
-        masks = np.asarray(masks)
+
+    def _validate_window_masks(self, masks: np.ndarray) -> np.ndarray:
+        """Shared shape/dtype validation for window mask matrices."""
         if masks.ndim != 2 or masks.shape[1] != self.n:
             raise InvalidActionError(
                 f"window masks have shape {masks.shape}, expected (w, {self.n})"
@@ -477,40 +533,53 @@ class RadioNetwork:
             raise InvalidActionError(
                 f"window masks must be boolean, got dtype {masks.dtype}"
             )
-        w = masks.shape[0]
-        hear_from = np.full((w, self.n), NO_SENDER, dtype=np.int64)
-        if w == 0:
-            return hear_from
+        return masks
 
+    def _execute_window_rows(
+        self, masks: np.ndarray, hear_from: np.ndarray, mode: str
+    ) -> int:
+        """The chunk kernel: route one block of mask rows to the window
+        execution strategies, writing into ``hear_from``; returns the
+        reception count. No accounting — callers record the steps.
+        """
         if not masks.any():
-            receptions = 0
-        elif mode == "dense":
-            receptions = self._deliver_window_dense(masks, hear_from)
-        elif mode == "sparse":
-            receptions = self._deliver_window_sparse(masks, hear_from)
-        elif masks.shape[0] <= GATHER_WINDOW_WIDTH:
-            # auto, narrow: constructor overhead dominates both matrix
-            # strategies; the gather kernel wins outright.
-            receptions = self._deliver_window_gather(masks, hear_from)
-        else:
-            dense_rows = self.dense_window_rows(masks)
-            if dense_rows.all():
-                receptions = self._deliver_window_dense(masks, hear_from)
-            elif not dense_rows.any():
-                receptions = self._deliver_window_sparse(masks, hear_from)
-            else:
-                receptions = 0
-                for rows, execute in (
-                    (dense_rows, self._deliver_window_dense),
-                    (~dense_rows, self._deliver_window_sparse),
-                ):
-                    idx = np.nonzero(rows)[0]
-                    sub = np.full(
-                        (idx.size, self.n), NO_SENDER, dtype=np.int64
-                    )
-                    receptions += execute(masks[idx], sub)
-                    hear_from[idx] = sub
+            return 0
+        if mode == "dense":
+            return self._deliver_window_dense(masks, hear_from)
+        if mode == "sparse":
+            return self._deliver_window_sparse(masks, hear_from)
+        # auto: route per row on popcount density at *every* width —
+        # dense rows must never reach the sparse/gather kernels, whose
+        # working set scales with the transmitters' degree sum (a
+        # streamed chunk of p ~ 0.5 rows would blow the memory budget
+        # through the gather kernel's flat index arrays). One per-row
+        # popcount pass serves every routing decision; narrow all-
+        # sparse windows (the multiplexer's width-1/2 joint windows)
+        # then take the gather kernel directly, where constructor
+        # overhead dominates both matrix strategies.
+        dense_rows = self._dense_row_mask(
+            np.count_nonzero(masks, axis=1)
+        )
+        if not dense_rows.any():
+            if masks.shape[0] <= GATHER_WINDOW_WIDTH:
+                return self._deliver_window_gather(masks, hear_from)
+            return self._deliver_window_sparse(masks, hear_from)
+        if dense_rows.all():
+            return self._deliver_window_dense(masks, hear_from)
+        receptions = 0
+        for rows, execute in (
+            (dense_rows, self._deliver_window_dense),
+            (~dense_rows, self._deliver_window_sparse),
+        ):
+            idx = np.nonzero(rows)[0]
+            sub = np.full((idx.size, self.n), NO_SENDER, dtype=np.int64)
+            receptions += execute(masks[idx], sub)
+            hear_from[idx] = sub
+        return receptions
 
+    def _account_window(self, masks: np.ndarray, receptions: int) -> None:
+        """Advance ``steps_elapsed`` and the trace for one executed block."""
+        w = masks.shape[0]
         self.steps_elapsed += w
         if self.trace.wants_detail:
             # The exact popcount is only paid for when the trace keeps
@@ -522,7 +591,77 @@ class RadioNetwork:
             )
         else:
             self.trace.record_window(steps=w, transmissions=0, receptions=0)
-        return hear_from
+
+    def deliver_window_chunks(
+        self,
+        plan: TransmitPlan | np.ndarray,
+        *,
+        chunk_steps: int,
+        mode: str = "auto",
+    ) -> Iterator[np.ndarray]:
+        """Execute an oblivious window as a stream of bounded chunks.
+
+        The out-of-core form of :meth:`deliver_window`: instead of
+        materializing the full ``(w, n)`` hear-window, the plan's mask
+        rows are produced, executed, and yielded ``chunk_steps`` rows at
+        a time — each yielded slab is the ``(w_chunk, n)`` ``hear_from``
+        block of its steps, routed through the same density-adaptive
+        kernels (:meth:`_execute_window_rows`) a monolithic call would
+        use. Peak memory is therefore ``O(chunk_steps * n)`` plus kernel
+        intermediates, independent of the window's total width.
+
+        Bit-identity: window steps are independent given their masks and
+        every kernel computes exact small-integer sums, so concatenating
+        the yielded slabs reproduces ``deliver_window(masks)`` exactly —
+        same ``hear_from`` values, same ``steps_elapsed``, and (because
+        :class:`~repro.radio.trace.StepTrace` keeps aggregates) the same
+        trace state, whatever ``chunk_steps`` is. Chunk size is a memory
+        knob, never a semantics knob.
+
+        Accounting is per chunk, as each is executed: a consumer that
+        abandons the stream mid-way leaves ``steps_elapsed`` and the
+        trace reflecting only the chunks actually executed (and the
+        plan's remaining masks unproduced).
+
+        Parameters
+        ----------
+        plan:
+            A :class:`TransmitPlan` (lazy mask producer) or a
+            materialized ``(w, n)`` boolean mask matrix.
+        chunk_steps:
+            Rows per yielded slab; at least 1. The final chunk may be
+            shorter.
+        mode:
+            Window execution strategy per chunk, as in
+            :meth:`deliver_window`.
+        """
+        self._check_delivery_mode(mode)
+        if chunk_steps < 1:
+            raise InvalidActionError(
+                f"chunk_steps must be >= 1, got {chunk_steps}"
+            )
+        plan = as_transmit_plan(plan)
+        total = plan.total_steps
+        if total < 0:
+            raise InvalidActionError(
+                f"transmit plan has negative total_steps: {total}"
+            )
+        done = 0
+        while done < total:
+            k = min(chunk_steps, total - done)
+            masks = self._validate_window_masks(
+                np.asarray(plan.masks(done, done + k))
+            )
+            if masks.shape[0] != k:
+                raise InvalidActionError(
+                    f"transmit plan produced {masks.shape[0]} rows for "
+                    f"steps [{done}, {done + k}), expected {k}"
+                )
+            hear_from = np.full((k, self.n), NO_SENDER, dtype=np.int64)
+            receptions = self._execute_window_rows(masks, hear_from, mode)
+            self._account_window(masks, receptions)
+            yield hear_from
+            done += k
 
     def step(self, actions: Mapping[Hashable, Any]) -> dict[Hashable, Any]:
         """Label-based convenience wrapper around :meth:`deliver`.

@@ -269,6 +269,52 @@ class TestMuxPatterns:
         _assert_trace_equal(net_a, net_b)
         assert rng_a.bit_generator.state == rng_b.bit_generator.state
 
+    @pytest.mark.parametrize("pattern", [(0, 1, 2), (0, 2, 1, 1), None])
+    @pytest.mark.parametrize("stream", [False, True])
+    def test_three_streams_match_stepwise_reference(self, pattern, stream):
+        # k-way generalization: main slot passes + the Decay background
+        # + a second background, zipped under a 3-stream pattern,
+        # pinned against the generalized time-multiplexed reference
+        # driver on shared seeds (knowledge, steps, trace, rng stream).
+        # `None` exercises the default round-robin pattern; `stream`
+        # runs the same zip with streamed joint windows.
+        g, clustering, schedule, know_a = _icp_setup(0, 23)
+        know_b = know_a.copy()
+        net_a, net_b = RadioNetwork(g), RadioNetwork(g)
+        rng_a, rng_b = np.random.default_rng(17), np.random.default_rng(17)
+
+        main_a = ICPProtocol(net_a, schedule, know_a, 3)
+        bg_a = DecayBackground(net_a, clustering, know_a)
+        beep_a = _BeepProtocol(net_a, 25)
+        total = sum(len(p.slots) for p in main_a._passes)
+        result = run_schedule(
+            net_a,
+            multiplex(
+                ProtocolSegmentSource(main_a, steps=total),
+                DecayBackgroundSource(bg_a),
+                ProtocolSegmentSource(beep_a, steps=25),
+                slots=pattern,
+                rng=rng_a,
+                stream=stream,
+            ),
+        )
+
+        main_b = ICPProtocol(net_b, schedule, know_b, 3)
+        bg_b = DecayBackground(net_b, clustering, know_b)
+        beep_b = _BeepProtocol(net_b, 25)
+        _run_pattern_reference(
+            net_b,
+            [main_b, bg_b, beep_b],
+            pattern or (0, 1, 2),
+            rng_b,
+        )
+
+        assert (know_a == know_b).all()
+        assert (result == know_a).all()
+        assert beep_a.heard == beep_b.heard
+        _assert_trace_equal(net_a, net_b)
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
     def test_finished_background_falls_silent(self):
         g = graphs.path(12)
         net_a, net_b = RadioNetwork(g), RadioNetwork(g)
@@ -405,6 +451,55 @@ class TestMuxProhibitions:
                 self._main(net),
                 rng=np.random.default_rng(0),
             )
+
+    def test_refusal_names_the_offending_source(self):
+        # The refusal must name the offending source's type, so the
+        # error is actionable from any entry point (CLI --fused, packet
+        # Compete, a direct call) without a traceback spelunk.
+        net = RadioNetwork(graphs.path(6))
+
+        def schedule():
+            yield ObliviousWindow(np.zeros((2, 6), dtype=bool))
+
+        with pytest.raises(ProtocolError, match="ScheduleSegmentAdapter"):
+            multiplex(
+                ScheduleSegmentAdapter(schedule(), 6),
+                self._main(net),
+                rng=np.random.default_rng(0),
+            )
+        # ProtocolSegmentSource without an exact step bound is the
+        # other common way to hit it.
+        bare = ProtocolSegmentSource(_RotorProtocol(net, 4))
+        with pytest.raises(ProtocolError, match="ProtocolSegmentSource"):
+            multiplex(bare, self._main(net), rng=np.random.default_rng(0))
+
+    def test_needs_a_background(self):
+        net = RadioNetwork(graphs.path(6))
+        with pytest.raises(ProtocolError, match="background"):
+            multiplex(self._main(net), rng=np.random.default_rng(0))
+
+    def test_streamed_window_in_substream_rejected(self):
+        from repro.engine import StreamedWindow
+        from repro.radio import TransmitPlan
+
+        net = RadioNetwork(graphs.path(6))
+
+        class _Streamy(SegmentProtocol):
+            def plan(self, rng):
+                return StreamedWindow(
+                    TransmitPlan(
+                        2, lambda s, e: np.zeros((e - s, 6), dtype=bool)
+                    )
+                )
+
+            def commit(self, reply):
+                pass
+
+        mux = multiplex(
+            self._main(net), _Streamy(6), rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ProtocolError, match="StreamedWindow"):
+            run_schedule(net, mux)
 
     def test_slot_pattern_validation(self):
         net = RadioNetwork(graphs.path(6))

@@ -57,7 +57,12 @@ from repro.radio import RadioNetwork
 from repro.radio.protocol import TimeMultiplexer
 
 SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
-SEGMENT_NAMES = {"ObliviousWindow", "DecisionStep", "TracePhase"}
+SEGMENT_NAMES = {
+    "ObliviousWindow",
+    "StreamedWindow",
+    "DecisionStep",
+    "TracePhase",
+}
 
 
 # ---------------------------------------------------------------------------

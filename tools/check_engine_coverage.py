@@ -42,6 +42,7 @@ TEST_FILES = [
     "tests/test_engine_windowed.py",
     "tests/test_engine_mux.py",
     "tests/test_engine_budget.py",
+    "tests/test_engine_streaming.py",
     "tests/test_schedule_contract.py",
     "tests/test_fuzz_differential.py",
 ]
