@@ -11,15 +11,19 @@ window-multiplexed fused ICP path and the density-adaptive dense
 window delivery — persisted to ``BENCH_PR3.json``), and the
 ``bench_p4_streaming`` pass (PR 4: streamed window execution at
 ``n = 10^5``, wall time *and* tracemalloc peak against the monolithic
-``(w, n)`` footprint — persisted to ``BENCH_PR4.json``). Every bench
-record carries ``peak_mem_bytes`` alongside its wall times. The
-``BENCH_*.json`` records are the perf trajectory future PRs compare
-themselves against.
+``(w, n)`` footprint — persisted to ``BENCH_PR4.json``), and the
+``bench_p5_api`` pass (PR 5: the ``repro.api.run`` front door within
+2% of the direct entry points on the fused-ICP and streamed-EED hot
+paths, rows in RunReport form — persisted to ``BENCH_PR5.json``).
+Every bench record carries ``peak_mem_bytes`` alongside its wall
+times. The ``BENCH_*.json`` records are the perf trajectory future
+PRs compare themselves against.
 
 Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
-        [--skip-p4] [--n 2000] [--p4-n 100000]
+        [--skip-p4] [--skip-p5] [--n 2000] [--p4-n 100000]
+        [--p5-n 100000]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -94,6 +98,17 @@ def main(argv: list[str] | None = None) -> int:
         default=100000,
         help="scale of the PR 4 streaming bench (default 100000)",
     )
+    parser.add_argument(
+        "--skip-p5",
+        action="store_true",
+        help="skip the PR 5 API-overhead bench (BENCH_PR5.json untouched)",
+    )
+    parser.add_argument(
+        "--p5-n",
+        type=int,
+        default=100000,
+        help="scale of the PR 5 streamed-EED side (default 100000)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -102,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p2_engine
     import bench_p3_engine
     import bench_p4_streaming
+    import bench_p5_api
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -171,6 +187,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"persisted to {bench_p4_streaming.RESULT_PATH}")
         ok = ok and p4["passes_floors"]
+
+    if not args.skip_p5:
+        p5 = bench_p5_api.run_bench(n=args.p5_n)
+        if tier1 is not None:
+            p5["tier1"] = tier1
+        bench_p5_api.write_results(p5)
+
+        icp5, eed5 = p5["fused_icp"], p5["streamed_eed"]
+        print(
+            f"api front door: fused ICP "
+            f"{icp5['api_over_legacy']:.4f}x of direct, streamed EED "
+            f"{eed5['api_over_legacy']:.4f}x (ceiling "
+            f"{icp5['ceiling']}x)"
+        )
+        print(f"persisted to {bench_p5_api.RESULT_PATH}")
+        ok = ok and p5["passes_floors"]
 
     return 0 if ok else 1
 

@@ -4,6 +4,10 @@ Geometric-Based Radio Networks via Independence Number Parametrization"
 
 Public API layout:
 
+* :mod:`repro.api` — **the front door**: the protocol registry,
+  :class:`~repro.engine.policy.ExecutionPolicy`, and
+  :func:`repro.api.run` returning structured
+  :class:`~repro.api.report.RunReport` records;
 * :mod:`repro.radio` — the radio network model (simulator substrate);
 * :mod:`repro.graphs` — graph classes of Section 1.3 + properties;
 * :mod:`repro.core` — the paper's algorithms: Decay,
@@ -15,18 +19,17 @@ Public API layout:
 Quickstart::
 
     import numpy as np
-    from repro import graphs, radio, core
+    import repro.api as api
+    from repro import graphs
 
-    rng = np.random.default_rng(7)
-    g = graphs.random_udg(n=150, side=6.0, rng=rng)
-    net = radio.RadioNetwork(g)
-    mis = core.compute_mis(net, rng)
-    print(mis.size, "MIS nodes in", mis.steps_used, "radio steps")
-    result = core.broadcast(g, source=0, rng=rng)
-    print("broadcast rounds:", result.total_rounds)
+    g = graphs.random_udg(n=150, side=6.0, rng=np.random.default_rng(7))
+    mis = api.run("mis", g, seed=7)
+    print(mis.result.size, "MIS nodes in", mis.steps, "radio steps")
+    bc = api.run("broadcast", g, seed=7)
+    print("broadcast rounds:", bc.result.total_rounds)
 """
 
-from . import analysis, baselines, core, engine, graphs, radio
+from . import analysis, api, baselines, core, engine, graphs, radio
 from .core import (
     BroadcastResult,
     CompeteConfig,
@@ -60,6 +63,7 @@ __all__ = [
     "Message",
     "RadioNetwork",
     "analysis",
+    "api",
     "baselines",
     "broadcast",
     "compete",

@@ -6,9 +6,11 @@ from .experiments import (
     fit_power_law,
     geometric_sizes,
     measure_peak,
+    run_report_trials,
     run_trials,
     run_trials_parallel,
     success_rate,
+    summarize_reports,
 )
 from .tables import TextTable
 
@@ -19,7 +21,9 @@ __all__ = [
     "fit_power_law",
     "geometric_sizes",
     "measure_peak",
+    "run_report_trials",
     "run_trials",
     "run_trials_parallel",
     "success_rate",
+    "summarize_reports",
 ]

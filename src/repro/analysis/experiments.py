@@ -34,7 +34,41 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..engine.policy import ExecutionPolicy
 from ..engine.streaming import memory_budget, set_memory_budget
+from ..radio.errors import ProtocolError
+
+
+def _trial_budget(
+    mem_budget: int | None, policy: ExecutionPolicy | None
+) -> int | None:
+    """The streaming budget a block of trials should impose.
+
+    ``policy`` is the front-door form (its ``mem_budget`` field is the
+    cap); the legacy ``mem_budget`` kwarg keeps working. Passing both
+    refuses — two sources of truth. The trial runners drive opaque
+    ``measure`` callables, so the *only* policy field they can impose
+    process-wide is the memory budget — a policy carrying any other
+    non-default field refuses rather than silently dropping it (set
+    engine/delivery/chunk_steps on the protocol calls inside
+    ``measure``, or use :func:`run_report_trials`, which threads the
+    whole policy through :func:`repro.api.run`).
+    """
+    if policy is not None:
+        if mem_budget is not None:
+            raise ProtocolError(
+                "run_trials got both mem_budget= and policy=; put the "
+                "budget on the policy"
+            )
+        if policy != ExecutionPolicy(mem_budget=policy.mem_budget):
+            raise ProtocolError(
+                "run_trials applies only the policy's mem_budget "
+                "(measure callables are opaque); set other policy "
+                "fields on the protocol calls inside measure, or use "
+                "run_report_trials for full-policy front-door trials"
+            )
+        return policy.mem_budget
+    return mem_budget
 
 
 @contextlib.contextmanager
@@ -117,6 +151,7 @@ def run_trials(
     n_trials: int,
     seed: int,
     mem_budget: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> TrialStats:
     """Run ``measure`` with ``n_trials`` independent child generators.
 
@@ -124,13 +159,17 @@ def run_trials(
     trials are independent and the whole experiment is reproducible from
     one integer.
 
-    ``mem_budget`` imposes the process-wide streaming budget
+    ``policy`` (the front-door :class:`~repro.engine.policy
+    .ExecutionPolicy` form) imposes its ``mem_budget`` as the
+    process-wide streaming budget
     (:func:`repro.engine.streaming.set_memory_budget`) around the
     trials: every engine-backed protocol a trial runs then picks its
-    streamed slab height from that target peak-bytes cap. A memory knob
-    only — streamed execution is bit-identical, so trial values do not
-    depend on it.
+    streamed slab height from that target peak-bytes cap. The legacy
+    ``mem_budget`` kwarg is the same knob (both at once refuses). A
+    memory knob only — streamed execution is bit-identical, so trial
+    values do not depend on it.
     """
+    mem_budget = _trial_budget(mem_budget, policy)
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     seq = np.random.SeedSequence(seed)
@@ -161,6 +200,7 @@ def run_trials_parallel(
     seed: int,
     processes: int | None = None,
     mem_budget: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> TrialStats:
     """Like :func:`run_trials`, fanned across a process pool.
 
@@ -181,14 +221,16 @@ def run_trials_parallel(
     processes:
         Worker count; defaults to ``min(cpu_count, n_trials)``. ``1``
         short-circuits to the serial runner.
-    mem_budget:
-        As in :func:`run_trials`; the budget travels inside each
+    mem_budget, policy:
+        As in :func:`run_trials` (the policy's ``mem_budget`` is the
+        cap; both at once refuses); the budget travels inside each
         worker's payload, so pool workers impose the same streaming cap
         as the serial path (budgets don't survive process boundaries as
         globals). The cap is per trial, and trials within one worker
         run sequentially, so total worker memory stays near the cap
         plus the trial's graph fixtures.
     """
+    mem_budget = _trial_budget(mem_budget, policy)
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     if processes is not None and processes < 1:
@@ -275,6 +317,111 @@ def success_rate(outcomes: Iterable[bool]) -> float:
     if not outcomes:
         raise ValueError("cannot compute a success rate of zero outcomes")
     return sum(1 for o in outcomes if o) / len(outcomes)
+
+
+def _run_one_report(
+    payload: tuple[Any, Any, np.random.SeedSequence, Any, Any, int | None]
+) -> Any:
+    """Process-pool worker: one seeded front-door run (module-level for
+    pickling). The parent's process-wide streaming budget travels in
+    the payload — globals do not survive spawn-style process
+    boundaries, and policy resolution must see the same default inside
+    a worker as in the serial path."""
+    protocol, target, child, config, policy, default_budget = payload
+    from ..api import run
+
+    with _trial_memory_budget(default_budget):
+        return run(
+            protocol,
+            target,
+            rng=np.random.default_rng(child),
+            config=config,
+            policy=policy,
+        )
+
+
+def run_report_trials(
+    protocol: Any,
+    target: Any,
+    n_trials: int,
+    seed: int,
+    config: Any | None = None,
+    policy: ExecutionPolicy | None = None,
+    processes: int | None = None,
+) -> list[Any]:
+    """Repeated :func:`repro.api.run` trials, one ``RunReport`` each.
+
+    The front-door form of :func:`run_trials`: instead of a scalar
+    ``measure`` callable, a registered protocol name (or spec) runs
+    ``n_trials`` times on ``target`` with the usual one-``SeedSequence``
+    -child-per-trial seeding, and the full
+    :class:`~repro.api.report.RunReport` of every trial comes back in
+    trial order — aggregate with :func:`summarize_reports`. ``policy``
+    rides into every run unchanged.
+
+    ``processes > 1`` fans trials across a process pool with the same
+    graceful degradation as :func:`run_trials_parallel` (unpicklable
+    targets and sandboxed environments fall back to the serial path;
+    trial order and seeding are identical either way). Wall-clock and
+    peak-memory fields are per-trial measurements and naturally vary
+    across runs; the protocol results are seed-reproducible.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    children = np.random.SeedSequence(seed).spawn(n_trials)
+    default_budget = memory_budget()
+    payloads = [
+        (protocol, target, child, config, policy, default_budget)
+        for child in children
+    ]
+    workers = (
+        processes
+        if processes is not None
+        else 1  # protocol runs are usually heavyweight; opt into pools
+    )
+    if workers < 1:
+        raise ValueError(f"processes must be >= 1, got {workers}")
+    if workers > 1 and n_trials > 1:
+        try:
+            pickle.dumps((protocol, target, config, policy))
+        except Exception:
+            workers = 1
+    if workers > 1 and n_trials > 1:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, n_trials)
+            ) as pool:
+                return list(pool.map(_run_one_report, payloads))
+        except (
+            concurrent.futures.process.BrokenProcessPool,
+            PermissionError,
+        ):
+            pass
+    return [_run_one_report(payload) for payload in payloads]
+
+
+def summarize_reports(reports: Sequence[Any]) -> dict[str, TrialStats]:
+    """Aggregate a batch of ``RunReport`` records into trial statistics.
+
+    Returns :class:`TrialStats` over the execution facts every report
+    carries — ``steps``, ``wall_time_s``, and (when every report was
+    memory-measured) ``peak_mem_bytes`` — which is what benchmark rows
+    and experiment tables need from repeated front-door runs.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("cannot summarize zero reports")
+    summary = {
+        "steps": TrialStats.from_values([r.steps for r in reports]),
+        "wall_time_s": TrialStats.from_values(
+            [r.wall_time_s for r in reports]
+        ),
+    }
+    if all(r.peak_mem_bytes is not None for r in reports):
+        summary["peak_mem_bytes"] = TrialStats.from_values(
+            [r.peak_mem_bytes for r in reports]
+        )
+    return summary
 
 
 def geometric_sizes(start: int, stop: int, points: int) -> list[int]:

@@ -1,0 +1,91 @@
+"""repro.api — the single front door to every protocol in this package.
+
+Three pieces, one surface:
+
+* :class:`ExecutionPolicy` — every engine knob (engine variant, window
+  delivery strategy, streaming slab/budget, contract validation, trace
+  grade) as one frozen value, resolved against the process-wide
+  memory-budget default. Performance and diagnostics knobs only —
+  seeded results are bit-identical under every policy.
+* the **protocol registry** — every runnable protocol declared as a
+  :class:`ProtocolSpec` (name, config dataclass, schedule emitters,
+  reference twin, result type, engine set) and discoverable through
+  :func:`protocol_names` / :func:`list_protocols`. The CLI's
+  subcommands are generated from it; the contract suite pins the
+  emitter inventory against it.
+* :func:`run` — execute any registered protocol on a graph (or
+  prebuilt network) and get a :class:`RunReport`: the protocol result
+  (bit-identical to the legacy entry point on a shared seed) plus
+  steps, trace totals, wall time, optional memory peak, the resolved
+  policy echo, and provenance.
+
+Quickstart::
+
+    import numpy as np
+    import repro.api as api
+    from repro import graphs
+
+    g = graphs.random_udg(n=300, side=8.0, rng=np.random.default_rng(7))
+    report = api.run("mis", g, seed=7)
+    print(report.result.size, "MIS nodes in", report.steps, "radio steps")
+
+    # Same protocol, streamed under a 64 MiB peak-memory policy:
+    policy = api.ExecutionPolicy(mem_budget=api.parse_mem_budget("64M"))
+    report = api.run("mis", g, seed=7, policy=policy)   # identical result
+
+Legacy per-call kwargs (``engine=``, ``delivery=``, ``chunk_steps=``,
+``mem_budget=`` on the :mod:`repro.core` entry points) keep working
+through deprecation shims that construct a policy and delegate — same
+code path, bit-identical, one ``DeprecationWarning`` per entry point.
+"""
+
+from ..engine.policy import (
+    ENGINE_MODES,
+    ExecutionPolicy,
+    TRACE_MODES,
+    parse_mem_budget,
+)
+from . import protocols as _protocols  # noqa: F401  (registers the specs)
+from .protocols import (
+    BGIConfig,
+    BroadcastConfig,
+    DecayConfig,
+    EEDConfig,
+    ICPConfig,
+    LeaderConfig,
+    PartitionConfig,
+    WakeupConfig,
+)
+from .registry import (
+    CLISpec,
+    ProtocolSpec,
+    get_protocol,
+    list_protocols,
+    protocol_names,
+    register_protocol,
+)
+from .report import RunReport
+from .run import run
+
+__all__ = [
+    "BGIConfig",
+    "BroadcastConfig",
+    "CLISpec",
+    "DecayConfig",
+    "EEDConfig",
+    "ENGINE_MODES",
+    "ExecutionPolicy",
+    "ICPConfig",
+    "LeaderConfig",
+    "PartitionConfig",
+    "ProtocolSpec",
+    "RunReport",
+    "TRACE_MODES",
+    "WakeupConfig",
+    "get_protocol",
+    "list_protocols",
+    "parse_mem_budget",
+    "protocol_names",
+    "register_protocol",
+    "run",
+]

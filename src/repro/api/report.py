@@ -1,0 +1,98 @@
+"""RunReport: the structured record every :func:`repro.api.run` returns.
+
+One protocol run produces one :class:`RunReport` — the protocol's own
+result plus the execution facts every consumer used to re-derive
+independently: radio-step count, trace totals, wall time, optional
+tracemalloc peak, the resolved :class:`~repro.engine.policy
+.ExecutionPolicy` echo (what actually executed, after ``"auto"`` and
+the process-wide budget resolved), and provenance (seed, graph spec,
+code version). The CLI prints them, ``run_trials*`` aggregates them,
+and benchmarks persist their :meth:`RunReport.row` form into
+``BENCH_*.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from ..engine.policy import ExecutionPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class RunReport:
+    """Outcome of one :func:`repro.api.run` call.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name of the protocol that ran.
+    result:
+        The protocol's own result object (e.g.
+        :class:`~repro.core.mis.MISResult`) — exactly what the legacy
+        entry point returns, bit-identical on a shared seed.
+    steps:
+        Radio steps the run simulated (0 for round-accounted
+        protocols, whose cost lives in the result's ledger).
+    trace:
+        Trace totals over the run: ``steps``, ``transmissions``,
+        ``receptions`` (the latter two are 0 under a cheap trace,
+        which skips detail accounting by design).
+    wall_time_s:
+        Wall-clock seconds of the protocol execution itself (setup —
+        graph build, network construction — is excluded).
+    peak_mem_bytes:
+        Tracemalloc peak of the execution, or ``None`` when the run
+        was not memory-measured (measurement taxes allocations, so it
+        is opt-in; see ``run(..., measure_memory=True)``).
+    policy:
+        The **resolved** policy echo: the engine selection, delivery
+        mode, and streaming knobs after ``"auto"`` and the
+        process-wide budget default resolved — what a reader needs to
+        reproduce the execution exactly. Protocols consult only the
+        knobs they implement: a round-accounted run simulates no
+        radio steps, so the delivery/streaming fields (and, outside
+        packet mode, the engine) are necessarily inert there.
+    provenance:
+        Reproduction facts: ``seed`` (the integer seed, or ``None``
+        when the caller passed a live generator), ``graph`` (family /
+        ``n`` / ``edges``, or ``None`` for protocols that build their
+        own topology), ``version`` (the package version).
+    """
+
+    protocol: str
+    result: Any
+    steps: int
+    trace: dict[str, int]
+    wall_time_s: float
+    peak_mem_bytes: int | None
+    policy: ExecutionPolicy
+    provenance: dict[str, Any]
+
+    def row(self) -> dict[str, Any]:
+        """Flatten to a JSON-ready dict (the ``BENCH_*.json`` row form).
+
+        The protocol result itself is summarized to its type name —
+        result objects carry arrays; benchmarks pick the scalar facts
+        they need from :attr:`result` and merge them into the row.
+        """
+        graph = self.provenance.get("graph") or {}
+        return {
+            "protocol": self.protocol,
+            "result_type": type(self.result).__name__,
+            "steps": self.steps,
+            "trace": dict(self.trace),
+            "wall_time_s": self.wall_time_s,
+            "peak_mem_bytes": self.peak_mem_bytes,
+            "engine": self.policy.engine,
+            "delivery": self.policy.delivery,
+            "chunk_steps": self.policy.chunk_steps,
+            "mem_budget": self.policy.mem_budget,
+            "validate": self.policy.validate,
+            "seed": self.provenance.get("seed"),
+            "graph": dict(graph) if graph else None,
+            "version": self.provenance.get("version"),
+        }
+
+
+__all__ = ["RunReport"]

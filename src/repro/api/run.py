@@ -1,0 +1,236 @@
+"""The front door: one ``run()`` for every registered protocol.
+
+``run(spec_or_name, graph_or_network, ...)`` is the uniform execution
+surface the CLI, the experiment harness, and the benchmarks are built
+on: look up the protocol in the registry, resolve the
+:class:`~repro.engine.policy.ExecutionPolicy` (``"auto"`` engine, the
+process-wide memory budget), execute, and wrap the result in a
+:class:`~repro.api.report.RunReport` with step/trace/wall/provenance
+accounting. Results are bit-identical to the protocol's legacy entry
+point on a shared seed — ``run`` adds accounting around the same code
+path, never a different one (pinned per protocol by
+``tests/test_api.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from ..engine.policy import ExecutionPolicy
+from ..radio.errors import ProtocolError
+from ..radio.network import RadioNetwork
+from .registry import ProtocolSpec, get_protocol
+from .report import RunReport
+
+
+def _resolve_rng(
+    seed: int | None, rng: np.random.Generator | None
+) -> tuple[np.random.Generator, int | None]:
+    """Exactly one randomness source, please."""
+    if (seed is None) == (rng is None):
+        raise ProtocolError(
+            "run() needs exactly one of seed= (an integer) or rng= "
+            "(a numpy Generator)"
+        )
+    if rng is not None:
+        return rng, None
+    return np.random.default_rng(seed), int(seed)  # type: ignore[arg-type]
+
+
+def _graph_facts(
+    graph: nx.Graph | None, network: RadioNetwork | None
+) -> dict[str, Any] | None:
+    """The provenance summary of the input graph.
+
+    When the run held a network, its CSR adjacency gives the edge
+    count for free; provenance must never re-walk a large graph (an
+    ``nx.number_of_edges`` is an O(n) Python loop — measurable
+    front-door overhead at ``n = 10^5``).
+    """
+    if graph is None:
+        return None
+    if network is not None:
+        edges = int(network._adj.nnz // 2)
+    else:
+        edges = graph.number_of_edges()
+    return {
+        "family": graph.graph.get("family"),
+        "n": graph.number_of_nodes(),
+        "edges": edges,
+    }
+
+
+def _prepare_target(
+    spec: ProtocolSpec,
+    target: nx.Graph | RadioNetwork | None,
+    policy: ExecutionPolicy,
+) -> tuple[Any, RadioNetwork | None, nx.Graph | None]:
+    """Coerce the caller's graph/network into what the spec accepts.
+
+    Returns ``(execute_target, network, graph)`` — the network is the
+    one step/trace accounting reads (``None`` when the protocol builds
+    its own or simulates none).
+    """
+    if spec.accepts == "none":
+        if target is not None:
+            raise ProtocolError(
+                f"protocol {spec.name!r} builds its own topology; "
+                f"pass target=None (its config carries the sizes)"
+            )
+        return None, None, None
+    if target is None:
+        raise ProtocolError(
+            f"protocol {spec.name!r} needs a graph or RadioNetwork target"
+        )
+    if spec.accepts == "graph":
+        graph = target.graph if isinstance(target, RadioNetwork) else target
+        return graph, None, graph
+    # accepts == "network"
+    if isinstance(target, RadioNetwork):
+        return target, target, target.graph
+    network = RadioNetwork(target, trace=policy.make_trace())
+    return network, network, target
+
+
+def run(
+    protocol: str | ProtocolSpec,
+    target: nx.Graph | RadioNetwork | None = None,
+    *,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    config: Any | None = None,
+    policy: ExecutionPolicy | None = None,
+    measure_memory: bool = False,
+) -> RunReport:
+    """Run a registered protocol and return its :class:`RunReport`.
+
+    Parameters
+    ----------
+    protocol:
+        Registry name (see :func:`~repro.api.registry.protocol_names`)
+        or a :class:`~repro.api.registry.ProtocolSpec` directly.
+    target:
+        The graph to run on — an ``nx.Graph`` (a
+        :class:`~repro.radio.network.RadioNetwork` is built with the
+        policy's trace grade) or a prebuilt ``RadioNetwork``. For
+        network-accepting protocols the prebuilt network is used
+        as-is, keeping its trace and step counter (the report
+        accounts the delta). Graph-accepting protocols (broadcast,
+        leader, partition) take only the topology: pass a network and
+        its ``.graph`` is used — packet modes build their own
+        internal network (which the report accounts), leaving the
+        caller's untouched. Self-topology protocols (``wakeup``) take
+        ``None``.
+    seed, rng:
+        Exactly one: an integer seed (recorded in provenance) or a
+        live generator (its stream is consumed exactly as the legacy
+        entry point would — bit-identical runs).
+    config:
+        The protocol's config object (its registered ``config_cls``);
+        ``None`` runs the protocol's defaults.
+    policy:
+        The :class:`~repro.engine.policy.ExecutionPolicy`; ``None``
+        means all-auto. The report echoes the *resolved* policy.
+    measure_memory:
+        Trace the execution with ``tracemalloc`` and record the peak.
+        Opt-in: tracing taxes allocations, so timed runs leave it off
+        and measure in a second pass (the benchmarks' two-pass
+        pattern).
+
+    Returns
+    -------
+    RunReport
+        With ``result`` bit-identical to the legacy entry point on the
+        same seed.
+    """
+    spec = get_protocol(protocol)
+    if config is not None and spec.config_cls is not None:
+        if not isinstance(config, spec.config_cls):
+            raise ProtocolError(
+                f"protocol {spec.name!r} takes config of type "
+                f"{spec.config_cls.__name__}, got "
+                f"{type(config).__name__}"
+            )
+    policy = policy or ExecutionPolicy()
+    generator, seed_used = _resolve_rng(seed, rng)
+    execute_target, network, graph = _prepare_target(spec, target, policy)
+
+    n = graph.number_of_nodes() if graph is not None else None
+    resolved = dataclasses.replace(
+        policy.resolve(n),
+        engine=policy.engine_for(spec.engines, spec.default_engine),
+    )
+
+    steps_before = network.steps_elapsed if network is not None else 0
+    trace_before = (
+        (
+            network.trace.total_steps,
+            network.trace.total_transmissions,
+            network.trace.total_receptions,
+        )
+        if network is not None
+        else (0, 0, 0)
+    )
+
+    def execute() -> Any:
+        # The resolved policy goes down the same entry-point path a
+        # direct caller would take, so runs are bit-identical to the
+        # legacy form; only the echo is pre-resolved.
+        return spec.execute(execute_target, generator, config, resolved)
+
+    peak: int | None = None
+    started = time.perf_counter()
+    if measure_memory:
+        from ..analysis.experiments import measure_peak
+
+        out, peak = measure_peak(execute)
+    else:
+        out = execute()
+    wall = time.perf_counter() - started
+    # Hooks whose config can override policy fields (the legacy
+    # packet_compete.engine) return the effective policy third, so
+    # the echo names what actually executed.
+    result, run_network, *effective = out
+    if effective:
+        resolved = effective[0]
+
+    network = network if network is not None else run_network
+    if network is not None:
+        steps = network.steps_elapsed - steps_before
+        trace = {
+            "steps": network.trace.total_steps - trace_before[0],
+            "transmissions": (
+                network.trace.total_transmissions - trace_before[1]
+            ),
+            "receptions": (
+                network.trace.total_receptions - trace_before[2]
+            ),
+        }
+    else:
+        steps = int(getattr(result, "steps", 0) or 0)
+        trace = {"steps": steps, "transmissions": 0, "receptions": 0}
+
+    import repro
+
+    return RunReport(
+        protocol=spec.name,
+        result=result,
+        steps=steps,
+        trace=trace,
+        wall_time_s=wall,
+        peak_mem_bytes=peak,
+        policy=resolved,
+        provenance={
+            "seed": seed_used,
+            "graph": _graph_facts(graph, network),
+            "version": getattr(repro, "__version__", "unknown"),
+        },
+    )
+
+
+__all__ = ["run"]

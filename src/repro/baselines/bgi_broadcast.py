@@ -33,7 +33,7 @@ import math
 import numpy as np
 
 from ..core.decay import decay_span
-from ..engine.runner import run_schedule
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ObliviousWindow, ProtocolSchedule, TracePhase
 from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.network import NO_SENDER, RadioNetwork
@@ -119,7 +119,9 @@ def bgi_broadcast(
     rng: np.random.Generator,
     sources: list[int] | None = None,
     max_sweeps: int | None = None,
-    engine: str = "windowed",
+    engine: str | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> BGIBroadcastResult:
     """Broadcast ``source``'s message with repeated Decay sweeps.
 
@@ -136,23 +138,25 @@ def bgi_broadcast(
         binary-search leader election baseline).
     max_sweeps:
         Safety budget in Decay sweeps; see :func:`_default_max_sweeps`.
-    engine:
-        ``"windowed"`` (default) executes one sparse product per sweep;
+    policy:
+        Execution policy. ``engine="windowed"`` (the ``"auto"``
+        default) executes one sparse product per sweep;
         ``"reference"`` steps through :func:`bgi_broadcast_reference`.
         Seeded results are bit-identical.
+    engine:
+        Deprecated per-call form of ``policy.engine`` (shimmed).
 
     Returns
     -------
     BGIBroadcastResult
         ``steps`` counts actual simulated radio steps.
     """
-    if engine == "reference":
+    policy = legacy_policy(policy, "bgi_broadcast", engine=engine)
+    if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return bgi_broadcast_reference(
             network, source, rng, sources=sources, max_sweeps=max_sweeps
         )
-    if engine != "windowed":
-        raise ValueError(f"unknown BGI engine: {engine!r}")
-    return run_schedule(
+    return policy.run_schedule(
         network,
         bgi_schedule(
             network, source, rng, sources=sources, max_sweeps=max_sweeps

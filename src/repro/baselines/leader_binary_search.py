@@ -19,6 +19,7 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..radio.errors import GraphContractError
 from ..radio.network import RadioNetwork
 from .bgi_broadcast import bgi_broadcast
@@ -39,7 +40,9 @@ def binary_search_election(
     network: RadioNetwork,
     rng: np.random.Generator,
     id_bits: int | None = None,
-    engine: str = "windowed",
+    engine: str | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> BinarySearchElectionResult:
     """Elect the node with the highest random ID by binary search.
 
@@ -51,10 +54,12 @@ def binary_search_election(
         Randomness source; also draws the ``Theta(log n)``-bit node IDs.
     id_bits:
         ID length; defaults to ``3 ceil(log2 n)`` (unique whp).
-    engine:
-        Delivery engine for the per-phase BGI floods — ``"windowed"``
-        (default, one sparse product per sweep) or ``"reference"``
-        (step-wise); seeded results are bit-identical.
+    policy:
+        Execution policy for the per-phase BGI floods —
+        ``engine="windowed"`` (the ``"auto"`` default, one sparse
+        product per sweep) or ``"reference"`` (step-wise); seeded
+        results are bit-identical. ``engine=`` is the deprecated
+        per-call form (shimmed).
 
     Notes
     -----
@@ -66,6 +71,7 @@ def binary_search_election(
     of zero steps, which only *under*-counts this baseline's steps,
     keeping the comparison conservative.
     """
+    policy = legacy_policy(policy, "binary_search_election", engine=engine)
     if not network.is_connected():
         raise GraphContractError("leader election requires connectivity")
     n = network.n
@@ -82,7 +88,7 @@ def binary_search_election(
         phases += 1
         if upper:
             bgi_broadcast(
-                network, upper[0], rng, sources=upper, engine=engine
+                network, upper[0], rng, sources=upper, policy=policy
             )
             lo = mid
         else:
@@ -108,5 +114,6 @@ def binary_search_election_reference(
     delivery path); the equivalence suite pins the windowed run against
     it bit-for-bit."""
     return binary_search_election(
-        network, rng, id_bits=id_bits, engine="reference"
+        network, rng, id_bits=id_bits,
+        policy=ExecutionPolicy(engine="reference"),
     )

@@ -1,6 +1,13 @@
-"""Command-line interface: run the paper's algorithms from a shell.
+"""Command-line interface: the protocol registry, from a shell.
 
-Subcommands mirror the library's entry points:
+Every protocol subcommand is **generated from the registry**
+(:mod:`repro.api`): one shared graph flag group, one shared execution
+policy flag group, plus each protocol's own flags from its
+:class:`~repro.api.registry.CLISpec`. No subcommand parses policy
+knobs by hand anymore — ``--engine``, ``--delivery``,
+``--chunk-steps``, ``--mem-budget``, and ``--validate`` are the same
+five flags everywhere, refused the same way everywhere (unknown
+values are named alongside the accepted ones).
 
 .. code-block:: bash
 
@@ -11,27 +18,24 @@ Subcommands mirror the library's entry points:
     python -m repro broadcast --graph grid --rows 3 --cols 40
     python -m repro broadcast --graph udg --n 80 --packet
     python -m repro leader --graph gnp --n 100 --p 0.08
-    python -m repro leader --graph udg --n 80 --packet
     python -m repro icp --graph udg --n 120 --fused  # multiplexed ICP
+    python -m repro eed --graph udg --n 200 --desire 0.5
+    python -m repro decay --graph udg --n 200 --iterations 8
+    python -m repro bgi --graph udg --n 150
+    python -m repro wakeup --believed-n 4096 --k 64
     python -m repro partition --graph udg --n 120 --beta 0.25
     python -m repro classes --n 150
 
 Every subcommand accepts ``--seed`` (default 0) and prints a short
 human-readable report; machine-readable output is available with
-``--json``.
-
-Packet-level subcommands run on the windowed protocol engine
-(:mod:`repro.engine`) by default; ``--engine reference`` selects the
-retained step-wise implementations (bit-identical seeded results, much
-slower), and ``--packet`` switches broadcast/leader from round-accounted
-to fully simulated radio steps. ``--delivery {auto,sparse,dense}``
-selects the window execution strategy (bit-identical; ``auto`` routes
-per window row on mask density), and ``icp --fused`` runs one
-Intra-Cluster Propagation phase through the window-multiplexing
-combinator instead of step-at-a-time decision points.
-``--chunk-steps``/``--mem-budget`` bound the streamed slab height of
-window execution — memory knobs only (bit-identical); ``--mem-budget
-256M`` is what makes ``n >= 10^5`` runs practical on a laptop.
+``--json``. Protocol runs go through :func:`repro.api.run`, so the
+printed report is a view of the same :class:`~repro.api.report
+.RunReport` the library returns — engine, delivery, radio steps, wall
+time, and the protocol's own fields. All engine/delivery/streaming
+flags are performance or memory knobs only: seeded results are
+bit-identical whatever the policy (``--validate`` re-checks exactly
+that at runtime, slowly). ``--mem-budget 256M`` is what makes
+``n >= 10^5`` runs practical on a laptop.
 """
 
 from __future__ import annotations
@@ -44,21 +48,13 @@ from typing import Any
 import networkx as nx
 import numpy as np
 
-from . import graphs
-from .core import (
-    CompeteConfig,
-    MISConfig,
-    broadcast,
-    broadcast_packet_level,
-    build_icp_inputs,
-    compute_mis,
-    elect_leader,
-    elect_leader_packet,
-    intra_cluster_propagation,
-    partition,
+from . import api, graphs
+from .engine.policy import (
+    parse_mem_budget,
+    validate_chunk_steps,
 )
-from .graphs import greedy_independent_set
-from .radio import RadioNetwork
+from .radio.errors import ProtocolError
+from .radio.network import DELIVERY_MODES
 
 
 def _build_graph(args: argparse.Namespace, rng: np.random.Generator):
@@ -78,10 +74,19 @@ def _build_graph(args: argparse.Namespace, rng: np.random.Generator):
         return graphs.path(args.n)
     if kind == "clique":
         return graphs.clique(args.n)
-    raise ValueError(f"unknown graph kind: {kind!r}")
+    raise ProtocolError(f"unknown graph kind: {kind!r}")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    """Flags every subcommand shares (seeding and output form)."""
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--json", action="store_true", help="print machine-readable JSON"
+    )
 
 
 def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    """The shared graph-family flag group."""
     parser.add_argument(
         "--graph",
         default="udg",
@@ -101,64 +106,60 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--clique-size", type=int, default=10, help="clique-chain clique size"
     )
-    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
-    parser.add_argument(
-        "--json", action="store_true", help="print machine-readable JSON"
+
+
+def _parse_mem_budget_arg(text: str) -> int:
+    """Argparse type for ``--mem-budget``: the shared parser's refusal,
+    surfaced as an argparse error."""
+    try:
+        return parse_mem_budget(text)
+    except ProtocolError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_chunk_steps_arg(text: str) -> int:
+    """Argparse type for ``--chunk-steps``."""
+    try:
+        return validate_chunk_steps(int(text))
+    except (ProtocolError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"chunk steps must be a positive integer, got {text!r} "
+            f"({exc})"
+        ) from None
+
+
+def _add_policy_options(
+    parser: argparse.ArgumentParser, spec: api.ProtocolSpec
+) -> None:
+    """The shared execution-policy flag group, one per protocol.
+
+    The ``--engine`` choice list is the protocol's own engine set (plus
+    ``auto``), so ``--help`` documents exactly what each protocol
+    implements and argparse refuses the rest by name — the CLI face of
+    the registry's uniform refusals.
+    """
+    group = parser.add_argument_group("execution policy")
+    group.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto",) + spec.engines,
+        help=(
+            "execution engine (auto picks the protocol's fastest "
+            "verified path; all variants are bit-identical on a seed)"
+        ),
     )
-
-
-def _parse_mem_budget(text: str) -> int:
-    """Parse a byte count with an optional K/M/G suffix (e.g. ``64M``)."""
-    original = text
-    text = text.strip()
-    scale = 1
-    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
-    if text and text[-1].lower() in suffixes:
-        scale = suffixes[text[-1].lower()]
-        text = text[:-1]
-    try:
-        value = int(text) * scale
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected bytes with optional K/M/G suffix, got {original!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"memory budget must be >= 1 byte, got {value}"
-        )
-    return value
-
-
-def _parse_chunk_steps(text: str) -> int:
-    """Parse a positive slab height (argparse type for --chunk-steps)."""
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected a positive integer, got {text!r}"
-        ) from None
-    if value < 1:
-        raise argparse.ArgumentTypeError(
-            f"chunk steps must be >= 1, got {value}"
-        )
-    return value
-
-
-def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
-    from .radio.network import DELIVERY_MODES
-
-    parser.add_argument(
+    group.add_argument(
         "--delivery",
         default="auto",
         choices=list(DELIVERY_MODES),
         help=(
             "window execution strategy (bit-identical; auto routes per "
-            "window row on mask density)"
+            "window row on mask density and COO output size)"
         ),
     )
-    parser.add_argument(
+    group.add_argument(
         "--chunk-steps",
-        type=_parse_chunk_steps,
+        type=_parse_chunk_steps_arg,
         default=None,
         metavar="K",
         help=(
@@ -166,9 +167,9 @@ def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
             "only; bit-identical at any setting)"
         ),
     )
-    parser.add_argument(
+    group.add_argument(
         "--mem-budget",
-        type=_parse_mem_budget,
+        type=_parse_mem_budget_arg,
         default=None,
         metavar="BYTES",
         help=(
@@ -177,9 +178,18 @@ def _add_delivery_option(parser: argparse.ArgumentParser) -> None:
             "bytes-per-step cost model"
         ),
     )
+    group.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "re-execute every window step-by-step on shadow networks "
+            "and assert bit-identical delivery (slow; diagnostics)"
+        ),
+    )
 
 
 def _emit(args: argparse.Namespace, report: dict[str, Any]) -> None:
+    """Print a report dict as key/value lines or JSON."""
     if args.json:
         print(json.dumps(report, default=str))
     else:
@@ -187,172 +197,57 @@ def _emit(args: argparse.Namespace, report: dict[str, Any]) -> None:
             print(f"{key}: {value}")
 
 
-def _cmd_mis(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    g = _build_graph(args, rng)
-    net = RadioNetwork(g)
-    config = MISConfig(oracle_degree=args.oracle_degree, eed_C=args.eed_c)
-    result = compute_mis(
-        net, rng, config, engine=args.engine, delivery=args.delivery,
-        chunk_steps=args.chunk_steps, mem_budget=args.mem_budget,
+def _policy_from_args(args: argparse.Namespace) -> api.ExecutionPolicy:
+    """The shared flag group, folded into one policy value."""
+    return api.ExecutionPolicy(
+        engine=args.engine,
+        delivery=args.delivery,
+        chunk_steps=args.chunk_steps,
+        mem_budget=args.mem_budget,
+        validate=args.validate,
     )
-    valid = graphs.is_maximal_independent_set(g, result.mis)
-    _emit(
-        args,
-        {
-            "graph": g.graph.get("family"),
-            "n": g.number_of_nodes(),
-            "engine": args.engine,
-            "delivery": args.delivery,
-            "mis_size": result.size,
-            "rounds": result.rounds_used,
-            "radio_steps": result.steps_used,
-            "valid": valid,
-        },
-    )
-    return 0 if valid else 1
 
 
-def _cmd_icp(args: argparse.Namespace) -> int:
+def _run_protocol(spec: api.ProtocolSpec, args: argparse.Namespace) -> int:
+    """The one generated subcommand body behind every protocol.
+
+    Builds the graph and policy from the shared flag groups, the
+    config from the spec's own flags, executes through
+    :func:`repro.api.run`, and prints the shared report prefix plus
+    the spec's fields. Policy/config refusals print to stderr and
+    exit 2 — uniformly, whatever the protocol.
+    """
     rng = np.random.default_rng(args.seed)
-    g = nx.convert_node_labels_to_integers(_build_graph(args, rng))
-    if not 0 <= args.source < g.number_of_nodes():
-        print(f"error: source {args.source} out of range", file=sys.stderr)
+    try:
+        policy = _policy_from_args(args)
+        if spec.cli.tweak_policy is not None:
+            policy = spec.cli.tweak_policy(args, policy)
+        config = spec.cli.config_from_args(args)
+        if spec.accepts == "none":
+            graph = None
+        else:
+            graph = _build_graph(args, rng)
+            if spec.cli.relabel:
+                graph = nx.convert_node_labels_to_integers(graph)
+        report = api.run(
+            spec, graph, rng=rng, config=config, policy=policy
+        )
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    if args.fused and args.engine not in (None, "fused"):
-        print(
-            f"error: --fused contradicts --engine {args.engine}",
-            file=sys.stderr,
-        )
-        return 2
-    engine = "fused" if args.fused else (args.engine or "windowed")
-    clustering, schedule, knowledge = build_icp_inputs(
-        g, rng, beta=args.beta, sources={args.source: 1}
-    )
-    net = RadioNetwork(g)
-    result = intra_cluster_propagation(
-        net, clustering, schedule, knowledge, args.ell, rng,
-        with_background=not args.no_background,
-        engine=engine, delivery=args.delivery,
-        chunk_steps=args.chunk_steps, mem_budget=args.mem_budget,
-    )
-    informed = int((result.knowledge >= 0).sum())
-    _emit(
-        args,
-        {
-            "graph": g.graph.get("family"),
-            "n": g.number_of_nodes(),
-            "engine": engine,
-            "delivery": args.delivery,
-            "ell": args.ell,
-            "clusters": len(clustering.used_centers()),
-            "radio_steps": result.steps,
-            "informed": informed,
-        },
-    )
-    return 0 if informed > 1 or g.number_of_nodes() == 1 else 1
-
-
-def _cmd_broadcast(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    g = _build_graph(args, rng)
-    if args.packet:
-        if args.baseline:
-            print(
-                "error: --baseline applies to the round-accounted "
-                "pipeline only; the packet level has no [7] baseline mode",
-                file=sys.stderr,
-            )
-            return 2
-        result = broadcast_packet_level(g, args.source, rng)
-        _emit(
-            args,
-            {
-                "graph": g.graph.get("family"),
-                "n": g.number_of_nodes(),
-                "D": graphs.diameter(g),
-                "mode": "packet (windowed engine)",
-                "delivered": result.delivered,
-                "radio_steps": result.steps,
-                "phases": result.phases,
-                "stage_steps": result.stage_steps,
-            },
-        )
-        return 0 if result.delivered else 1
-    config = CompeteConfig(
-        centers_mode="all" if args.baseline else "mis"
-    )
-    result = broadcast(g, args.source, rng, config=config)
-    _emit(
-        args,
-        {
-            "graph": g.graph.get("family"),
-            "n": g.number_of_nodes(),
-            "D": graphs.diameter(g),
-            "mode": config.centers_mode,
-            "delivered": result.delivered,
-            "total_rounds": result.total_rounds,
-            "setup_rounds": result.setup_rounds,
-            "propagation_rounds": result.propagation_rounds,
-        },
-    )
-    return 0 if result.delivered else 1
-
-
-def _cmd_leader(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    g = _build_graph(args, rng)
-    if args.packet:
-        packet = elect_leader_packet(RadioNetwork(g), rng)
-        _emit(
-            args,
-            {
-                "graph": g.graph.get("family"),
-                "n": g.number_of_nodes(),
-                "mode": "packet (windowed engine)",
-                "elected": packet.elected,
-                "leader": packet.leader,
-                "candidates": len(packet.candidates),
-                "radio_steps": packet.steps,
-            },
-        )
-        return 0 if packet.elected else 1
-    result = elect_leader(g, rng)
-    _emit(
-        args,
-        {
-            "graph": g.graph.get("family"),
-            "n": g.number_of_nodes(),
-            "elected": result.elected,
-            "leader": result.leader,
-            "candidates": len(result.candidates),
-            "total_rounds": result.total_rounds,
-        },
-    )
-    return 0 if result.elected else 1
-
-
-def _cmd_partition(args: argparse.Namespace) -> int:
-    rng = np.random.default_rng(args.seed)
-    g = _build_graph(args, rng)
-    mis = sorted(greedy_independent_set(g, rng, strategy="random"))
-    clustering = partition(g, args.beta, mis, rng)
-    _emit(
-        args,
-        {
-            "graph": g.graph.get("family"),
-            "n": g.number_of_nodes(),
-            "beta": args.beta,
-            "centers": len(mis),
-            "clusters_used": len(clustering.used_centers()),
-            "max_radius": clustering.max_radius(),
-            "mean_distance": round(clustering.mean_distance(), 3),
-        },
-    )
-    return 0
+    payload: dict[str, Any] = {}
+    if graph is not None:
+        payload["graph"] = graph.graph.get("family")
+        payload["n"] = graph.number_of_nodes()
+    payload["engine"] = report.policy.engine
+    payload["delivery"] = report.policy.delivery
+    payload.update(spec.cli.report_fields(report, graph, config))
+    _emit(args, payload)
+    return spec.cli.exit_code(report, payload)
 
 
 def _cmd_classes(args: argparse.Namespace) -> int:
+    """Summarize the paper's graph classes (not a protocol run)."""
     rng = np.random.default_rng(args.seed)
     n = args.n
     rows = []
@@ -382,7 +277,12 @@ def _cmd_classes(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the top-level argument parser (exposed for tests)."""
+    """Construct the top-level argument parser (exposed for tests).
+
+    Protocol subcommands are generated from the registry — adding a
+    protocol with CLI metadata to :mod:`repro.api.protocols` grows the
+    CLI with no parser code here.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -392,89 +292,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mis = sub.add_parser("mis", help="run Radio MIS (Algorithm 7)")
-    _add_graph_options(mis)
-    mis.add_argument(
-        "--oracle-degree",
-        action="store_true",
-        help="skip EstimateEffectiveDegree (documented speed knob)",
-    )
-    mis.add_argument("--eed-c", type=int, default=8, help="Algorithm 6's C")
-    mis.add_argument(
-        "--engine",
-        default="windowed",
-        choices=["windowed", "reference"],
-        help="delivery engine (reference = step-wise twin, bit-identical)",
-    )
-    _add_delivery_option(mis)
-    mis.set_defaults(func=_cmd_mis)
-
-    icp = sub.add_parser(
-        "icp", help="one Intra-Cluster Propagation phase (Algorithms 9-10)"
-    )
-    _add_graph_options(icp)
-    icp.add_argument("--source", type=int, default=0, help="informed node")
-    icp.add_argument("--beta", type=float, default=0.25, help="shift rate")
-    icp.add_argument(
-        "--ell", type=int, default=4, help="propagation distance"
-    )
-    icp.add_argument(
-        "--engine",
-        default=None,
-        choices=["windowed", "reference", "fused"],
-        help=(
-            "delivery engine (default windowed; fused = window-"
-            "multiplexed background, reference = step-wise twin; all "
-            "bit-identical)"
-        ),
-    )
-    icp.add_argument(
-        "--fused",
-        action="store_true",
-        help="shorthand for --engine fused",
-    )
-    icp.add_argument(
-        "--no-background",
-        action="store_true",
-        help="drop the Algorithm 10 Decay background process",
-    )
-    _add_delivery_option(icp)
-    icp.set_defaults(func=_cmd_icp)
-
-    bc = sub.add_parser("broadcast", help="broadcast via Compete (Thm 7)")
-    _add_graph_options(bc)
-    bc.add_argument("--source", type=int, default=0, help="source node")
-    bc.add_argument(
-        "--baseline",
-        action="store_true",
-        help="use the [7] all-nodes-centers baseline instead",
-    )
-    bc.add_argument(
-        "--packet",
-        action="store_true",
-        help="simulate every radio step on the windowed engine",
-    )
-    bc.set_defaults(func=_cmd_broadcast)
-
-    leader = sub.add_parser("leader", help="leader election (Algorithm 3)")
-    _add_graph_options(leader)
-    leader.add_argument(
-        "--packet",
-        action="store_true",
-        help="simulate every radio step on the windowed engine",
-    )
-    leader.set_defaults(func=_cmd_leader)
-
-    part = sub.add_parser(
-        "partition", help="one Partition(beta, MIS) clustering draw"
-    )
-    _add_graph_options(part)
-    part.add_argument("--beta", type=float, default=0.25, help="shift rate")
-    part.set_defaults(func=_cmd_partition)
+    for spec in api.list_protocols():
+        if spec.cli is None:
+            continue
+        sp = sub.add_parser(spec.name, help=spec.cli.help)
+        _add_common_options(sp)
+        if spec.accepts != "none":
+            _add_graph_options(sp)
+        _add_policy_options(sp, spec)
+        if spec.cli.add_arguments is not None:
+            spec.cli.add_arguments(sp)
+        sp.set_defaults(
+            func=lambda a, _spec=spec: _run_protocol(_spec, a)
+        )
 
     classes = sub.add_parser(
         "classes", help="summarize graph classes (n, D, alpha)"
     )
+    _add_common_options(classes)
     _add_graph_options(classes)
     classes.set_defaults(func=_cmd_classes)
 

@@ -30,11 +30,12 @@ import dataclasses
 
 import numpy as np
 
+from ..engine.policy import ExecutionPolicy, validate_engine
 from ..graphs.context import GraphContext, graph_context
 from ..radio.errors import BudgetExceededError, GraphContractError
 from ..radio.network import RadioNetwork
 from .costmodel import propagation_length
-from .decay import run_decay, run_decay_reference
+from .decay import run_decay
 from .intra_cluster import intra_cluster_propagation
 from .mis import MISConfig, compute_mis
 from .mpx import beta_of_j, j_range
@@ -59,7 +60,12 @@ class PacketCompeteConfig:
     through the :func:`~repro.engine.mux.multiplex` combinator (the
     non-ICP stages execute as under ``"windowed"`` — fusing only
     applies to time-multiplexed pairs). Seeded runs are bit-identical
-    across all three.
+    across all three. ``policy`` is the full
+    :class:`~repro.engine.policy.ExecutionPolicy` form — its engine
+    plays the role of ``engine`` (with ``"auto"`` meaning
+    ``"windowed"``) and its delivery/streaming knobs reach every
+    stage; setting both ``policy`` and a non-default ``engine``
+    refuses.
     """
 
     clusterings_per_j: int = 2
@@ -70,15 +76,36 @@ class PacketCompeteConfig:
     max_phases: int | None = None
     final_sweep_iterations: int = 4
     engine: str = "windowed"
+    policy: ExecutionPolicy | None = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("windowed", "reference", "fused"):
-            raise ValueError(f"unknown engine: {self.engine!r}")
+        validate_engine(self.engine, ("windowed", "reference", "fused"))
+        if self.policy is not None and self.engine != "windowed":
+            raise ValueError(
+                "PacketCompeteConfig got both policy= and engine=; "
+                "set the engine on the policy"
+            )
+
+    @property
+    def icp_policy(self) -> ExecutionPolicy:
+        """The effective policy of the ICP phases (``fused`` allowed)."""
+        base = self.policy or ExecutionPolicy(engine=self.engine)
+        engine = base.engine_for(("windowed", "reference", "fused"), "windowed")
+        return dataclasses.replace(base, engine=engine)
+
+    @property
+    def stage_policy(self) -> ExecutionPolicy:
+        """The effective policy of the non-ICP stages (``"fused"``
+        applies to ICP only, so it degrades to ``"windowed"`` here)."""
+        icp = self.icp_policy
+        if icp.engine == "fused":
+            return dataclasses.replace(icp, engine="windowed")
+        return icp
 
     @property
     def stage_engine(self) -> str:
         """Engine for the non-ICP stages (``"fused"`` applies to ICP only)."""
-        return "windowed" if self.engine == "fused" else self.engine
+        return self.stage_policy.engine
 
 
 @dataclasses.dataclass
@@ -143,7 +170,7 @@ def compete_packet(
 
     # --- stage 1: Radio MIS ----------------------------------------------
     mis_result = compute_mis(
-        network, rng, config.mis_config, engine=config.stage_engine
+        network, rng, config.mis_config, policy=config.stage_policy
     )
     mis = sorted(network.index_of(v) for v in mis_result.mis)
     steps_at["mis"] = network.steps_elapsed
@@ -186,7 +213,7 @@ def compete_packet(
         )
         icp = intra_cluster_propagation(
             network, clustering, schedule, knowledge, ell, rng,
-            engine=config.engine,
+            policy=config.icp_policy,
         )
         knowledge = icp.knowledge
         phases += 1
@@ -197,17 +224,13 @@ def compete_packet(
     # epilogue; it also mops up any straggler in the rare event the loop
     # exited on a stale check.
     informed = knowledge == winner
-    final_sweep = (
-        run_decay_reference
-        if config.stage_engine == "reference"
-        else run_decay
-    )
-    final_sweep(
+    run_decay(
         network,
         informed,
         rng,
         messages=[int(k) for k in knowledge],
         iterations=config.final_sweep_iterations,
+        policy=config.stage_policy,
     )
     steps_at["sweep"] = network.steps_elapsed
 

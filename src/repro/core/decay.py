@@ -36,7 +36,7 @@ from typing import Any
 
 import numpy as np
 
-from ..engine.runner import run_schedule
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
@@ -237,6 +237,8 @@ def run_decay(
     n_estimate: int | None = None,
     chunk_steps: int | None = None,
     mem_budget: int | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> DecayResult:
     """Run a full Decay block and return its :class:`DecayResult`.
 
@@ -244,13 +246,25 @@ def run_decay(
     perform ``O(log n)`` iterations of Decay" translates to
     ``run_decay(network, marked, rng, iterations=claim10_iterations(n))``.
 
-    The block executes :func:`decay_block_schedule` on the windowed engine
-    (see the module docstring); results and rng consumption are
-    identical to :func:`run_decay_reference`, just much faster.
-    ``chunk_steps``/``mem_budget`` bound the streamed slab height
-    (memory knobs only — bit-identical at any setting).
+    The block executes :func:`decay_block_schedule` under ``policy``
+    (see the module docstring) — ``engine="reference"`` dispatches to
+    :func:`run_decay_reference`; results and rng consumption are
+    identical either way, the engine path just much faster. The
+    deprecated per-call ``chunk_steps``/``mem_budget`` kwargs fold
+    into a policy through the usual shim (memory knobs only —
+    bit-identical at any setting).
     """
-    return run_schedule(
+    policy = legacy_policy(
+        policy, "run_decay",
+        chunk_steps=chunk_steps, mem_budget=mem_budget,
+    )
+    if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
+        return run_decay_reference(
+            network, active, rng,
+            messages=messages, iterations=iterations,
+            n_estimate=n_estimate,
+        )
+    return policy.run_schedule(
         network,
         decay_block_schedule(
             network,
@@ -260,8 +274,6 @@ def run_decay(
             iterations=iterations,
             n_estimate=n_estimate,
         ),
-        chunk_steps=chunk_steps,
-        mem_budget=mem_budget,
     )
 
 

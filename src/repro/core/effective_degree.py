@@ -34,7 +34,7 @@ import math
 
 import numpy as np
 
-from ..engine.runner import run_schedule
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
@@ -204,31 +204,41 @@ def estimate_effective_degree(
     rng: np.random.Generator,
     C: int = 24,
     n_estimate: int | None = None,
-    delivery: str = "auto",
+    delivery: str | None = None,
     chunk_steps: int | None = None,
     mem_budget: int | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> EffectiveDegreeResult:
-    """Run one full EstimateEffectiveDegree block on the windowed engine.
+    """Run one full EstimateEffectiveDegree block under ``policy``.
 
-    ``delivery`` selects the window execution strategy (``"auto"``,
-    ``"sparse"``, ``"dense"``) — a performance knob only, all three are
-    bit-identical. Desire levels near ``p = 0.5`` on dense graphs are
-    the regime where ``"auto"`` routes the low-``i`` density levels
-    through the dense matmul (most (listener, step) pairs hear energy,
-    so the sparse product's output stops being sparse).
-    ``chunk_steps``/``mem_budget`` bound the streamed slab height
-    (memory knobs only — bit-identical at any setting); this block is
-    the canonical out-of-core workload, since its ``O(log^2 n)`` steps
-    are what stalled ``n >= 10^5`` runs when materialized whole.
+    The policy's ``delivery`` selects the window execution strategy
+    (``"auto"``, ``"sparse"``, ``"dense"``) — a performance knob only,
+    all three are bit-identical. Desire levels near ``p = 0.5`` on
+    dense graphs are the regime where ``"auto"`` routes the low-``i``
+    density levels through the dense matmul (most (listener, step)
+    pairs hear energy, so the sparse product's output stops being
+    sparse). ``chunk_steps``/``mem_budget`` bound the streamed slab
+    height (memory knobs only — bit-identical at any setting); this
+    block is the canonical out-of-core workload, since its
+    ``O(log^2 n)`` steps are what stalled ``n >= 10^5`` runs when
+    materialized whole. ``engine="reference"`` dispatches to
+    :func:`estimate_effective_degree_reference`; the deprecated
+    per-call kwargs fold into a policy through the usual shim.
     """
-    return run_schedule(
+    policy = legacy_policy(
+        policy, "estimate_effective_degree", delivery=delivery,
+        chunk_steps=chunk_steps, mem_budget=mem_budget,
+    )
+    if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
+        return estimate_effective_degree_reference(
+            network, p, active, rng, C=C, n_estimate=n_estimate
+        )
+    return policy.run_schedule(
         network,
         effective_degree_schedule(
             network, p, active, rng, C=C, n_estimate=n_estimate
         ),
-        delivery=delivery,
-        chunk_steps=chunk_steps,
-        mem_budget=mem_budget,
     )
 
 

@@ -49,10 +49,10 @@ import math
 import numpy as np
 
 from ..engine.mux import multiplex
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.runner import (
     ProtocolSegmentSource,
     protocol_schedule,
-    run_schedule,
 )
 from ..engine.segments import (
     ObliviousWindow,
@@ -434,10 +434,12 @@ def intra_cluster_propagation(
     ell: int,
     rng: np.random.Generator,
     with_background: bool = True,
-    engine: str = "windowed",
-    delivery: str = "auto",
+    engine: str | None = None,
+    delivery: str | None = None,
     chunk_steps: int | None = None,
     mem_budget: int | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> ICPResult:
     """Run one packet-level ICP phase, mutating and returning knowledge.
 
@@ -464,17 +466,22 @@ def intra_cluster_propagation(
     * ``engine="reference"`` — the step-wise executable specification
       through :func:`~repro.radio.protocol.run_steps`.
 
-    ``delivery`` routes the engine paths' window execution (``"auto"``,
-    ``"sparse"``, ``"dense"``); the reference path ignores it. Without
-    a background there is nothing to multiplex: ``engine="fused"``
-    runs the slot passes exactly as ``"windowed"`` does.
-    ``chunk_steps``/``mem_budget`` bound the engine paths' streamed
-    slab height (the fused path's joint windows stream, so joint
-    hear-windows never materialize whole); memory knobs only,
-    bit-identical at any setting, ignored by the reference path.
+    The policy's ``delivery`` routes the engine paths' window
+    execution (``"auto"``, ``"sparse"``, ``"dense"``); the reference
+    path ignores it. Without a background there is nothing to
+    multiplex: ``engine="fused"`` runs the slot passes exactly as
+    ``"windowed"`` does. ``chunk_steps``/``mem_budget`` bound the
+    engine paths' streamed slab height (the fused path's joint windows
+    stream, so joint hear-windows never materialize whole); memory
+    knobs only, bit-identical at any setting, ignored by the reference
+    path. The deprecated per-call kwargs fold into a policy through
+    the usual shim.
     """
-    if engine not in ("windowed", "reference", "fused"):
-        raise ValueError(f"unknown ICP engine: {engine!r}")
+    policy = legacy_policy(
+        policy, "intra_cluster_propagation", engine=engine,
+        delivery=delivery, chunk_steps=chunk_steps, mem_budget=mem_budget,
+    )
+    engine = policy.engine_for(("windowed", "reference", "fused"), "windowed")
     knowledge = np.asarray(knowledge, dtype=np.int64).copy()
     main = ICPProtocol(network, schedule, knowledge, ell)
     main_slots = sum(len(p.slots) for p in main._passes)
@@ -482,7 +489,7 @@ def intra_cluster_propagation(
     network.trace.enter_phase("icp")
     if engine == "fused" and with_background:
         background = DecayBackground(network, clustering, knowledge)
-        run_schedule(
+        policy.run_schedule(
             network,
             multiplex(
                 ProtocolSegmentSource(main, steps=main_slots),
@@ -490,9 +497,6 @@ def intra_cluster_propagation(
                 rng=rng,
                 stream=True,
             ),
-            delivery=delivery,
-            chunk_steps=chunk_steps,
-            mem_budget=mem_budget,
         )
     else:
         if with_background:
@@ -507,12 +511,9 @@ def intra_cluster_propagation(
         if engine == "reference":
             run_steps(muxed, rng, total)
         else:
-            run_schedule(
+            policy.run_schedule(
                 network,
                 protocol_schedule(muxed, rng, steps=total),
-                delivery=delivery,
-                chunk_steps=chunk_steps,
-                mem_budget=mem_budget,
             )
     network.trace.enter_phase("default")
     return ICPResult(

@@ -29,7 +29,7 @@ from typing import Hashable
 
 import numpy as np
 
-from ..engine.runner import run_schedule
+from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, TracePhase
 from ..radio.network import RadioNetwork
 from .decay import claim10_iterations, decay_block_schedule, run_decay_reference
@@ -243,10 +243,12 @@ def compute_mis(
     rng: np.random.Generator,
     config: MISConfig | None = None,
     n_estimate: int | None = None,
-    engine: str = "windowed",
-    delivery: str = "auto",
+    engine: str | None = None,
+    delivery: str | None = None,
     chunk_steps: int | None = None,
     mem_budget: int | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
 ) -> MISResult:
     """Run Radio MIS (Algorithm 7) on ``network``.
 
@@ -262,22 +264,20 @@ def compute_mis(
     n_estimate:
         The network-size estimate nodes are assumed to know; defaults to
         the exact ``n``.
-    engine:
-        ``"windowed"`` (default) runs :func:`mis_schedule` on the
-        batched engine; ``"reference"`` runs the retained step-wise
-        loop. Both produce bit-identical seeded results.
-    delivery:
-        Window execution strategy for the engine path (``"auto"``,
-        ``"sparse"``, ``"dense"``); a performance knob only — all
-        strategies are bit-identical. Ignored by the reference engine.
-    chunk_steps, mem_budget:
-        Streaming slab height for the engine path, directly or derived
-        from a target peak-bytes cap — the whole round loop streams
-        (its Decay and EstimateEffectiveDegree blocks are
-        :class:`~repro.engine.segments.StreamedWindow` segments), so
-        peak memory is bounded by the slab instead of growing with
-        ``log^2 n * n``. Memory knobs only — bit-identical at any
-        setting; ignored by the reference engine.
+    policy:
+        The :class:`~repro.engine.policy.ExecutionPolicy` to run under.
+        ``engine="windowed"`` (the ``"auto"`` default) runs
+        :func:`mis_schedule` on the batched engine, ``"reference"``
+        the retained step-wise loop — bit-identical seeded results;
+        ``delivery``/``chunk_steps``/``mem_budget`` route and stream
+        the engine path's windows (performance/memory knobs only —
+        the whole round loop streams, so peak memory is bounded by the
+        slab instead of growing with ``log^2 n * n``).
+    engine, delivery, chunk_steps, mem_budget:
+        Deprecated per-call forms of the policy fields; a shim folds
+        them into a policy (bit-identical) with one
+        ``DeprecationWarning`` per entry point. Incompatible with
+        ``policy=``.
 
     Returns
     -------
@@ -286,17 +286,15 @@ def compute_mis(
         maximal independent set and ``all_removed`` is true; tests
         validate both via :func:`repro.graphs.is_maximal_independent_set`.
     """
-    if engine == "windowed":
-        return run_schedule(
-            network,
-            mis_schedule(network, rng, config, n_estimate),
-            delivery=delivery,
-            chunk_steps=chunk_steps,
-            mem_budget=mem_budget,
-        )
-    if engine == "reference":
+    policy = legacy_policy(
+        policy, "compute_mis", engine=engine, delivery=delivery,
+        chunk_steps=chunk_steps, mem_budget=mem_budget,
+    )
+    if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return compute_mis_reference(network, rng, config, n_estimate)
-    raise ValueError(f"unknown MIS engine: {engine!r}")
+    return policy.run_schedule(
+        network, mis_schedule(network, rng, config, n_estimate)
+    )
 
 
 def compute_mis_reference(

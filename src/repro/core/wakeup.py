@@ -169,7 +169,9 @@ def mis_as_wakeup_strategy(
     n: int,
     k: int,
     rng: np.random.Generator,
-    engine: str = "windowed",
+    engine: str | None = None,
+    *,
+    policy: "ExecutionPolicy | None" = None,
 ) -> WakeupResult:
     """The paper's reduction, executed: run Radio MIS on a k-clique
     while telling it the network size is ``n``.
@@ -188,22 +190,23 @@ def mis_as_wakeup_strategy(
     remainder of its final coin chunk, so the *post-call rng state*
     differs from the reference's — pass each engine its own seeded
     generator (rather than one shared across calls) when comparing
-    multi-trial sequences across engines.
+    multi-trial sequences across engines. The deprecated per-call
+    ``engine`` kwarg folds into a policy through the usual shim.
     """
+    from ..engine.policy import legacy_policy
+
     if not 1 <= k <= n:
         raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
-    if engine == "reference":
+    policy = legacy_policy(policy, "mis_as_wakeup_strategy", engine=engine)
+    if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return mis_as_wakeup_strategy_reference(n, k, rng)
-    if engine != "windowed":
-        raise ValueError(f"unknown wake-up engine: {engine!r}")
 
     import networkx as nx
 
-    from ..engine.runner import run_schedule
     from ..radio.network import RadioNetwork
 
     net = RadioNetwork(nx.complete_graph(k))
-    return run_schedule(net, _wakeup_mis_schedule(n, k, rng))
+    return policy.run_schedule(net, _wakeup_mis_schedule(n, k, rng))
 
 
 def mis_as_wakeup_strategy_reference(

@@ -48,6 +48,13 @@ windows").
 """
 
 from .mux import multiplex
+from .policy import (
+    ENGINE_MODES,
+    ExecutionPolicy,
+    TRACE_MODES,
+    legacy_policy,
+    parse_mem_budget,
+)
 from .runner import (
     DELIVERY_MODES,
     ProtocolSegmentSource,
@@ -82,7 +89,10 @@ from .validate import ObliviousnessViolationError, ValidatingRunner
 __all__ = [
     "COIN_BUDGET",
     "DELIVERY_MODES",
+    "ENGINE_MODES",
     "DecisionStep",
+    "ExecutionPolicy",
+    "TRACE_MODES",
     "ObliviousnessViolationError",
     "ObliviousWindow",
     "ProtocolSchedule",
@@ -99,8 +109,10 @@ __all__ = [
     "WindowedRunner",
     "chunk_steps_for_budget",
     "coin_chunk",
+    "legacy_policy",
     "memory_budget",
     "multiplex",
+    "parse_mem_budget",
     "protocol_schedule",
     "resolve_chunk_steps",
     "run_schedule",

@@ -110,7 +110,7 @@ class WindowedRunner:
         mem_budget: int | None = None,
     ) -> None:
         if delivery not in DELIVERY_MODES:
-            raise ValueError(
+            raise ProtocolError(
                 f"unknown delivery mode: {delivery!r} "
                 f"(expected one of {DELIVERY_MODES})"
             )

@@ -64,9 +64,13 @@ from .segments import (
 #: (comparison masks, the routing popcounts). Measured peaks on the
 #: auto-routed dense regime sit near 44 bytes/cell; 64 keeps the
 #: memory-ceiling regression's margin wide across numpy versions.
-#: Extremely dense graphs can still exceed the model through the sparse
-#: product's COO output, which scales with the transmitters' degree sum
-#: rather than with ``k * n`` (force ``delivery="dense"`` there).
+#: The sparse product's COO output scales with the transmitters'
+#: degree sum rather than with ``k * n``; under ``delivery="auto"``
+#: the router pre-empts that blow-up per chunk (popcount-sparse rows
+#: whose estimated COO bytes outweigh the packed dense cells route
+#: dense — see :meth:`repro.radio.network.RadioNetwork
+#: .dense_window_rows`), so only a forced ``delivery="sparse"`` can
+#: still exceed the model on very dense graphs.
 STREAM_CELL_BYTES = 64
 
 #: Process-wide default memory budget in bytes (None = no budget).
@@ -82,7 +86,9 @@ def chunk_steps_for_budget(n: int, mem_budget: int) -> int:
     floored at one row (a window can never stream finer than one step).
     """
     if mem_budget < 1:
-        raise ValueError(f"mem_budget must be >= 1 byte, got {mem_budget}")
+        raise ProtocolError(
+            f"mem_budget must be >= 1 byte, got {mem_budget}"
+        )
     return max(1, mem_budget // (STREAM_CELL_BYTES * max(1, n)))
 
 
@@ -98,7 +104,9 @@ def set_memory_budget(mem_budget: int | None) -> None:
     """
     global _default_memory_budget
     if mem_budget is not None and mem_budget < 1:
-        raise ValueError(f"mem_budget must be >= 1 byte, got {mem_budget}")
+        raise ProtocolError(
+            f"mem_budget must be >= 1 byte, got {mem_budget}"
+        )
     _default_memory_budget = mem_budget
 
 
@@ -123,7 +131,9 @@ def resolve_chunk_steps(
     """
     if chunk_steps is not None:
         if chunk_steps < 1:
-            raise ValueError(f"chunk_steps must be >= 1, got {chunk_steps}")
+            raise ProtocolError(
+                f"chunk_steps must be >= 1, got {chunk_steps}"
+            )
         return chunk_steps
     if mem_budget is not None:
         return chunk_steps_for_budget(n, mem_budget)

@@ -19,12 +19,18 @@ class InvalidActionError(RadioError):
     """
 
 
-class ProtocolError(RadioError):
-    """A protocol implementation violated the :class:`Protocol` contract.
+class ProtocolError(RadioError, ValueError):
+    """A protocol implementation violated the :class:`Protocol` contract,
+    or a caller configured one with values outside the contract.
 
     Raised, for instance, when a protocol reports completion but its
-    :meth:`~repro.radio.protocol.Protocol.result` raises, or when
-    ``step`` is called after the protocol already finished.
+    :meth:`~repro.radio.protocol.Protocol.result` raises, when ``step``
+    is called after the protocol already finished — and, uniformly
+    across the API/CLI/harness surfaces, when an unknown ``engine=`` or
+    ``delivery=`` string or a malformed ``chunk_steps``/``mem_budget``
+    value is refused (the refusal names the accepted values). Also a
+    :class:`ValueError`, so callers that predate the unified refusals
+    keep catching what they caught.
     """
 
 

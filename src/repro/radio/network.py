@@ -58,7 +58,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graphs.context import graph_context
-from .errors import GraphContractError, InvalidActionError
+from .errors import GraphContractError, InvalidActionError, ProtocolError
 from .trace import StepTrace
 
 #: Sentinel in ``hear_from`` arrays meaning "heard nothing this step".
@@ -80,6 +80,31 @@ DELIVERY_MODES = ("auto", "sparse", "dense")
 #: are exact small-integer sums, so the threshold is a performance
 #: knob, never a semantics knob.
 DENSE_ROW_DENSITY = 0.05
+
+#: Estimated bytes per COO output entry of the sparse window product
+#: (complex128 value plus the coordinate arrays scipy materializes).
+#: Used by the auto router's pre-emptive output-size estimate.
+SPARSE_COO_ENTRY_BYTES = 32
+
+#: Bytes per dense (listener, step) cell of the packed dense kernel at
+#: peak (float64 right-hand side, output, and unpacked counts).
+DENSE_WINDOW_CELL_BYTES = 24
+
+#: The auto router pre-empts the sparse product only when its
+#: estimated COO output would outweigh the packed dense cells by this
+#: factor. Memory parity alone (factor 1) is the wrong flip point:
+#: the sparse product's *time* scales with the transmitters' degree
+#: sum while the dense kernel's scales with the full adjacency, so in
+#: the band just past parity sparse is still several times faster at
+#: comparable memory. At 8x the projected COO output is a genuine
+#: blow-up — the regime the streaming cost model cannot absorb (p ~
+#: 0.5 G(n, p): few transmitters, ~n/2 neighbors each) — and the
+#: measured time gap has closed (calibrated against the
+#: ``bench_p3_engine`` dense-block floor on mid-density graphs and
+#: the ``tests/test_dense_routing.py`` budget regression on dense
+#: ones). Routing is exact either way; this trades only speed for
+#: bounded memory.
+SPARSE_PREEMPT_FACTOR = 8.0
 
 #: Windows at most this wide skip the scipy sparse product and execute
 #: on the index-gather kernel (:meth:`RadioNetwork._deliver_window_gather`):
@@ -178,10 +203,11 @@ class RadioNetwork:
         self._rhs2 = np.empty((self.n, 2), dtype=np.float64)
         self._adj_complex: sp.csr_array | None = None
         self.degrees = self._context.degrees.copy()
-        # Largest packed sum the dense window path can produce; packing
-        # is exact only while it stays below 2^53 (see
-        # _deliver_window_dense).
+        # Degree extremes, cached for the auto router's output-size
+        # bounds (dense_window_rows) and the dense packing check.
         max_degree = int(self.degrees.max()) if self.n else 0
+        self._max_degree = max_degree
+        self._min_degree = int(self.degrees.min()) if self.n else 0
         self._dense_pack_ok = (
             max_degree * (1.0 + self.n * (self.n + 1.0)) < 2.0**53
         )
@@ -322,14 +348,69 @@ class RadioNetwork:
     def dense_window_rows(self, masks: np.ndarray) -> np.ndarray:
         """Rows of a window the ``auto`` router sends to the dense path.
 
-        A boolean vector over window rows: ``True`` where the row's
-        transmit popcount density reaches :data:`DENSE_ROW_DENSITY`.
-        Pure arithmetic on popcounts — no graph traversal — so routing
-        costs O(w n) bit-counting on top of the product it routes.
-        Exposed for introspection (benchmarks, the contract suite).
+        A boolean vector over window rows, combining two criteria:
+
+        * **popcount density** — rows whose transmit popcount density
+          reaches :data:`DENSE_ROW_DENSITY` (most (listener, step)
+          pairs hear energy, so the sparse output stops being sparse);
+        * **output-size pre-emption** — when the remaining
+          popcount-sparse rows' transmitters have a degree sum whose
+          estimated COO output (:data:`SPARSE_COO_ENTRY_BYTES` per
+          entry — the sparse product's output scales with the
+          transmitters' degree sum, not with ``w * n``) would outweigh
+          the dense kernel's :data:`DENSE_WINDOW_CELL_BYTES` packed
+          cells by :data:`SPARSE_PREEMPT_FACTOR`, the whole chunk
+          routes dense. This is what keeps a streamed chunk inside
+          the :data:`~repro.engine.streaming.STREAM_CELL_BYTES` cost
+          model on very dense graphs (few transmitters, huge degrees
+          — the regime where popcount alone under-routes and the COO
+          output would blow a ``mem_budget``); the factor keeps
+          mid-density graphs, where sparse is still faster at
+          comparable memory, on the sparse path.
+
+        Pure arithmetic on popcounts and cached degrees — no graph
+        traversal — so routing costs O(w n) on top of the product it
+        routes. Both paths are exact small-integer sums, so routing is
+        a performance/memory knob, never a semantics knob (the
+        contract suite re-verifies every window). Exposed for
+        introspection (benchmarks, the contract suite, tests).
         """
-        masks = np.asarray(masks)
-        return self._dense_row_mask(np.count_nonzero(masks, axis=1))
+        masks = self._validate_window_masks(np.asarray(masks))
+        row_counts = np.count_nonzero(masks, axis=1)
+        dense = self._dense_row_mask(row_counts)
+        sparse = ~dense
+        n_sparse = int(sparse.sum())
+        if n_sparse:
+            # Output-size pre-emption, cheapest-first: the popcounts
+            # already in hand bracket the transmitters' degree sum
+            # between popcount * min_degree and popcount * max_degree,
+            # so the exact per-transmitter gather (a nonzero scan —
+            # milliseconds per big chunk) only runs in the ambiguous
+            # band between the two bounds. Sparse graphs short-circuit
+            # on the upper bound; very dense graphs flip on the lower
+            # bound; either way the hot path stays O(w n) bit-counting.
+            sparse_tx = int(row_counts[sparse].sum())
+            flip_entries = (
+                SPARSE_PREEMPT_FACTOR
+                * n_sparse
+                * self.n
+                * (DENSE_WINDOW_CELL_BYTES / SPARSE_COO_ENTRY_BYTES)
+            )
+            if sparse_tx * self._max_degree >= flip_entries:
+                if sparse_tx * self._min_degree >= flip_entries:
+                    degree_sum = float(flip_entries)  # certainly heavy
+                else:
+                    sub = (
+                        masks
+                        if n_sparse == masks.shape[0]
+                        else masks[sparse]
+                    )
+                    degree_sum = float(
+                        self.degrees[np.nonzero(sub)[1]].sum()
+                    )
+                if degree_sum >= flip_entries:
+                    dense = np.ones(masks.shape[0], dtype=bool)
+        return dense
 
     def _dense_row_mask(self, row_counts: np.ndarray) -> np.ndarray:
         """The dense-route predicate over per-row transmit popcounts —
@@ -518,7 +599,7 @@ class RadioNetwork:
 
     def _check_delivery_mode(self, mode: str) -> None:
         if mode not in DELIVERY_MODES:
-            raise ValueError(
+            raise ProtocolError(
                 f"unknown delivery mode: {mode!r} "
                 f"(expected one of {DELIVERY_MODES})"
             )
@@ -552,14 +633,16 @@ class RadioNetwork:
         # dense rows must never reach the sparse/gather kernels, whose
         # working set scales with the transmitters' degree sum (a
         # streamed chunk of p ~ 0.5 rows would blow the memory budget
-        # through the gather kernel's flat index arrays). One per-row
-        # popcount pass serves every routing decision; narrow all-
-        # sparse windows (the multiplexer's width-1/2 joint windows)
-        # then take the gather kernel directly, where constructor
-        # overhead dominates both matrix strategies.
-        dense_rows = self._dense_row_mask(
-            np.count_nonzero(masks, axis=1)
-        )
+        # through the gather kernel's flat index arrays) — plus the
+        # chunk-level output-size pre-emption of dense_window_rows:
+        # popcount-sparse rows whose transmitters' degree sum predicts
+        # a COO output heavier than the packed dense cells route dense
+        # wholesale, keeping very dense graphs inside the streaming
+        # cost model. Narrow all-sparse windows (the multiplexer's
+        # width-1/2 joint windows) then take the gather kernel
+        # directly, where constructor overhead dominates both matrix
+        # strategies.
+        dense_rows = self.dense_window_rows(masks)
         if not dense_rows.any():
             if masks.shape[0] <= GATHER_WINDOW_WIDTH:
                 return self._deliver_window_gather(masks, hear_from)

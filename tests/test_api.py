@@ -1,0 +1,676 @@
+"""The front-door contract: ``repro.api.run`` vs the legacy entry points.
+
+Three layers of pinning:
+
+1. **Bit-identity** — every registered protocol run through
+   :func:`repro.api.run` must reproduce its legacy entry point exactly
+   on a shared seed: results, radio-step counts, trace totals, and the
+   *final rng state* (the strongest stream-equality statement — one
+   extra coin anywhere diverges it).
+2. **Uniform refusals** — unknown ``engine``/``delivery`` strings and
+   malformed ``chunk_steps``/``mem_budget`` values raise
+   :class:`~repro.radio.errors.ProtocolError` naming the accepted
+   values, identically across the policy constructor, ``run``, the
+   CLI, and ``run_trials*``.
+3. **Deprecation shims** — the old per-call kwargs still work, produce
+   bit-identical runs, and warn exactly once per entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro import graphs
+from repro.analysis import run_report_trials, run_trials, summarize_reports
+from repro.api import (
+    BGIConfig,
+    BroadcastConfig,
+    DecayConfig,
+    EEDConfig,
+    ExecutionPolicy,
+    ICPConfig,
+    LeaderConfig,
+    PartitionConfig,
+    RunReport,
+    WakeupConfig,
+    parse_mem_budget,
+)
+from repro.baselines.bgi_broadcast import bgi_broadcast
+from repro.core import (
+    CompeteConfig,
+    MISConfig,
+    broadcast,
+    broadcast_packet_level,
+    build_icp_inputs,
+    compute_mis,
+    elect_leader,
+    elect_leader_packet,
+    estimate_effective_degree,
+    intra_cluster_propagation,
+    mis_as_wakeup_strategy,
+    partition,
+    run_decay,
+)
+from repro.engine import policy as policy_module
+from repro.graphs import greedy_independent_set
+from repro.radio import RadioNetwork
+from repro.radio.errors import ProtocolError
+
+
+def _udg(n: int = 80, seed: int = 5):
+    return graphs.random_udg(n, 4.0, np.random.default_rng(seed))
+
+
+def _rng_pair(seed: int = 17):
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+def _state(rng):
+    return rng.bit_generator.state
+
+
+def _trace_totals(network):
+    t = network.trace
+    return {
+        "steps": t.total_steps,
+        "transmissions": t.total_transmissions,
+        "receptions": t.total_receptions,
+    }
+
+
+# ---------------------------------------------------------------------------
+# 1. Bit-identity per protocol.
+# ---------------------------------------------------------------------------
+class TestFrontDoorEquivalence:
+    @pytest.mark.parametrize("engine", ["auto", "windowed", "reference"])
+    def test_mis(self, engine):
+        g = _udg()
+        rng_a, rng_b = _rng_pair()
+        config = MISConfig(eed_C=3, record_golden=False)
+        net = RadioNetwork(g)
+        legacy = compute_mis(net, rng_a, config, policy=ExecutionPolicy(engine=engine))
+        report = api.run(
+            "mis", g, rng=rng_b, config=config,
+            policy=ExecutionPolicy(engine=engine),
+        )
+        assert report.result.mis == legacy.mis
+        assert report.result.steps_used == legacy.steps_used
+        assert report.steps == net.steps_elapsed
+        assert report.trace == _trace_totals(net)
+        assert _state(rng_a) == _state(rng_b)
+        assert report.policy.engine == (
+            "windowed" if engine == "auto" else engine
+        )
+
+    def test_decay(self):
+        g = _udg()
+        n = g.number_of_nodes()
+        active = np.random.default_rng(2).random(n) < 0.5
+        rng_a, rng_b = _rng_pair(3)
+        net = RadioNetwork(g)
+        legacy = run_decay(net, active, rng_a, iterations=5)
+        report = api.run(
+            "decay", g, rng=rng_b, config=DecayConfig(
+                active=active, iterations=5
+            ),
+        )
+        assert (report.result.heard_from == legacy.heard_from).all()
+        assert report.steps == net.steps_elapsed
+        assert report.trace == _trace_totals(net)
+        assert _state(rng_a) == _state(rng_b)
+
+    @pytest.mark.parametrize("delivery", ["auto", "sparse", "dense"])
+    def test_eed(self, delivery):
+        g = _udg()
+        n = g.number_of_nodes()
+        p = np.full(n, 0.5)
+        active = np.ones(n, dtype=bool)
+        rng_a, rng_b = _rng_pair(4)
+        net = RadioNetwork(g)
+        legacy = estimate_effective_degree(
+            net, p, active, rng_a, C=3,
+            policy=ExecutionPolicy(delivery=delivery),
+        )
+        report = api.run(
+            "eed", g, rng=rng_b, config=EEDConfig(p=0.5, C=3),
+            policy=ExecutionPolicy(delivery=delivery),
+        )
+        assert (report.result.counts == legacy.counts).all()
+        assert report.trace == _trace_totals(net)
+        assert _state(rng_a) == _state(rng_b)
+
+    @pytest.mark.parametrize("engine", ["windowed", "fused", "reference"])
+    def test_icp(self, engine):
+        g = _udg(70, 6)
+        rng_a, rng_b = _rng_pair(5)
+        config = ICPConfig(beta=0.3, ell=3, sources={0: 7})
+        # The legacy sequence the CLI and P3 bench always ran:
+        clustering, schedule, knowledge = build_icp_inputs(
+            g, rng_a, beta=0.3, sources={0: 7}
+        )
+        net = RadioNetwork(g)
+        legacy = intra_cluster_propagation(
+            net, clustering, schedule, knowledge, 3, rng_a,
+            policy=ExecutionPolicy(engine=engine),
+        )
+        report = api.run(
+            "icp", g, rng=rng_b, config=config,
+            policy=ExecutionPolicy(engine=engine),
+        )
+        assert (report.result.knowledge == legacy.knowledge).all()
+        assert report.result.steps == legacy.steps
+        assert report.steps == net.steps_elapsed
+        assert report.trace == _trace_totals(net)
+        assert _state(rng_a) == _state(rng_b)
+
+    def test_bgi(self):
+        g = _udg(60, 7)
+        rng_a, rng_b = _rng_pair(6)
+        net = RadioNetwork(g)
+        legacy = bgi_broadcast(net, 0, rng_a)
+        report = api.run("bgi", g, rng=rng_b, config=BGIConfig(source=0))
+        assert report.result.steps == legacy.steps
+        assert report.result.sweeps == legacy.sweeps
+        assert report.trace == _trace_totals(net)
+        assert _state(rng_a) == _state(rng_b)
+
+    def test_wakeup(self):
+        rng_a, rng_b = _rng_pair(8)
+        legacy = mis_as_wakeup_strategy(512, 24, rng_a)
+        report = api.run(
+            "wakeup", None, rng=rng_b, config=WakeupConfig(n=512, k=24)
+        )
+        assert report.result == legacy
+        assert report.steps == legacy.steps
+        assert _state(rng_a) == _state(rng_b)
+
+    @pytest.mark.parametrize("baseline", [False, True])
+    def test_broadcast_accounted(self, baseline):
+        g = _udg(60, 9)
+        rng_a, rng_b = _rng_pair(9)
+        config = CompeteConfig(centers_mode="all" if baseline else "mis")
+        legacy = broadcast(g, 0, rng_a, config=config)
+        report = api.run(
+            "broadcast", g, rng=rng_b,
+            config=BroadcastConfig(source=0, baseline=baseline),
+        )
+        assert report.result.delivered == legacy.delivered
+        assert report.result.total_rounds == legacy.total_rounds
+        assert report.steps == 0  # round-accounted: no radio steps
+        assert _state(rng_a) == _state(rng_b)
+
+    def test_broadcast_packet(self):
+        g = _udg(50, 10)
+        rng_a, rng_b = _rng_pair(10)
+        legacy = broadcast_packet_level(g, 0, rng_a)
+        report = api.run(
+            "broadcast", g, rng=rng_b,
+            config=BroadcastConfig(source=0, packet=True),
+        )
+        assert report.result.delivered == legacy.delivered
+        assert report.result.steps == legacy.steps
+        assert report.result.stage_steps == legacy.stage_steps
+        assert report.steps == legacy.steps
+        assert _state(rng_a) == _state(rng_b)
+
+    @pytest.mark.parametrize("packet", [False, True])
+    def test_leader(self, packet):
+        g = _udg(60, 11)
+        rng_a, rng_b = _rng_pair(11)
+        if packet:
+            legacy = elect_leader_packet(RadioNetwork(g), rng_a)
+            report = api.run(
+                "leader", g, rng=rng_b, config=LeaderConfig(packet=True)
+            )
+            assert report.result.steps == legacy.steps
+        else:
+            legacy = elect_leader(g, rng_a)
+            report = api.run("leader", g, rng=rng_b)
+            assert report.result.total_rounds == legacy.total_rounds
+        assert report.result.elected == legacy.elected
+        assert report.result.leader == legacy.leader
+        assert report.result.candidates == legacy.candidates
+        assert _state(rng_a) == _state(rng_b)
+
+    @pytest.mark.parametrize("engine", ["windowed", "reference"])
+    def test_partition(self, engine):
+        g = _udg(70, 12)
+        rng_a, rng_b = _rng_pair(12)
+        mis = sorted(greedy_independent_set(g, rng_a, strategy="random"))
+        legacy = partition(g, 0.25, mis, rng_a)
+        report = api.run(
+            "partition", g, rng=rng_b, config=PartitionConfig(beta=0.25),
+            policy=ExecutionPolicy(engine=engine),
+        )
+        # The reference (Dijkstra) twin is pinned bit-identical to the
+        # frontier engine elsewhere; here both paths must match the
+        # legacy draw exactly.
+        assert (report.result.assignment == legacy.assignment).all()
+        assert (
+            report.result.distance_to_center == legacy.distance_to_center
+        ).all()
+        assert _state(rng_a) == _state(rng_b)
+
+    def test_prebuilt_network_accounts_delta(self):
+        # A reused network: the report must account only this run.
+        g = _udg(50, 13)
+        net = RadioNetwork(g)
+        api.run("decay", net, seed=1, config=DecayConfig(iterations=3))
+        before = net.steps_elapsed
+        report = api.run("decay", net, seed=2, config=DecayConfig(iterations=3))
+        assert report.steps == net.steps_elapsed - before
+        assert report.trace["steps"] == report.steps
+
+    def test_streaming_policy_bit_identical(self):
+        g = _udg(60, 14)
+        rng_a, rng_b = _rng_pair(15)
+        plain = api.run("mis", g, rng=rng_a,
+                        config=MISConfig(eed_C=3, record_golden=False))
+        streamed = api.run(
+            "mis", g, rng=rng_b,
+            config=MISConfig(eed_C=3, record_golden=False),
+            policy=ExecutionPolicy(mem_budget=1 << 18),
+        )
+        assert streamed.result.mis == plain.result.mis
+        assert streamed.steps == plain.steps
+        assert _state(rng_a) == _state(rng_b)
+        assert streamed.policy.chunk_steps is not None
+
+    def test_validating_policy(self):
+        g = _udg(40, 16)
+        report = api.run(
+            "decay", g, seed=3, config=DecayConfig(iterations=3),
+            policy=ExecutionPolicy(validate=True),
+        )
+        assert report.policy.validate
+        assert report.result.heard.shape == (g.number_of_nodes(),)
+
+
+# ---------------------------------------------------------------------------
+# 2. The RunReport record.
+# ---------------------------------------------------------------------------
+class TestRunReport:
+    def test_provenance_and_row(self):
+        g = _udg(40, 20)
+        report = api.run("eed", g, seed=123, config=EEDConfig(C=2))
+        assert isinstance(report, RunReport)
+        assert report.provenance["seed"] == 123
+        assert report.provenance["graph"]["n"] == 40
+        assert report.provenance["graph"]["family"] == "udg"
+        assert report.provenance["version"]
+        assert report.wall_time_s > 0
+        assert report.peak_mem_bytes is None  # opt-in measurement
+        row = report.row()
+        json.dumps(row)  # must be JSON-clean
+        assert row["protocol"] == "eed"
+        assert row["engine"] == "windowed"
+
+    def test_measure_memory(self):
+        g = _udg(40, 21)
+        report = api.run(
+            "eed", g, seed=1, config=EEDConfig(C=2), measure_memory=True
+        )
+        assert report.peak_mem_bytes is not None
+        assert report.peak_mem_bytes > 0
+
+    def test_rng_provenance_is_none_for_live_generator(self):
+        g = _udg(30, 22)
+        report = api.run("decay", g, rng=np.random.default_rng(0))
+        assert report.provenance["seed"] is None
+
+    def test_policy_echo_resolves_budget_default(self):
+        from repro.engine.streaming import set_memory_budget
+
+        g = _udg(30, 23)
+        set_memory_budget(1 << 20)
+        try:
+            report = api.run("decay", g, seed=0)
+        finally:
+            set_memory_budget(None)
+        assert report.policy.mem_budget == 1 << 20
+        assert report.policy.chunk_steps is not None
+
+
+# ---------------------------------------------------------------------------
+# 3. Registry discovery.
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_expected_protocols_registered(self):
+        names = set(api.protocol_names())
+        assert {
+            "mis", "decay", "eed", "icp", "bgi", "wakeup",
+            "broadcast", "leader", "partition",
+        } <= names
+
+    def test_specs_are_coherent(self):
+        for spec in api.list_protocols():
+            assert spec.default_engine in spec.engines
+            assert spec.accepts in ("network", "graph", "none")
+            if spec.cli is not None:
+                assert spec.cli.help
+
+    def test_unknown_protocol_refused_by_name(self):
+        with pytest.raises(ProtocolError, match="registered"):
+            api.get_protocol("does-not-exist")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(ProtocolError, match="already registered"):
+            api.register_protocol(
+                name="mis", title="dup", config_cls=None, result_cls=object,
+                engines=("windowed",), default_engine="windowed",
+                emitters=(), reference=None,
+            )(lambda *a: None)
+
+    def test_wrong_config_type_refused(self):
+        g = _udg(20, 24)
+        with pytest.raises(ProtocolError, match="MISConfig"):
+            api.run("mis", g, seed=0, config=DecayConfig())
+
+
+# ---------------------------------------------------------------------------
+# 4. Uniform refusals.
+# ---------------------------------------------------------------------------
+class TestUniformRefusals:
+    def test_policy_names_accepted_engines(self):
+        with pytest.raises(ProtocolError, match="windowed"):
+            ExecutionPolicy(engine="bogus")
+
+    def test_policy_names_accepted_deliveries(self):
+        with pytest.raises(ProtocolError, match="sparse"):
+            ExecutionPolicy(delivery="bogus")
+
+    @pytest.mark.parametrize("value", [0, -3])
+    def test_chunk_steps_bounds(self, value):
+        with pytest.raises(ProtocolError, match="chunk_steps"):
+            ExecutionPolicy(chunk_steps=value)
+
+    def test_mem_budget_bounds(self):
+        with pytest.raises(ProtocolError, match="mem_budget"):
+            ExecutionPolicy(mem_budget=0)
+
+    @pytest.mark.parametrize("text", ["", "12Q", "fast", "-5M"])
+    def test_parse_mem_budget_malformed(self, text):
+        with pytest.raises(ProtocolError):
+            parse_mem_budget(text)
+
+    def test_parse_mem_budget_suffixes(self):
+        assert parse_mem_budget("64M") == 64 << 20
+        assert parse_mem_budget("2g") == 2 << 30
+        assert parse_mem_budget("512") == 512
+
+    def test_protocol_refuses_engines_it_lacks(self):
+        g = _udg(20, 25)
+        with pytest.raises(ProtocolError, match="windowed"):
+            api.run(
+                "mis", g, seed=0, policy=ExecutionPolicy(engine="fused")
+            )
+        # Same refusal, legacy path:
+        with pytest.raises(ProtocolError, match="windowed"):
+            compute_mis(
+                RadioNetwork(g), np.random.default_rng(0),
+                policy=ExecutionPolicy(engine="fused"),
+            )
+
+    def test_numpy_integer_knobs_accepted(self):
+        # Slab heights and budgets computed with numpy arithmetic are
+        # natural here; the validators must not reject np integers.
+        p = ExecutionPolicy(
+            chunk_steps=np.int64(4), mem_budget=np.int64(1 << 20)
+        )
+        assert p.chunk_steps == 4 and p.mem_budget == 1 << 20
+        with pytest.raises(ProtocolError, match="chunk_steps"):
+            ExecutionPolicy(chunk_steps=np.int64(0))
+
+    def test_partition_refuses_inert_validate(self):
+        g = _udg(20, 28)
+        with pytest.raises(ProtocolError, match="validate"):
+            api.run(
+                "partition", g, seed=0,
+                policy=ExecutionPolicy(validate=True),
+            )
+
+    def test_validate_refuses_reference_engine(self):
+        # The reference paths build no runner, so the contract checker
+        # could not interpose — an inert validate refuses by name.
+        g = _udg(20, 27)
+        with pytest.raises(ProtocolError, match="validate"):
+            api.run(
+                "mis", g, seed=0,
+                policy=ExecutionPolicy(engine="reference", validate=True),
+            )
+        with pytest.raises(ProtocolError, match="validate"):
+            run_decay(
+                RadioNetwork(g), np.ones(20, dtype=bool),
+                np.random.default_rng(0),
+                policy=ExecutionPolicy(engine="reference", validate=True),
+            )
+
+    def test_run_needs_exactly_one_randomness_source(self):
+        g = _udg(20, 26)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            api.run("decay", g)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            api.run("decay", g, seed=1, rng=np.random.default_rng(1))
+
+    def test_run_trials_refuses_double_budget(self):
+        with pytest.raises(ProtocolError, match="policy"):
+            run_trials(
+                lambda rng: 0.0, 1, 0,
+                mem_budget=1 << 20, policy=ExecutionPolicy(),
+            )
+
+    def test_cli_refuses_malformed_mem_budget(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["mis", "--n", "10", "--mem-budget", "12Q"])
+        assert exc.value.code == 2
+        assert "suffix" in capsys.readouterr().err
+
+    def test_cli_refuses_unknown_engine(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["mis", "--n", "10", "--engine", "bogus"])
+        assert exc.value.code == 2
+        assert "windowed" in capsys.readouterr().err
+
+    def test_cli_fused_contradiction(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["icp", "--n", "20", "--fused", "--engine", "reference"]
+        )
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# 5. Deprecation shims.
+# ---------------------------------------------------------------------------
+class TestDeprecationShims:
+    def test_legacy_kwargs_equal_policy(self):
+        g = _udg(50, 30)
+        rng_a, rng_b = _rng_pair(31)
+        net_a, net_b = RadioNetwork(g), RadioNetwork(g)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = compute_mis(
+                net_a, rng_a, MISConfig(eed_C=3, record_golden=False),
+                engine="windowed", delivery="sparse",
+            )
+        new = compute_mis(
+            net_b, rng_b, MISConfig(eed_C=3, record_golden=False),
+            policy=ExecutionPolicy(engine="windowed", delivery="sparse"),
+        )
+        assert old.mis == new.mis
+        assert old.steps_used == new.steps_used
+        assert net_a.steps_elapsed == net_b.steps_elapsed
+        assert _trace_totals(net_a) == _trace_totals(net_b)
+        assert _state(rng_a) == _state(rng_b)
+
+    def test_warning_emitted_once_per_entry_point(self):
+        g = _udg(30, 32)
+        policy_module._warned_legacy.discard("run_decay")
+        active = np.ones(g.number_of_nodes(), dtype=bool)
+        with pytest.warns(DeprecationWarning, match="run_decay"):
+            run_decay(
+                RadioNetwork(g), active, np.random.default_rng(0),
+                iterations=1, chunk_steps=4,
+            )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            run_decay(
+                RadioNetwork(g), active, np.random.default_rng(0),
+                iterations=1, chunk_steps=4,
+            )
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_policy_plus_legacy_kwargs_refused(self):
+        g = _udg(20, 33)
+        with pytest.raises(ProtocolError, match="both"):
+            compute_mis(
+                RadioNetwork(g), np.random.default_rng(0),
+                engine="reference", policy=ExecutionPolicy(),
+            )
+
+    def test_packet_config_policy_and_engine_refused(self):
+        from repro.core import PacketCompeteConfig
+
+        with pytest.raises(ValueError, match="policy"):
+            PacketCompeteConfig(engine="fused", policy=ExecutionPolicy())
+
+    def test_packet_config_engine_rides_through_front_door(self):
+        # A caller-supplied packet_compete keeps its legacy engine=
+        # field working through run(): the engine moves onto the
+        # injected policy instead of refusing against it.
+        from repro.core import PacketCompeteConfig
+
+        g = _udg(40, 34)
+        rng_a, rng_b = _rng_pair(35)
+        legacy = broadcast_packet_level(
+            g, 0, rng_a, config=PacketCompeteConfig(engine="fused")
+        )
+        report = api.run(
+            "broadcast", g, rng=rng_b,
+            config=BroadcastConfig(
+                packet=True,
+                packet_compete=PacketCompeteConfig(engine="fused"),
+            ),
+        )
+        assert report.result.steps == legacy.steps
+        assert _state(rng_a) == _state(rng_b)
+        # The echo names the engine that actually ran, not the
+        # pre-override resolution.
+        assert report.policy.engine == "fused"
+        # A genuinely conflicting explicit policy engine still refuses.
+        with pytest.raises(ProtocolError, match="conflicts"):
+            api.run(
+                "broadcast", g, seed=0,
+                config=BroadcastConfig(
+                    packet=True,
+                    packet_compete=PacketCompeteConfig(engine="fused"),
+                ),
+                policy=ExecutionPolicy(engine="reference"),
+            )
+
+    def test_round_accounted_refuses_inert_knobs(self):
+        g = _udg(30, 36)
+        with pytest.raises(ProtocolError, match="packet=True"):
+            api.run(
+                "broadcast", g, seed=0,
+                policy=ExecutionPolicy(engine="reference"),
+            )
+        with pytest.raises(ProtocolError, match="packet=True"):
+            api.run(
+                "leader", g, seed=0,
+                policy=ExecutionPolicy(validate=True),
+            )
+        # The same knobs are honored in packet mode.
+        report = api.run(
+            "broadcast", g, seed=0,
+            config=BroadcastConfig(packet=True),
+            policy=ExecutionPolicy(engine="reference"),
+        )
+        assert report.policy.engine == "reference"
+
+    def test_bgi_source_bounds_refused(self):
+        g = _udg(30, 37)
+        with pytest.raises(ProtocolError, match="out of range"):
+            api.run("bgi", g, seed=0, config=BGIConfig(source=99))
+        with pytest.raises(ProtocolError, match="out of range"):
+            api.run("bgi", g, seed=0, config=BGIConfig(sources=[0, 99]))
+
+    def test_run_trials_refuses_non_budget_policy_fields(self):
+        # The trial runners drive opaque measure callables: the only
+        # policy field they can impose is the memory budget, so other
+        # fields refuse instead of being silently dropped.
+        with pytest.raises(ProtocolError, match="mem_budget"):
+            run_trials(
+                lambda rng: 0.0, 1, 0,
+                policy=ExecutionPolicy(chunk_steps=4),
+            )
+        with pytest.raises(ProtocolError, match="mem_budget"):
+            run_trials(
+                lambda rng: 0.0, 1, 0,
+                policy=ExecutionPolicy(engine="reference"),
+            )
+
+
+# ---------------------------------------------------------------------------
+# 6. Front-door trials.
+# ---------------------------------------------------------------------------
+class TestReportTrials:
+    def test_reports_are_seed_reproducible(self):
+        g = _udg(40, 40)
+        a = run_report_trials("decay", g, 3, seed=7)
+        b = run_report_trials("decay", g, 3, seed=7)
+        assert [r.steps for r in a] == [r.steps for r in b]
+        assert [
+            (x.result.heard_from == y.result.heard_from).all()
+            for x, y in zip(a, b)
+        ] == [True, True, True]
+        summary = summarize_reports(a)
+        assert summary["steps"].count == 3
+
+    def test_policy_travels_into_trials(self):
+        g = _udg(40, 41)
+        reports = run_report_trials(
+            "eed", g, 2, seed=8,
+            config=EEDConfig(C=2),
+            policy=ExecutionPolicy(mem_budget=1 << 18),
+        )
+        assert all(r.policy.chunk_steps is not None for r in reports)
+
+
+# ---------------------------------------------------------------------------
+# 7. Policy resolution order.
+# ---------------------------------------------------------------------------
+class TestPolicyResolution:
+    def test_explicit_chunk_beats_budget(self):
+        p = ExecutionPolicy(chunk_steps=7, mem_budget=1 << 30)
+        assert p.resolve(1000).chunk_steps == 7
+
+    def test_budget_derives_chunk(self):
+        p = ExecutionPolicy(mem_budget=64 << 20)
+        from repro.engine.streaming import chunk_steps_for_budget
+
+        assert p.resolve(100000).chunk_steps == chunk_steps_for_budget(
+            100000, 64 << 20
+        )
+
+    def test_resolution_is_idempotent(self):
+        p = ExecutionPolicy(mem_budget=1 << 20).resolve(500)
+        assert p.resolve(500) == p
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ExecutionPolicy().engine = "reference"  # type: ignore[misc]

@@ -20,6 +20,7 @@ EXPECTED = {
     "adhoc_leader_election.py",
     "mis_inspection.py",
     "lower_bound_reduction.py",
+    "api_tour.py",
 }
 
 

@@ -138,6 +138,44 @@ def test_inventory_is_complete():
         ), f"runner {test_name} missing"
 
 
+def test_inventory_matches_protocol_registry():
+    """The AST-pinned emitter inventory must equal the registry's claims.
+
+    Every emitter belongs either to exactly one registered
+    :class:`repro.api.registry.ProtocolSpec` (its ``emitters`` tuple)
+    or to the engine layer's generic adapter set — so a new emitter
+    whose protocol forgets ``@register_protocol`` (or forgets to claim
+    the emitter in its spec) fails here, keeping the registry a
+    complete catalog rather than a point-in-time list.
+    """
+    import repro.api  # noqa: F401  (imports register the specs)
+    from repro.api.registry import ADAPTER_EMITTERS, registered_emitters
+
+    found = find_schedule_emitters()
+    claimed = set(registered_emitters()) | set(ADAPTER_EMITTERS)
+    assert found == claimed, (
+        "registry out of sync with the emitter inventory: "
+        f"unclaimed={sorted(found - claimed)}, "
+        f"phantom={sorted(claimed - found)} — every emitter must be "
+        "claimed by a @register_protocol spec (or be an engine adapter)"
+    )
+    # And no emitter is claimed twice: specs own their emitters.
+    from repro.api import list_protocols
+
+    seen: dict[str, str] = {}
+    for spec in list_protocols():
+        for emitter in spec.emitters:
+            assert emitter not in seen, (
+                f"emitter {emitter!r} claimed by both {seen[emitter]!r} "
+                f"and {spec.name!r}"
+            )
+            assert emitter not in ADAPTER_EMITTERS, (
+                f"emitter {emitter!r} is an engine adapter; a protocol "
+                "spec cannot claim it"
+            )
+            seen[emitter] = spec.name
+
+
 # ---------------------------------------------------------------------------
 # Replay runs.
 # ---------------------------------------------------------------------------

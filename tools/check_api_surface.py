@@ -1,0 +1,182 @@
+"""Public-surface lint: the front door stays the front door.
+
+Two checks, both cheap enough for every CI run (wired next to the
+engine coverage floor):
+
+1. **Pinned ``repro.api.__all__``** — the public surface is an explicit
+   contract. Adding or removing a name must edit the pin here, in the
+   same commit, on purpose; silent drift fails.
+
+2. **No deep imports in user-facing material** — ``examples/`` scripts
+   and the fenced Python snippets in ``README.md`` / ``EXPERIMENTS.md``
+   must import only *public package surfaces* (``repro``, ``repro.api``,
+   ``repro.core``, ...), never deep modules (``repro.core.mis``,
+   ``repro.engine.runner``, ...) or private names. What we demo is what
+   we support; reaching around the front door in the demos un-teaches
+   the API this repo ships.
+
+Run directly::
+
+    PYTHONPATH=src python tools/check_api_surface.py
+
+Exit status is nonzero on any violation, with every offender listed.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+#: The pinned public surface of repro.api. Changing the API means
+#: changing this list in the same commit — that is the point.
+EXPECTED_API_ALL = [
+    "BGIConfig",
+    "BroadcastConfig",
+    "CLISpec",
+    "DecayConfig",
+    "EEDConfig",
+    "ENGINE_MODES",
+    "ExecutionPolicy",
+    "ICPConfig",
+    "LeaderConfig",
+    "PartitionConfig",
+    "ProtocolSpec",
+    "RunReport",
+    "TRACE_MODES",
+    "WakeupConfig",
+    "get_protocol",
+    "list_protocols",
+    "parse_mem_budget",
+    "protocol_names",
+    "register_protocol",
+    "run",
+]
+
+#: Package surfaces user-facing material may import from. One level
+#: below ``repro`` only — anything deeper is an internal module.
+ALLOWED_ROOTS = {
+    "repro",
+    "repro.analysis",
+    "repro.api",
+    "repro.baselines",
+    "repro.core",
+    "repro.engine",
+    "repro.graphs",
+    "repro.radio",
+}
+
+
+def check_api_all() -> list[str]:
+    """Pin ``repro.api.__all__`` without importing the package.
+
+    Parsed from source (AST), so the check needs no dependencies and
+    cannot be fooled by import-time mutation.
+    """
+    tree = ast.parse((SRC / "repro" / "api" / "__init__.py").read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in node.targets
+        ):
+            actual = [
+                elt.value
+                for elt in node.value.elts  # type: ignore[attr-defined]
+            ]
+            if actual != EXPECTED_API_ALL:
+                unexpected = sorted(set(actual) - set(EXPECTED_API_ALL))
+                missing = sorted(set(EXPECTED_API_ALL) - set(actual))
+                detail = (
+                    f"unexpected={unexpected}, missing={missing}"
+                    if unexpected or missing
+                    else "same names, different order"
+                )
+                return [
+                    "repro.api.__all__ drifted from the pin in "
+                    f"tools/check_api_surface.py ({detail})"
+                ]
+            return []
+    return ["repro/api/__init__.py has no literal __all__ to pin"]
+
+
+def _imported_modules(tree: ast.AST) -> list[tuple[str, str]]:
+    """``(module, what)`` pairs for every repro import in a tree."""
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "repro":
+                    found.append((alias.name, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and module.split(".")[0] == "repro":
+                for alias in node.names:
+                    found.append((module, alias.name))
+    return found
+
+
+def _check_source(label: str, source: str) -> list[str]:
+    """Deep-import and private-name violations in one source blob."""
+    problems = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # snippets with shell lines etc. — not Python, skip
+    for module, name in _imported_modules(tree):
+        if module not in ALLOWED_ROOTS:
+            problems.append(
+                f"{label}: imports deep module {module!r} "
+                f"(allowed surfaces: one level below 'repro')"
+            )
+        if name.startswith("_"):
+            problems.append(
+                f"{label}: imports private name {name!r} from {module!r}"
+            )
+    return problems
+
+
+def check_examples() -> list[str]:
+    """Every example script imports only public surfaces."""
+    problems = []
+    for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+        problems.extend(
+            _check_source(f"examples/{path.name}", path.read_text())
+        )
+    return problems
+
+
+def check_doc_snippets() -> list[str]:
+    """Fenced python blocks in README/EXPERIMENTS import only surfaces."""
+    problems = []
+    fence = re.compile(r"```python\n(.*?)```", re.DOTALL)
+    for doc in ("README.md", "EXPERIMENTS.md"):
+        text = (REPO_ROOT / doc).read_text()
+        for i, match in enumerate(fence.finditer(text)):
+            problems.extend(
+                _check_source(f"{doc} snippet #{i + 1}", match.group(1))
+            )
+    return problems
+
+
+def main() -> int:
+    """Run all surface checks; list every violation; nonzero on any."""
+    problems = check_api_all() + check_examples() + check_doc_snippets()
+    if problems:
+        print("public API surface violations:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        "api surface OK: __all__ pinned "
+        f"({len(EXPECTED_API_ALL)} names), examples and doc snippets "
+        "import public surfaces only"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

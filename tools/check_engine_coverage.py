@@ -45,6 +45,10 @@ TEST_FILES = [
     "tests/test_engine_streaming.py",
     "tests/test_schedule_contract.py",
     "tests/test_fuzz_differential.py",
+    # The API front door is the policy layer's (engine/policy.py)
+    # primary exerciser: equivalence, refusals, shims, resolution.
+    "tests/test_api.py",
+    "tests/test_dense_routing.py",
 ]
 
 _executed: dict[str, set[int]] = {}
