@@ -14,16 +14,19 @@ window delivery — persisted to ``BENCH_PR3.json``), and the
 ``(w, n)`` footprint — persisted to ``BENCH_PR4.json``), and the
 ``bench_p5_api`` pass (PR 5: the ``repro.api.run`` front door within
 2% of the direct entry points on the fused-ICP and streamed-EED hot
-paths, rows in RunReport form — persisted to ``BENCH_PR5.json``).
-Every bench record carries ``peak_mem_bytes`` alongside its wall
-times. The ``BENCH_*.json`` records are the perf trajectory future
-PRs compare themselves against.
+paths, rows in RunReport form — persisted to ``BENCH_PR5.json``), and
+the ``bench_p6_faults`` pass (PR 6: the fault-injection layer — a run
+with an empty ``FaultSchedule`` within 5% of one with none, plus
+degradation curves for the robustness protocol variants — persisted
+to ``BENCH_PR6.json``). Every bench record carries ``peak_mem_bytes``
+alongside its wall times. The ``BENCH_*.json`` records are the perf
+trajectory future PRs compare themselves against.
 
 Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
-        [--skip-p4] [--skip-p5] [--n 2000] [--p4-n 100000]
-        [--p5-n 100000]
+        [--skip-p4] [--skip-p5] [--skip-p6] [--n 2000]
+        [--p4-n 100000] [--p5-n 100000] [--p6-n 1200]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -109,6 +112,18 @@ def main(argv: list[str] | None = None) -> int:
         default=100000,
         help="scale of the PR 5 streamed-EED side (default 100000)",
     )
+    parser.add_argument(
+        "--skip-p6",
+        action="store_true",
+        help="skip the PR 6 fault-layer bench (BENCH_PR6.json untouched)",
+    )
+    parser.add_argument(
+        "--p6-n",
+        type=int,
+        default=1200,
+        help="scale of the PR 6 disabled-fault overhead gate "
+        "(default 1200)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -118,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p3_engine
     import bench_p4_streaming
     import bench_p5_api
+    import bench_p6_faults
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -203,6 +219,24 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"persisted to {bench_p5_api.RESULT_PATH}")
         ok = ok and p5["passes_floors"]
+
+    if not args.skip_p6:
+        p6 = bench_p6_faults.run_bench(n=args.p6_n)
+        if tier1 is not None:
+            p6["tier1"] = tier1
+        bench_p6_faults.write_results(p6)
+
+        over = p6["disabled_overhead"]
+        print(
+            f"fault layer: empty schedule "
+            f"{over['empty_over_plain']:.4f}x of none "
+            f"(ceiling {over['ceiling']}x); degradation rows: "
+            f"{len(p6['mis_restart_degradation'])} mis_restart, "
+            f"{len(p6['leader_uptime_degradation'])} leader_uptime, "
+            f"{len(p6['bgi_jam_degradation'])} bgi-jam"
+        )
+        print(f"persisted to {bench_p6_faults.RESULT_PATH}")
+        ok = ok and p6["passes_floors"]
 
     return 0 if ok else 1
 

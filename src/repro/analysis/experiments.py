@@ -36,20 +36,23 @@ import numpy as np
 
 from ..engine.policy import ExecutionPolicy
 from ..engine.streaming import memory_budget, set_memory_budget
+from ..faults import default_faults, set_default_faults, validate_faults
 from ..radio.errors import ProtocolError
 
 
 def _trial_budget(
     mem_budget: int | None, policy: ExecutionPolicy | None
-) -> int | None:
-    """The streaming budget a block of trials should impose.
+) -> tuple[int | None, Any]:
+    """The process-wide defaults a block of trials should impose.
 
     ``policy`` is the front-door form (its ``mem_budget`` field is the
-    cap); the legacy ``mem_budget`` kwarg keeps working. Passing both
-    refuses — two sources of truth. The trial runners drive opaque
-    ``measure`` callables, so the *only* policy field they can impose
-    process-wide is the memory budget — a policy carrying any other
-    non-default field refuses rather than silently dropping it (set
+    streaming cap, its ``faults`` the fault schedule); the legacy
+    ``mem_budget`` kwarg keeps working. Passing both refuses — two
+    sources of truth. The trial runners drive opaque ``measure``
+    callables, so the only policy fields they can impose process-wide
+    are the two with process-wide defaults — ``mem_budget`` and
+    ``faults`` — and a policy carrying any other non-default field
+    refuses rather than silently dropping it (set
     engine/delivery/chunk_steps on the protocol calls inside
     ``measure``, or use :func:`run_report_trials`, which threads the
     whole policy through :func:`repro.api.run`).
@@ -60,15 +63,18 @@ def _trial_budget(
                 "run_trials got both mem_budget= and policy=; put the "
                 "budget on the policy"
             )
-        if policy != ExecutionPolicy(mem_budget=policy.mem_budget):
+        if policy != ExecutionPolicy(
+            mem_budget=policy.mem_budget, faults=policy.faults
+        ):
             raise ProtocolError(
-                "run_trials applies only the policy's mem_budget "
-                "(measure callables are opaque); set other policy "
-                "fields on the protocol calls inside measure, or use "
-                "run_report_trials for full-policy front-door trials"
+                "run_trials applies only the policy's mem_budget and "
+                "faults (measure callables are opaque); set other "
+                "policy fields on the protocol calls inside measure, "
+                "or use run_report_trials for full-policy front-door "
+                "trials"
             )
-        return policy.mem_budget
-    return mem_budget
+        return policy.mem_budget, policy.faults
+    return mem_budget, None
 
 
 @contextlib.contextmanager
@@ -88,6 +94,25 @@ def _trial_memory_budget(mem_budget: int | None) -> Iterator[None]:
         yield
     finally:
         set_memory_budget(previous)
+
+
+@contextlib.contextmanager
+def _trial_fault_default(faults: Any) -> Iterator[None]:
+    """Impose the process-wide default fault schedule for a block of
+    trials (the mechanism policy resolution consults), mirroring
+    :func:`_trial_memory_budget`. ``None`` leaves the current default
+    untouched; otherwise the previous default is restored on exit.
+    """
+    if faults is None:
+        yield
+        return
+    validate_faults(faults)
+    previous = default_faults()
+    set_default_faults(faults)
+    try:
+        yield
+    finally:
+        set_default_faults(previous)
 
 
 def measure_peak(fn: Callable[[], Any]) -> tuple[Any, int]:
@@ -168,13 +193,20 @@ def run_trials(
     ``mem_budget`` kwarg is the same knob (both at once refuses). A
     memory knob only — streamed execution is bit-identical, so trial
     values do not depend on it.
+
+    A policy ``faults`` schedule is imposed the same way, as the
+    process-wide default (:func:`repro.faults.set_default_faults`)
+    around the trials — the one *semantics* knob: every
+    policy-accepting protocol a trial runs then injects that schedule,
+    and protocols that cannot realize it refuse, exactly as under
+    :func:`repro.api.run`.
     """
-    mem_budget = _trial_budget(mem_budget, policy)
+    mem_budget, faults = _trial_budget(mem_budget, policy)
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     seq = np.random.SeedSequence(seed)
     children = seq.spawn(n_trials)
-    with _trial_memory_budget(mem_budget):
+    with _trial_memory_budget(mem_budget), _trial_fault_default(faults):
         values = [
             measure(np.random.default_rng(child)) for child in children
         ]
@@ -186,11 +218,12 @@ def _run_one_trial(
         Callable[[np.random.Generator], float],
         np.random.SeedSequence,
         int | None,
+        Any,
     ]
 ) -> float:
     """Process-pool worker: run one seeded trial (module-level for pickling)."""
-    measure, child, mem_budget = payload
-    with _trial_memory_budget(mem_budget):
+    measure, child, mem_budget, faults = payload
+    with _trial_memory_budget(mem_budget), _trial_fault_default(faults):
         return measure(np.random.default_rng(child))
 
 
@@ -223,14 +256,16 @@ def run_trials_parallel(
         short-circuits to the serial runner.
     mem_budget, policy:
         As in :func:`run_trials` (the policy's ``mem_budget`` is the
-        cap; both at once refuses); the budget travels inside each
-        worker's payload, so pool workers impose the same streaming cap
-        as the serial path (budgets don't survive process boundaries as
-        globals). The cap is per trial, and trials within one worker
-        run sequentially, so total worker memory stays near the cap
-        plus the trial's graph fixtures.
+        cap; both at once refuses); the budget — and the policy's
+        fault schedule — travel inside each worker's payload, so pool
+        workers impose the same process-wide defaults as the serial
+        path (neither survives process boundaries as a global). The
+        cap is per trial, and trials within one worker run
+        sequentially, so total worker memory stays near the cap plus
+        the trial's graph fixtures.
     """
-    mem_budget = _trial_budget(mem_budget, policy)
+    mem_budget, faults = _trial_budget(mem_budget, policy)
+    serial_policy = ExecutionPolicy(mem_budget=mem_budget, faults=faults)
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     if processes is not None and processes < 1:
@@ -241,7 +276,7 @@ def run_trials_parallel(
         else min(os.cpu_count() or 1, n_trials)
     )
     if workers == 1 or n_trials == 1:
-        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
+        return run_trials(measure, n_trials, seed, policy=serial_policy)
 
     # Probe picklability up front so closures/lambdas take the serial
     # path immediately — the pool itself is then only guarded against
@@ -250,10 +285,10 @@ def run_trials_parallel(
     try:
         pickle.dumps(measure)
     except Exception:
-        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
+        return run_trials(measure, n_trials, seed, policy=serial_policy)
 
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    payloads = [(measure, child, mem_budget) for child in children]
+    payloads = [(measure, child, mem_budget, faults) for child in children]
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
@@ -272,7 +307,7 @@ def run_trials_parallel(
         # Sandboxed environments that cannot spawn worker processes:
         # degrade gracefully to the serial path (same seeding, same
         # results, just slower).
-        return run_trials(measure, n_trials, seed, mem_budget=mem_budget)
+        return run_trials(measure, n_trials, seed, policy=serial_policy)
     return TrialStats.from_values(values)
 
 
@@ -320,17 +355,19 @@ def success_rate(outcomes: Iterable[bool]) -> float:
 
 
 def _run_one_report(
-    payload: tuple[Any, Any, np.random.SeedSequence, Any, Any, int | None]
+    payload: tuple[
+        Any, Any, np.random.SeedSequence, Any, Any, int | None, Any
+    ]
 ) -> Any:
     """Process-pool worker: one seeded front-door run (module-level for
-    pickling). The parent's process-wide streaming budget travels in
-    the payload — globals do not survive spawn-style process
-    boundaries, and policy resolution must see the same default inside
-    a worker as in the serial path."""
-    protocol, target, child, config, policy, default_budget = payload
+    pickling). The parent's process-wide streaming budget and default
+    fault schedule travel in the payload — globals do not survive
+    spawn-style process boundaries, and policy resolution must see the
+    same defaults inside a worker as in the serial path."""
+    protocol, target, child, config, policy, budget, fault_default = payload
     from ..api import run
 
-    with _trial_memory_budget(default_budget):
+    with _trial_memory_budget(budget), _trial_fault_default(fault_default):
         return run(
             protocol,
             target,
@@ -370,8 +407,10 @@ def run_report_trials(
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     children = np.random.SeedSequence(seed).spawn(n_trials)
     default_budget = memory_budget()
+    fault_default = default_faults()
     payloads = [
-        (protocol, target, child, config, policy, default_budget)
+        (protocol, target, child, config, policy, default_budget,
+         fault_default)
         for child in children
     ]
     workers = (

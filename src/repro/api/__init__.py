@@ -5,8 +5,10 @@ Three pieces, one surface:
 * :class:`ExecutionPolicy` — every engine knob (engine variant, window
   delivery strategy, streaming slab/budget, contract validation, trace
   grade) as one frozen value, resolved against the process-wide
-  memory-budget default. Performance and diagnostics knobs only —
-  seeded results are bit-identical under every policy.
+  defaults. Performance and diagnostics knobs only — seeded results
+  are bit-identical under every policy — except the one semantics
+  knob: ``faults``, a :class:`FaultSchedule` of crash/sleep/join/jam
+  events and per-node capabilities injected into every delivery.
 * the **protocol registry** — every runnable protocol declared as a
   :class:`ProtocolSpec` (name, config dataclass, schedule emitters,
   reference twin, result type, engine set) and discoverable through
@@ -39,12 +41,14 @@ through deprecation shims that construct a policy and delegate — same
 code path, bit-identical, one ``DeprecationWarning`` per entry point.
 """
 
+from ..core.mis_restart import RestartableMISConfig
 from ..engine.policy import (
     ENGINE_MODES,
     ExecutionPolicy,
     TRACE_MODES,
     parse_mem_budget,
 )
+from ..faults import FaultSchedule, Jam
 from . import protocols as _protocols  # noqa: F401  (registers the specs)
 from .protocols import (
     BGIConfig,
@@ -54,6 +58,7 @@ from .protocols import (
     ICPConfig,
     LeaderConfig,
     PartitionConfig,
+    UptimeLeaderConfig,
     WakeupConfig,
 )
 from .registry import (
@@ -75,12 +80,16 @@ __all__ = [
     "EEDConfig",
     "ENGINE_MODES",
     "ExecutionPolicy",
+    "FaultSchedule",
     "ICPConfig",
+    "Jam",
     "LeaderConfig",
     "PartitionConfig",
     "ProtocolSpec",
+    "RestartableMISConfig",
     "RunReport",
     "TRACE_MODES",
+    "UptimeLeaderConfig",
     "WakeupConfig",
     "get_protocol",
     "list_protocols",

@@ -57,7 +57,18 @@ from ..core.leader_election import (
     elect_leader,
     elect_leader_packet,
 )
+from ..baselines.leader_uptime import (
+    UptimeElectionResult,
+    uptime_threshold_election,
+    uptime_threshold_election_reference,
+)
 from ..core.mis import MISConfig, MISResult, compute_mis, compute_mis_reference
+from ..core.mis_restart import (
+    RestartableMISConfig,
+    RestartableMISResult,
+    compute_restartable_mis,
+    restartable_mis_reference,
+)
 from ..core.mpx import partition, partition_reference
 from ..core.wakeup import (
     WakeupResult,
@@ -173,6 +184,22 @@ class BGIConfig:
 
 
 @dataclasses.dataclass(frozen=True)
+class UptimeLeaderConfig:
+    """Uptime-threshold leader election (robustness variant).
+
+    ``threshold`` is the minimum uptime fraction a node needs to stand
+    as a candidate; ``horizon`` is the step horizon the fraction is
+    measured over (defaults to the fault schedule's declared horizon,
+    else ``64 ceil(log2 n)``).
+    """
+
+    threshold: float = 0.5
+    horizon: int | None = None
+    id_bits: int | None = None
+    flood_sweeps: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
 class WakeupConfig:
     """The MIS-as-wake-up reduction: ``k`` active nodes in a clique,
     with the algorithm believing the network has ``n`` nodes."""
@@ -229,12 +256,29 @@ def _stage_policy(config: Any, policy: Any) -> PacketCompeteConfig:
     return dataclasses.replace(pc, engine="windowed", policy=policy)
 
 
+def _refuse_inert_faults(name: str, policy: Any, fix: str) -> None:
+    """Refuse a non-empty fault schedule a path cannot realize.
+
+    Faults are a semantics knob: silently running fault-free where the
+    caller asked for crashes/jamming would misreport robustness, so
+    paths that simulate no (or their own) radio steps refuse by name.
+    An *empty* schedule passes — it is bit-identical to none.
+    """
+    schedule = policy.fault_schedule()
+    if schedule is not None and not schedule.is_empty:
+        raise ProtocolError(
+            f"{name} cannot realize a FaultSchedule "
+            f"(digest {schedule.digest()}): {fix}"
+        )
+
+
 def _refuse_inert_accounted_knobs(name: str, policy: Any) -> None:
     """Round-accounted pipelines refuse knobs they cannot honor.
 
     The non-packet paths charge rounds analytically — no radio steps
-    execute, so an explicit engine variant or ``validate=True`` would
-    be silently inert; refusing names the fix (``packet=True``).
+    execute, so an explicit engine variant, ``validate=True``, or a
+    non-empty fault schedule would be silently inert; refusing names
+    the fix (``packet=True``).
     """
     if policy.engine not in ("auto", "windowed") or policy.validate:
         raise ProtocolError(
@@ -243,6 +287,13 @@ def _refuse_inert_accounted_knobs(name: str, policy: Any) -> None:
             f"cannot take effect; run the packet-level pipeline "
             f"instead (packet=True in the config, --packet on the CLI)"
         )
+    _refuse_inert_faults(
+        f"round-accounted {name}",
+        policy,
+        "no radio steps are simulated, so crashes/jamming cannot be "
+        "injected; run the packet-level pipeline instead (packet=True "
+        "in the config, --packet on the CLI)",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +338,54 @@ def _refuse_inert_accounted_knobs(name: str, policy: Any) -> None:
 def _execute_mis(network, rng, config, policy):
     """Registry hook for Radio MIS."""
     return compute_mis(network, rng, config, policy=policy), network
+
+
+@register_protocol(
+    name="mis_restart",
+    title="Restartable Radio MIS (robustness variant, epoch restarts)",
+    config_cls=RestartableMISConfig,
+    result_cls=RestartableMISResult,
+    engines=("windowed", "reference"),
+    default_engine="windowed",
+    emitters=("restartable_mis_schedule",),
+    reference=restartable_mis_reference,
+    accepts="network",
+    cli=CLISpec(
+        help="restartable Radio MIS (re-admits woken nodes per epoch)",
+        add_arguments=lambda p: (
+            p.add_argument(
+                "--epochs",
+                type=int,
+                default=3,
+                help="restart epochs (each re-admits awake undecided nodes)",
+            ),
+            p.add_argument(
+                "--eed-c", type=int, default=8, help="Algorithm 6's C"
+            ),
+        ),
+        config_from_args=lambda a: RestartableMISConfig(
+            epochs=a.epochs, eed_C=a.eed_c
+        ),
+        report_fields=lambda report, graph, config: {
+            "mis_size": report.result.size,
+            "epochs": report.result.epochs_used,
+            "rounds": report.result.rounds_used,
+            "readmitted": report.result.readmitted,
+            "radio_steps": report.result.steps_used,
+            "conflict_edges": report.result.conflict_edges,
+            "dominated_fraction": round(
+                report.result.dominated_fraction, 4
+            ),
+        },
+        exit_code=lambda report, fields: 0
+        if fields["conflict_edges"] == 0
+        else 1,
+    ),
+)
+def _execute_mis_restart(network, rng, config, policy):
+    """Registry hook for restartable Radio MIS."""
+    result = compute_restartable_mis(network, rng, config, policy=policy)
+    return result, network
 
 
 @register_protocol(
@@ -636,6 +735,7 @@ def _execute_broadcast(graph, rng, config, policy):
             )
         pc = _stage_policy(config, policy)
         network = RadioNetwork(graph, trace=policy.make_trace())
+        policy.bind(network)
         result = broadcast_packet(network, config.source, rng, config=pc)
         return result, network, pc.policy
     _refuse_inert_accounted_knobs("broadcast", policy)
@@ -695,6 +795,7 @@ def _execute_leader(graph, rng, config, policy):
     if config.packet:
         pc = _stage_policy(config, policy)
         network = RadioNetwork(graph, trace=policy.make_trace())
+        policy.bind(network)
         result = elect_leader_packet(
             network,
             rng,
@@ -712,6 +813,63 @@ def _execute_leader(graph, rng, config, policy):
         c_cand=config.c_cand,
     )
     return result, None
+
+
+@register_protocol(
+    name="leader_uptime",
+    title="Uptime-threshold leader election (robustness variant)",
+    config_cls=UptimeLeaderConfig,
+    result_cls=UptimeElectionResult,
+    engines=("windowed", "reference"),
+    default_engine="windowed",
+    emitters=(),
+    reference=uptime_threshold_election_reference,
+    accepts="network",
+    cli=CLISpec(
+        help="elect the highest-ID node whose uptime clears a threshold",
+        add_arguments=lambda p: (
+            p.add_argument(
+                "--threshold",
+                type=float,
+                default=0.5,
+                help="minimum uptime fraction to stand as candidate",
+            ),
+            p.add_argument(
+                "--horizon",
+                type=int,
+                default=None,
+                help="step horizon uptime is measured over",
+            ),
+        ),
+        config_from_args=lambda a: UptimeLeaderConfig(
+            threshold=a.threshold, horizon=a.horizon
+        ),
+        report_fields=lambda report, graph, config: {
+            "elected": report.result.elected,
+            "leader": report.result.leader,
+            "candidates": report.result.candidates,
+            "phases": report.result.phases,
+            "radio_steps": report.result.steps,
+        },
+        exit_code=lambda report, fields: 0
+        if report.result.elected
+        else 1,
+        relabel=True,
+    ),
+)
+def _execute_leader_uptime(network, rng, config, policy):
+    """Registry hook for uptime-threshold leader election."""
+    config = config or UptimeLeaderConfig()
+    result = uptime_threshold_election(
+        network,
+        rng,
+        threshold=config.threshold,
+        horizon=config.horizon,
+        id_bits=config.id_bits,
+        flood_sweeps=config.flood_sweeps,
+        policy=policy,
+    )
+    return result, network
 
 
 # ---------------------------------------------------------------------------
@@ -761,6 +919,12 @@ def _execute_partition(graph, rng, config, policy):
             "take effect; the contract checker applies to packet-level "
             "protocols"
         )
+    _refuse_inert_faults(
+        "partition",
+        policy,
+        "the clustering draw simulates no radio steps; inject faults "
+        "into a packet-level protocol instead",
+    )
     mis = sorted(greedy_independent_set(graph, rng, strategy="random"))
     engine = policy.engine_for(("windowed", "reference"), "windowed")
     if engine == "reference":
@@ -778,5 +942,6 @@ __all__ = [
     "ICPConfig",
     "LeaderConfig",
     "PartitionConfig",
+    "UptimeLeaderConfig",
     "WakeupConfig",
 ]

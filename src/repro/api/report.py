@@ -57,7 +57,11 @@ class RunReport:
         Reproduction facts: ``seed`` (the integer seed, or ``None``
         when the caller passed a live generator), ``graph`` (family /
         ``n`` / ``edges``, or ``None`` for protocols that build their
-        own topology), ``version`` (the package version).
+        own topology), ``faults`` (``None`` for fault-free runs —
+        including empty schedules — else the schedule's content
+        ``digest``, its configured event counts, and the realized
+        event counters the network recorded), ``version`` (the
+        package version).
     """
 
     protocol: str
@@ -89,6 +93,7 @@ class RunReport:
             "chunk_steps": self.policy.chunk_steps,
             "mem_budget": self.policy.mem_budget,
             "validate": self.policy.validate,
+            "faults": (self.provenance.get("faults") or {}).get("digest"),
             "seed": self.provenance.get("seed"),
             "graph": dict(graph) if graph else None,
             "version": self.provenance.get("version"),

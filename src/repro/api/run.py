@@ -200,6 +200,19 @@ def run(
         resolved = effective[0]
 
     network = network if network is not None else run_network
+    faults_prov = None
+    schedule = resolved.faults
+    if schedule is not None and not schedule.is_empty:
+        realized = (
+            dict(network._fault_state.realized)
+            if network is not None and network._fault_state is not None
+            else {}
+        )
+        faults_prov = {
+            "digest": schedule.digest(),
+            "events": schedule.event_counts(),
+            "realized": realized,
+        }
     if network is not None:
         steps = network.steps_elapsed - steps_before
         trace = {
@@ -228,6 +241,7 @@ def run(
         provenance={
             "seed": seed_used,
             "graph": _graph_facts(graph, network),
+            "faults": faults_prov,
             "version": getattr(repro, "__version__", "unknown"),
         },
     )

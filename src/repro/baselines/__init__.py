@@ -23,6 +23,11 @@ from .leader_binary_search import (
     binary_search_election,
     binary_search_election_reference,
 )
+from .leader_uptime import (
+    UptimeElectionResult,
+    uptime_threshold_election,
+    uptime_threshold_election_reference,
+)
 from .luby_local import LubyResult, luby_mis
 from .round_robin import RoundRobinResult, round_robin_broadcast
 
@@ -34,6 +39,7 @@ __all__ = [
     "CDBroadcastResult",
     "cd_broadcast",
     "LubyResult",
+    "UptimeElectionResult",
     "bgi_bound",
     "bgi_broadcast",
     "bgi_broadcast_reference",
@@ -49,4 +55,6 @@ __all__ = [
     "mis_paper_bound",
     "paper_bound",
     "spontaneous_lower_bound",
+    "uptime_threshold_election",
+    "uptime_threshold_election_reference",
 ]

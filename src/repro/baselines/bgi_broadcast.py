@@ -74,6 +74,7 @@ def bgi_schedule(
     rng: np.random.Generator,
     sources: list[int] | None = None,
     max_sweeps: int | None = None,
+    best_effort: bool = False,
 ) -> ProtocolSchedule:
     """Schedule emitter for BGI broadcast.
 
@@ -93,6 +94,8 @@ def bgi_schedule(
     sweeps = 0
     while not informed.all():
         if sweeps >= max_sweeps:
+            if best_effort:
+                break
             raise BudgetExceededError(
                 f"BGI broadcast did not complete within {max_sweeps} sweeps"
             )
@@ -121,6 +124,7 @@ def bgi_broadcast(
     max_sweeps: int | None = None,
     engine: str | None = None,
     *,
+    best_effort: bool = False,
     policy: ExecutionPolicy | None = None,
 ) -> BGIBroadcastResult:
     """Broadcast ``source``'s message with repeated Decay sweeps.
@@ -138,6 +142,10 @@ def bgi_broadcast(
         binary-search leader election baseline).
     max_sweeps:
         Safety budget in Decay sweeps; see :func:`_default_max_sweeps`.
+    best_effort:
+        Exhausting the sweep budget returns ``delivered=False`` instead
+        of raising — the mode fault-tolerant callers need, since a
+        crashed node makes all-informed completion unreachable.
     policy:
         Execution policy. ``engine="windowed"`` (the ``"auto"``
         default) executes one sparse product per sweep;
@@ -152,14 +160,17 @@ def bgi_broadcast(
         ``steps`` counts actual simulated radio steps.
     """
     policy = legacy_policy(policy, "bgi_broadcast", engine=engine)
+    policy.bind(network)
     if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return bgi_broadcast_reference(
-            network, source, rng, sources=sources, max_sweeps=max_sweeps
+            network, source, rng, sources=sources, max_sweeps=max_sweeps,
+            best_effort=best_effort,
         )
     return policy.run_schedule(
         network,
         bgi_schedule(
-            network, source, rng, sources=sources, max_sweeps=max_sweeps
+            network, source, rng, sources=sources, max_sweeps=max_sweeps,
+            best_effort=best_effort,
         ),
     )
 
@@ -170,6 +181,7 @@ def bgi_broadcast_reference(
     rng: np.random.Generator,
     sources: list[int] | None = None,
     max_sweeps: int | None = None,
+    best_effort: bool = False,
 ) -> BGIBroadcastResult:
     """Step-wise BGI broadcast: the executable specification.
 
@@ -188,6 +200,8 @@ def bgi_broadcast_reference(
     sweeps = 0
     while not informed.all():
         if sweeps >= max_sweeps:
+            if best_effort:
+                break
             raise BudgetExceededError(
                 f"BGI broadcast did not complete within {max_sweeps} sweeps"
             )

@@ -72,6 +72,7 @@ def binary_search_election(
     keeping the comparison conservative.
     """
     policy = legacy_policy(policy, "binary_search_election", engine=engine)
+    policy.bind(network)
     if not network.is_connected():
         raise GraphContractError("leader election requires connectivity")
     n = network.n

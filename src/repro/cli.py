@@ -22,6 +22,9 @@ values are named alongside the accepted ones).
     python -m repro eed --graph udg --n 200 --desire 0.5
     python -m repro decay --graph udg --n 200 --iterations 8
     python -m repro bgi --graph udg --n 150
+    python -m repro bgi --n 150 --jam 0.2           # adversarial jamming
+    python -m repro mis_restart --n 150 --churn 0.3 # MIS under churn
+    python -m repro leader_uptime --n 150 --crash-rate 0.1 --threshold 0.6
     python -m repro wakeup --believed-n 4096 --k 64
     python -m repro partition --graph udg --n 120 --beta 0.25
     python -m repro classes --n 150
@@ -36,11 +39,20 @@ flags are performance or memory knobs only: seeded results are
 bit-identical whatever the policy (``--validate`` re-checks exactly
 that at runtime, slowly). ``--mem-budget 256M`` is what makes
 ``n >= 10^5`` runs practical on a laptop.
+
+The fault-injection group (``--crash-rate``, ``--churn``, ``--jam``,
+``--hetero``, plus ``--fault-seed``/``--fault-horizon``) samples a
+seeded :class:`~repro.faults.FaultSchedule` over the built graph and
+folds it into the policy — the one flag group that *does* change
+semantics. Protocols that cannot realize faults (round-accounted
+pipelines, ``partition``) refuse them by name, exactly as the API
+does.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Any
@@ -188,6 +200,93 @@ def _add_policy_options(
     )
 
 
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """The shared fault-injection flag group (semantics knobs).
+
+    Rates sample a seeded :class:`~repro.faults.FaultSchedule` over
+    the built graph; all-zero rates mean no schedule at all
+    (bit-identical to today's runs).
+    """
+    group = parser.add_argument_group("fault injection")
+    group.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="fraction of nodes that crash at a random step",
+    )
+    group.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help=(
+            "sleep/wake churn rate: fraction of nodes with a sleep "
+            "interval, and of late joiners"
+        ),
+    )
+    group.add_argument(
+        "--jam",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="adversarial jamming rate: expected fraction of jammed steps",
+    )
+    group.add_argument(
+        "--hetero",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help=(
+            "heterogeneity rate: fraction of nodes with scaled "
+            "transmit probability and a finite energy budget"
+        ),
+    )
+    group.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the fault schedule draw (independent of --seed)",
+    )
+    group.add_argument(
+        "--fault-horizon",
+        type=int,
+        default=None,
+        metavar="H",
+        help=(
+            "declared step horizon of the schedule (jam placement and "
+            "uptime measurement; default 64 ceil(log2 n))"
+        ),
+    )
+
+
+def _faults_from_args(
+    args: argparse.Namespace, graph
+) -> "api.FaultSchedule | None":
+    """Sample the flag group's schedule over the built graph.
+
+    Needs the graph (``n`` fixes the node range), so it runs after
+    graph construction; returns None when every rate is zero.
+    """
+    if not any((args.crash_rate, args.churn, args.jam, args.hetero)):
+        return None
+    n = graph.number_of_nodes()
+    horizon = (
+        args.fault_horizon
+        if args.fault_horizon is not None
+        else 64 * max(1, int(np.ceil(np.log2(max(2, n)))))
+    )
+    return api.FaultSchedule.sample(
+        n,
+        horizon,
+        seed=args.fault_seed,
+        crash_rate=args.crash_rate,
+        churn=args.churn,
+        jam=args.jam,
+        hetero=args.hetero,
+    )
+
+
 def _emit(args: argparse.Namespace, report: dict[str, Any]) -> None:
     """Print a report dict as key/value lines or JSON."""
     if args.json:
@@ -229,6 +328,9 @@ def _run_protocol(spec: api.ProtocolSpec, args: argparse.Namespace) -> int:
             graph = _build_graph(args, rng)
             if spec.cli.relabel:
                 graph = nx.convert_node_labels_to_integers(graph)
+            faults = _faults_from_args(args, graph)
+            if faults is not None:
+                policy = dataclasses.replace(policy, faults=faults)
         report = api.run(
             spec, graph, rng=rng, config=config, policy=policy
         )
@@ -299,6 +401,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_common_options(sp)
         if spec.accepts != "none":
             _add_graph_options(sp)
+            _add_fault_options(sp)
         _add_policy_options(sp, spec)
         if spec.cli.add_arguments is not None:
             spec.cli.add_arguments(sp)

@@ -154,6 +154,7 @@ def compete_packet(
         Defaults to the memoized per-graph context.
     """
     config = config or PacketCompeteConfig()
+    config.stage_policy.bind(network)
     context = (
         context if context is not None else graph_context(network.graph)
     )

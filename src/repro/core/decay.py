@@ -258,6 +258,7 @@ def run_decay(
         policy, "run_decay",
         chunk_steps=chunk_steps, mem_budget=mem_budget,
     )
+    policy.bind(network)
     if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return run_decay_reference(
             network, active, rng,

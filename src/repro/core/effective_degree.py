@@ -230,6 +230,7 @@ def estimate_effective_degree(
         policy, "estimate_effective_degree", delivery=delivery,
         chunk_steps=chunk_steps, mem_budget=mem_budget,
     )
+    policy.bind(network)
     if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return estimate_effective_degree_reference(
             network, p, active, rng, C=C, n_estimate=n_estimate

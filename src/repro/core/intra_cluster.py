@@ -481,6 +481,7 @@ def intra_cluster_propagation(
         policy, "intra_cluster_propagation", engine=engine,
         delivery=delivery, chunk_steps=chunk_steps, mem_budget=mem_budget,
     )
+    policy.bind(network)
     engine = policy.engine_for(("windowed", "reference", "fused"), "windowed")
     knowledge = np.asarray(knowledge, dtype=np.int64).copy()
     main = ICPProtocol(network, schedule, knowledge, ell)

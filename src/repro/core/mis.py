@@ -290,6 +290,7 @@ def compute_mis(
         policy, "compute_mis", engine=engine, delivery=delivery,
         chunk_steps=chunk_steps, mem_budget=mem_budget,
     )
+    policy.bind(network)
     if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return compute_mis_reference(network, rng, config, n_estimate)
     return policy.run_schedule(

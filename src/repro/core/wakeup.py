@@ -198,6 +198,16 @@ def mis_as_wakeup_strategy(
     if not 1 <= k <= n:
         raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
     policy = legacy_policy(policy, "mis_as_wakeup_strategy", engine=engine)
+    schedule = policy.fault_schedule()
+    if schedule is not None and not schedule.is_empty:
+        from ..radio.errors import ProtocolError
+
+        raise ProtocolError(
+            "mis_as_wakeup_strategy builds its own internal k-clique, "
+            "so a FaultSchedule over the caller's topology cannot "
+            "apply; run the reduction fault-free (faults=None or an "
+            "empty FaultSchedule)"
+        )
     if policy.engine_for(("windowed", "reference"), "windowed") == "reference":
         return mis_as_wakeup_strategy_reference(n, k, rng)
 

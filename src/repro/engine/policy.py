@@ -35,6 +35,7 @@ from typing import Any
 
 import numpy as np
 
+from ..faults.schedule import FaultSchedule, default_faults, validate_faults
 from ..radio.errors import ProtocolError
 from ..radio.network import DELIVERY_MODES, RadioNetwork
 from .streaming import memory_budget, resolve_chunk_steps
@@ -196,10 +197,19 @@ class ExecutionPolicy:
         ``"default"`` (full :class:`~repro.radio.trace.StepTrace`) or
         ``"cheap"`` (totals only). Networks the caller built keep the
         trace they were built with.
+    faults:
+        A :class:`~repro.faults.FaultSchedule` to install on the
+        network the run executes over (``None`` = unset; :meth:`resolve`
+        folds in the process-wide default,
+        :func:`~repro.faults.set_default_faults`). The **one semantics
+        knob** on the policy, by design: faults change what the channel
+        commits — but deterministically, identically under every
+        engine, and an *empty* schedule is bit-identical to ``None``.
 
-    All knobs are performance/diagnostics knobs — seeded results are
-    bit-identical under every policy. Validation happens at
-    construction, so an ``ExecutionPolicy`` that exists is well-formed.
+    All other knobs are performance/diagnostics knobs — seeded results
+    are bit-identical under every policy with the same effective fault
+    schedule. Validation happens at construction, so an
+    ``ExecutionPolicy`` that exists is well-formed.
     """
 
     engine: str = "auto"
@@ -208,6 +218,7 @@ class ExecutionPolicy:
     mem_budget: int | None = None
     validate: bool = False
     trace: str = "default"
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -215,6 +226,7 @@ class ExecutionPolicy:
         validate_chunk_steps(self.chunk_steps)
         validate_mem_budget(self.mem_budget)
         validate_trace(self.trace)
+        validate_faults(self.faults)
 
     def engine_for(
         self, allowed: tuple[str, ...], default: str
@@ -255,7 +267,11 @@ class ExecutionPolicy:
           budget through the cost model (an explicit ``chunk_steps``
           always wins — the same precedence
           :func:`~repro.engine.streaming.resolve_chunk_steps` applies
-          everywhere).
+          everywhere);
+        * ``faults`` falls back to the process-wide default schedule
+          (:func:`~repro.faults.default_faults`) when unset — the
+          mechanism ``run_trials*`` uses to impose one fault
+          environment across a whole trial matrix.
 
         Resolution is idempotent: resolving a resolved policy is a
         no-op.
@@ -266,11 +282,36 @@ class ExecutionPolicy:
             budget = memory_budget()
         if chunk is None and n is not None:
             chunk = resolve_chunk_steps(n, None, budget)
-        if chunk == self.chunk_steps and budget == self.mem_budget:
+        faults = self.faults if self.faults is not None else default_faults()
+        if (
+            chunk == self.chunk_steps
+            and budget == self.mem_budget
+            and faults is self.faults
+        ):
             return self
         return dataclasses.replace(
-            self, chunk_steps=chunk, mem_budget=budget
+            self, chunk_steps=chunk, mem_budget=budget, faults=faults
         )
+
+    def fault_schedule(self):
+        """The effective fault schedule: this policy's, or the
+        process-wide default (:func:`~repro.faults.default_faults`)
+        when unset; ``None`` when neither exists."""
+        return self.faults if self.faults is not None else default_faults()
+
+    def bind(self, network: RadioNetwork | None) -> RadioNetwork | None:
+        """Install this policy's effective fault schedule on ``network``.
+
+        The one call every migrated protocol entry point makes before
+        executing: a no-op without a schedule (or without a network),
+        idempotent for an equal schedule, and a refusal if the network
+        already carries a different one. Returns ``network``.
+        """
+        if network is not None:
+            schedule = self.fault_schedule()
+            if schedule is not None:
+                network.install_faults(schedule)
+        return network
 
     def make_trace(self):
         """A fresh trace object of this policy's grade."""
@@ -291,6 +332,7 @@ class ExecutionPolicy:
         """
         from .runner import WindowedRunner
 
+        self.bind(network)
         if self.validate:
             from .validate import ValidatingRunner
 

@@ -75,6 +75,19 @@ class ValidatingRunner(WindowedRunner):
         self.shadow_step = RadioNetwork(network.graph, trace=CheapTrace())
         self.shadow_sparse = RadioNetwork(network.graph, trace=CheapTrace())
         self.shadow_dense = RadioNetwork(network.graph, trace=CheapTrace())
+        if network._fault_state is not None:
+            # Under an active fault schedule the shadows must realize
+            # the identical fault pattern: each gets a clone of the
+            # primary's current state (same energy ledger) and starts
+            # on the primary's global step clock, then advances in
+            # lockstep — every window the primary executes is replayed
+            # on every shadow.
+            for shadow in (
+                self.shadow_step, self.shadow_sparse, self.shadow_dense
+            ):
+                shadow.faults = network.faults
+                shadow._fault_state = network._fault_state.clone()
+                shadow.steps_elapsed = network.steps_elapsed
         self.windows_checked = 0
         self.steps_checked = 0
 
@@ -107,7 +120,20 @@ class ValidatingRunner(WindowedRunner):
             spmm = np.full(
                 masks.shape, -1, dtype=np.int64
             )  # NO_SENDER fill, kernels only write heard cells
-            self.shadow_sparse._deliver_window_spmm(masks, spmm)
+            if (
+                self.shadow_sparse._fault_state is not None
+                and masks.shape[0] > 0
+            ):
+                # The raw product bypasses the network-level fault
+                # transforms, so feed it the effective masks the sparse
+                # shadow just committed for this window and apply the
+                # hear transform by hand — checking the kernel under
+                # exactly the channel the faulted run saw.
+                effective, deaf = self.shadow_sparse._fault_window
+                self.shadow_sparse._deliver_window_spmm(effective, spmm)
+                spmm[deaf] = -1
+            else:
+                self.shadow_sparse._deliver_window_spmm(masks, spmm)
             alternates.append(("sparse product", spmm))
         for name, other in alternates:
             if primary.shape != other.shape:

@@ -1,0 +1,488 @@
+"""Declarative fault & churn schedules for the radio simulator.
+
+The paper's model is static and fault-free; this package makes the
+reproduction's *executions* face the failures every deployed radio/P2P
+network sees — without touching a single protocol emitter. A
+:class:`FaultSchedule` is a frozen, seeded description of what goes
+wrong and when, in **global radio steps** (the network's
+``steps_elapsed`` clock):
+
+* **crashes** — ``(node, step)``: the node is dead from ``step`` on
+  (neither transmits nor hears);
+* **sleeps** — ``(node, start, stop)``: the node is down for steps in
+  ``[start, stop)`` and wakes afterwards;
+* **late joins** — ``(node, step)``: the node is absent before
+  ``step``;
+* **jams** — :class:`Jam` windows ``[start, stop)`` over a node region
+  (or the whole network): listeners in the region hear nothing while
+  the jammer is up (transmissions still occupy the channel);
+* **capabilities** — per-node transmit-probability scaling
+  (``tx_prob``: each intended transmission goes out only with the
+  node's probability, decided by a stateless counter-based hash of
+  ``(seed, step, node)``) and depleting energy budgets (``energy``:
+  each realized transmission costs one unit; an exhausted node stays
+  silent but keeps hearing).
+
+Schedules are *data*: hashable, picklable, comparable, digestible for
+provenance. They are applied as deterministic transmit-mask and
+hear-mask transforms between plan and commit inside
+:class:`~repro.radio.network.RadioNetwork` (see
+:mod:`repro.faults.state`), keyed purely on the global step — so the
+monolithic, streamed, fused-mux, validating, *and* step-wise reference
+execution paths all realize exactly the same faults, and the engine
+equivalence suites keep holding under any schedule. An **empty**
+schedule is bit-identical to no schedule at all (the installation hook
+short-circuits before any transform code runs).
+
+Validation is uniform and loud: malformed specs — negative rates or
+steps, a crash at or before the same node's join, a jam window past
+the declared horizon, probabilities outside ``[0, 1]`` — raise
+:class:`~repro.radio.errors.ProtocolError` naming the accepted form,
+identically from the API, the CLI flag group, and ``run_trials*``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from ..radio.errors import ProtocolError
+
+#: Sentinel "never happens" step for crash bounds (far past any run).
+NEVER = 1 << 62
+
+
+def _as_int(value, what: str) -> int:
+    """Coerce an int-like (numpy included) or refuse by name."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ProtocolError(
+            f"{what} must be an integer, got {value!r}"
+        )
+    return int(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class Jam:
+    """One adversarial jamming window.
+
+    Listeners in ``nodes`` (``None`` = the whole network) hear nothing
+    during global steps ``[start, stop)`` — their ``hear_from`` entries
+    are forced to silence after delivery. Jamming is a *hear*-side
+    fault: jammed nodes may still transmit.
+    """
+
+    start: int
+    stop: int
+    nodes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        start = _as_int(self.start, "jam start")
+        stop = _as_int(self.stop, "jam stop")
+        if start < 0 or stop <= start:
+            raise ProtocolError(
+                f"jam windows are [start, stop) with 0 <= start < stop; "
+                f"got start={self.start}, stop={self.stop}"
+            )
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "stop", stop)
+        if self.nodes is not None:
+            nodes = tuple(
+                _as_int(v, "jam region node") for v in self.nodes
+            )
+            if any(v < 0 for v in nodes):
+                raise ProtocolError(
+                    f"jam region nodes must be >= 0, got {self.nodes!r}"
+                )
+            object.__setattr__(self, "nodes", nodes)
+
+
+def _rate(value, what: str) -> float:
+    """A probability/rate in [0, 1], refused by name otherwise."""
+    try:
+        rate = float(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"{what} must be a number in [0, 1], got {value!r}"
+        ) from None
+    if not 0.0 <= rate <= 1.0:
+        raise ProtocolError(
+            f"{what} must be in [0, 1], got {value!r}"
+        )
+    return rate
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, declarative fault & churn schedule (see module doc).
+
+    All step values are global radio steps
+    (:attr:`~repro.radio.network.RadioNetwork.steps_elapsed`).
+    ``seed`` drives only the transmit-probability hash — never the
+    protocol rng, so installing a schedule cannot perturb a protocol's
+    own coin stream. ``horizon`` is an optional declared run length:
+    jam windows must end at or before it (a jam past the horizon can
+    never fire and is a spec error, refused by name).
+
+    Frozen, hashable, picklable; equal schedules are interchangeable
+    (installation is idempotent for equal values). Build by hand, or
+    draw a randomized one from rate knobs with :meth:`sample` — the
+    form behind the CLI's ``--crash-rate``/``--churn``/``--jam``/
+    ``--hetero`` flags.
+    """
+
+    crashes: tuple[tuple[int, int], ...] = ()
+    sleeps: tuple[tuple[int, int, int], ...] = ()
+    joins: tuple[tuple[int, int], ...] = ()
+    jams: tuple[Jam, ...] = ()
+    tx_prob: tuple[tuple[int, float], ...] = ()
+    energy: tuple[tuple[int, int], ...] = ()
+    seed: int = 0
+    horizon: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", _as_int(self.seed, "fault seed"))
+        if self.horizon is not None:
+            horizon = _as_int(self.horizon, "fault horizon")
+            if horizon < 1:
+                raise ProtocolError(
+                    f"fault horizon must be >= 1 step, got {self.horizon}"
+                )
+            object.__setattr__(self, "horizon", horizon)
+
+        crashes = tuple(
+            (_as_int(n, "crash node"), _as_int(s, "crash step"))
+            for n, s in self.crashes
+        )
+        if any(n < 0 or s < 0 for n, s in crashes):
+            raise ProtocolError(
+                f"crash entries are (node, step) with node >= 0 and "
+                f"step >= 0; got {self.crashes!r}"
+            )
+        object.__setattr__(self, "crashes", crashes)
+
+        sleeps = tuple(
+            (
+                _as_int(n, "sleep node"),
+                _as_int(a, "sleep start"),
+                _as_int(b, "sleep stop"),
+            )
+            for n, a, b in self.sleeps
+        )
+        if any(n < 0 or a < 0 or b <= a for n, a, b in sleeps):
+            raise ProtocolError(
+                f"sleep entries are (node, start, stop) with node >= 0 "
+                f"and 0 <= start < stop; got {self.sleeps!r}"
+            )
+        object.__setattr__(self, "sleeps", sleeps)
+
+        joins = tuple(
+            (_as_int(n, "join node"), _as_int(s, "join step"))
+            for n, s in self.joins
+        )
+        if any(n < 0 or s < 0 for n, s in joins):
+            raise ProtocolError(
+                f"join entries are (node, step) with node >= 0 and "
+                f"step >= 0; got {self.joins!r}"
+            )
+        object.__setattr__(self, "joins", joins)
+
+        jams = tuple(
+            jam if isinstance(jam, Jam) else Jam(*jam) for jam in self.jams
+        )
+        if self.horizon is not None:
+            for jam in jams:
+                if jam.stop > self.horizon:
+                    raise ProtocolError(
+                        f"jam window [{jam.start}, {jam.stop}) extends "
+                        f"past the declared horizon {self.horizon}; "
+                        f"accepted jams end at or before the horizon"
+                    )
+        object.__setattr__(self, "jams", jams)
+
+        tx_prob = tuple(
+            (_as_int(n, "tx_prob node"), _rate(p, "tx_prob probability"))
+            for n, p in self.tx_prob
+        )
+        if any(n < 0 for n, _ in tx_prob):
+            raise ProtocolError(
+                f"tx_prob entries are (node, probability) with node >= 0; "
+                f"got {self.tx_prob!r}"
+            )
+        object.__setattr__(self, "tx_prob", tx_prob)
+
+        energy = tuple(
+            (_as_int(n, "energy node"), _as_int(b, "energy budget"))
+            for n, b in self.energy
+        )
+        if any(n < 0 or b < 0 for n, b in energy):
+            raise ProtocolError(
+                f"energy entries are (node, budget) with node >= 0 and "
+                f"budget >= 0 transmissions; got {self.energy!r}"
+            )
+        object.__setattr__(self, "energy", energy)
+
+        # Lifetime consistency: a node cannot crash at or before the
+        # step it joins — the overlap describes a node that was never
+        # up, which is a spec contradiction, not a fault.
+        join_of = {}
+        for node, step in joins:
+            join_of[node] = max(join_of.get(node, 0), step)
+        for node, step in crashes:
+            if node in join_of and step <= join_of[node]:
+                raise ProtocolError(
+                    f"node {node} crashes at step {step} but joins at "
+                    f"step {join_of[node]}; a node's crash must come "
+                    f"strictly after its join (give each node one "
+                    f"consistent lifetime)"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """No events and no capability overrides: bit-identical to no
+        schedule at all (the installation hook short-circuits)."""
+        return not (
+            self.crashes
+            or self.sleeps
+            or self.joins
+            or self.jams
+            or self.tx_prob
+            or self.energy
+        )
+
+    def max_node(self) -> int:
+        """Largest node index any entry names (-1 when empty)."""
+        best = -1
+        for node, *_ in (
+            self.crashes + self.sleeps + self.joins
+            + self.tx_prob + self.energy
+        ):
+            best = max(best, node)
+        for jam in self.jams:
+            if jam.nodes:
+                best = max(best, max(jam.nodes))
+        return best
+
+    def event_counts(self) -> dict[str, int]:
+        """Configured event counts, for provenance records."""
+        return {
+            "crashes": len(self.crashes),
+            "sleeps": len(self.sleeps),
+            "joins": len(self.joins),
+            "jams": len(self.jams),
+            "tx_prob": len(self.tx_prob),
+            "energy": len(self.energy),
+        }
+
+    def digest(self) -> str:
+        """Stable content hash of the schedule (provenance key).
+
+        Canonical-repr SHA-256, truncated: equal schedules share a
+        digest across processes and versions of this package (the repr
+        of a frozen dataclass of ints/floats/tuples is canonical).
+        """
+        payload = repr(
+            (
+                self.crashes,
+                self.sleeps,
+                self.joins,
+                tuple((j.start, j.stop, j.nodes) for j in self.jams),
+                self.tx_prob,
+                self.energy,
+                self.seed,
+                self.horizon,
+            )
+        ).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        n: int,
+        horizon: int,
+        *,
+        seed: int = 0,
+        crash_rate: float = 0.0,
+        churn: float = 0.0,
+        jam: float = 0.0,
+        hetero: float = 0.0,
+    ) -> "FaultSchedule":
+        """Draw a randomized schedule from rate knobs (the CLI's form).
+
+        Parameters
+        ----------
+        n, horizon:
+            Node count and the run length (global steps) the schedule
+            describes; both at least 1.
+        seed:
+            Seeds both the draw and the schedule's transmit-probability
+            hash — one integer reproduces the whole fault environment.
+        crash_rate:
+            Per-node probability of a permanent crash at a uniform step
+            in ``[1, horizon)``.
+        churn:
+            Per-node probability of one sleep/wake interval (uniform
+            start, length up to a quarter horizon); additionally each
+            node late-joins with probability ``churn / 2`` at a uniform
+            step in the first half of the horizon. Crashes drawn for a
+            late-joining node land strictly after its join.
+        jam:
+            Approximate fraction of the horizon under jamming:
+            windows of ``~horizon/16`` steps are placed uniformly until
+            the fraction is met, each hitting either the whole network
+            or a random quarter of the nodes.
+        hetero:
+            Per-node probability of a degraded transmit probability
+            (uniform in ``[0.3, 0.95)``); additionally each node gets a
+            finite energy budget with probability ``hetero / 2``.
+
+        All rates must lie in ``[0, 1]``;
+        :class:`~repro.radio.errors.ProtocolError` names the accepted
+        range otherwise — the same refusal the CLI and ``run_trials*``
+        surface.
+        """
+        n = _as_int(n, "fault sample n")
+        horizon = _as_int(horizon, "fault sample horizon")
+        if n < 1 or horizon < 1:
+            raise ProtocolError(
+                f"FaultSchedule.sample needs n >= 1 and horizon >= 1, "
+                f"got n={n}, horizon={horizon}"
+            )
+        crash_rate = _rate(crash_rate, "crash rate")
+        churn = _rate(churn, "churn rate")
+        jam = _rate(jam, "jam rate")
+        hetero = _rate(hetero, "hetero rate")
+        rng = np.random.default_rng(_as_int(seed, "fault seed"))
+
+        joins: list[tuple[int, int]] = []
+        join_of: dict[int, int] = {}
+        if churn > 0.0:
+            late = np.nonzero(rng.random(n) < churn / 2.0)[0]
+            for node in late:
+                step = int(rng.integers(1, max(2, horizon // 2 + 1)))
+                joins.append((int(node), step))
+                join_of[int(node)] = step
+
+        crashes: list[tuple[int, int]] = []
+        if crash_rate > 0.0:
+            doomed = np.nonzero(rng.random(n) < crash_rate)[0]
+            for node in doomed:
+                lo = join_of.get(int(node), 0) + 1
+                crashes.append(
+                    (int(node), int(rng.integers(lo, lo + max(1, horizon))))
+                )
+
+        sleeps: list[tuple[int, int, int]] = []
+        if churn > 0.0:
+            nappers = np.nonzero(rng.random(n) < churn)[0]
+            for node in nappers:
+                start = int(rng.integers(0, horizon))
+                length = 1 + int(rng.integers(0, max(1, horizon // 4)))
+                sleeps.append((int(node), start, start + length))
+
+        jams: list[Jam] = []
+        if jam > 0.0:
+            length = max(1, horizon // 16)
+            events = max(1, int(round(jam * horizon / length)))
+            region_size = max(1, n // 4)
+            for _ in range(events):
+                start = int(rng.integers(0, max(1, horizon - length + 1)))
+                if rng.random() < 0.5 or n == 1:
+                    nodes = None
+                else:
+                    nodes = tuple(
+                        sorted(
+                            int(v)
+                            for v in rng.choice(
+                                n, size=region_size, replace=False
+                            )
+                        )
+                    )
+                jams.append(
+                    Jam(start, min(start + length, horizon), nodes)
+                )
+
+        tx_prob: list[tuple[int, float]] = []
+        energy: list[tuple[int, int]] = []
+        if hetero > 0.0:
+            weak = np.nonzero(rng.random(n) < hetero)[0]
+            for node in weak:
+                tx_prob.append(
+                    (int(node), float(rng.uniform(0.3, 0.95)))
+                )
+            budgeted = np.nonzero(rng.random(n) < hetero / 2.0)[0]
+            for node in budgeted:
+                energy.append(
+                    (
+                        int(node),
+                        int(
+                            rng.integers(
+                                max(1, horizon // 8), max(2, horizon // 2)
+                            )
+                        ),
+                    )
+                )
+
+        return cls(
+            crashes=tuple(crashes),
+            sleeps=tuple(sleeps),
+            joins=tuple(joins),
+            jams=tuple(jams),
+            tx_prob=tuple(tx_prob),
+            energy=tuple(energy),
+            seed=int(seed),
+            horizon=horizon,
+        )
+
+
+def validate_faults(faults) -> "FaultSchedule | None":
+    """Policy-field validator: a :class:`FaultSchedule` or ``None``.
+
+    The one refusal every surface (API, CLI, ``run_trials*``) shares
+    for the ``faults=`` knob, naming the accepted forms.
+    """
+    if faults is None or isinstance(faults, FaultSchedule):
+        return faults
+    raise ProtocolError(
+        f"faults must be a FaultSchedule or None (build one with "
+        f"FaultSchedule(...) or FaultSchedule.sample(...)), got "
+        f"{faults!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default schedule (the run_trials* threading mechanism,
+# mirroring repro.engine.streaming's default memory budget).
+# ---------------------------------------------------------------------------
+
+_default_faults: FaultSchedule | None = None
+
+
+def set_default_faults(faults: FaultSchedule | None) -> None:
+    """Set the process-wide default fault schedule (``None`` clears).
+
+    Policies whose ``faults`` field is unset resolve it from this
+    default (see :meth:`repro.engine.policy.ExecutionPolicy.resolve`),
+    which is how :func:`repro.analysis.experiments.run_trials` imposes
+    one schedule across every policy-accepting protocol a trial runs —
+    including inside process-pool workers.
+    """
+    global _default_faults
+    _default_faults = validate_faults(faults)
+
+
+def default_faults() -> FaultSchedule | None:
+    """The process-wide default fault schedule (``None`` = unset)."""
+    return _default_faults
+
+
+__all__ = [
+    "FaultSchedule",
+    "Jam",
+    "default_faults",
+    "set_default_faults",
+    "validate_faults",
+]

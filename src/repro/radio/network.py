@@ -171,7 +171,13 @@ class RadioNetwork:
     indices throughout.
     """
 
-    def __init__(self, graph: nx.Graph, trace: StepTrace | None = None) -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        trace: StepTrace | None = None,
+        *,
+        faults=None,
+    ) -> None:
         if graph.number_of_nodes() == 0:
             raise GraphContractError("radio network requires a non-empty graph")
         if graph.is_directed():
@@ -213,6 +219,85 @@ class RadioNetwork:
         )
         self.trace = trace if trace is not None else StepTrace()
         self.steps_elapsed = 0
+        # Fault layer (repro.faults): None until a non-empty schedule is
+        # installed — the disabled path is a single attribute check per
+        # delivery, which is what keeps it bit-identical and overhead-free.
+        self.faults = None
+        self._fault_state = None
+        self._fault_step: tuple[np.ndarray, np.ndarray] | None = None
+        self._fault_window: tuple[np.ndarray, np.ndarray] | None = None
+        if faults is not None:
+            self.install_faults(faults)
+
+    # ------------------------------------------------------------------
+    # fault & churn injection (repro.faults)
+    # ------------------------------------------------------------------
+    def install_faults(self, schedule) -> None:
+        """Install a :class:`~repro.faults.FaultSchedule` on this network.
+
+        The schedule's transmit-/hear-mask transforms are applied between
+        plan and commit inside every delivery entry point
+        (:meth:`deliver`, :meth:`deliver_detect`, :meth:`deliver_window`,
+        :meth:`deliver_window_chunks`), keyed on the global
+        :attr:`steps_elapsed` clock — so the windowed, streamed, fused,
+        validating, and step-wise reference execution paths all realize
+        exactly the same fault pattern.
+
+        Installing an **empty** schedule is a no-op (runs stay
+        bit-identical to a network without one). Installation is
+        idempotent for an equal schedule; installing a *different*
+        schedule on a network that already has one is refused — build a
+        fresh network per fault environment.
+        """
+        if schedule is None:
+            return
+        from ..faults import FaultSchedule, FaultState
+
+        if not isinstance(schedule, FaultSchedule):
+            raise ProtocolError(
+                f"install_faults needs a FaultSchedule (build one with "
+                f"FaultSchedule(...) or FaultSchedule.sample(...)), got "
+                f"{schedule!r}"
+            )
+        if self.faults is not None:
+            if schedule == self.faults:
+                return
+            raise ProtocolError(
+                "a different FaultSchedule is already installed on this "
+                "network; build a fresh RadioNetwork per fault schedule"
+            )
+        self.faults = schedule
+        if not schedule.is_empty:
+            self._fault_state = FaultState(schedule, self.n)
+
+    def _execute_committed_window(
+        self, masks: np.ndarray, hear_from: np.ndarray, mode: str
+    ) -> tuple[np.ndarray, int]:
+        """Fault transform + kernel execution + hear transform for one
+        committed block; returns ``(effective_masks, receptions)``.
+
+        The shared commit path of :meth:`deliver_window` and each
+        :meth:`deliver_window_chunks` chunk: intended masks become
+        effective masks at the current global step, the routed kernels
+        run on the effective masks, and receptions landing on deaf
+        listeners are forced to silence. Without an active fault state
+        this is exactly :meth:`_execute_window_rows`.
+        """
+        fault_state = self._fault_state
+        if fault_state is None:
+            return masks, self._execute_window_rows(masks, hear_from, mode)
+        effective, deaf = fault_state.transform_window(
+            masks, self.steps_elapsed
+        )
+        receptions = self._execute_window_rows(effective, hear_from, mode)
+        silenced = deaf & (hear_from != NO_SENDER)
+        n_silenced = int(np.count_nonzero(silenced))
+        if n_silenced:
+            hear_from[silenced] = NO_SENDER
+            receptions -= n_silenced
+            fault_state.note_silenced(n_silenced)
+        self._fault_window = (effective, deaf)
+        return effective, receptions
 
     # ------------------------------------------------------------------
     # label <-> index conversion
@@ -264,7 +349,18 @@ class RadioNetwork:
         traversed once. Column 1 uses 1-based ids, hence for a listener
         with a unique transmitting neighbor ``idsum1 = sender + 1``.
         Records the step into the trace and advances ``steps_elapsed``.
+        With an installed fault schedule the intended mask is first
+        transformed to the effective one (dead/sleeping/suppressed
+        transmitters cleared) and receptions on deaf listeners are
+        silenced — the step-wise realization of exactly the transforms
+        the window paths apply in bulk.
         """
+        fault_state = self._fault_state
+        deaf = None
+        if fault_state is not None:
+            transmit, deaf = fault_state.transform_step(
+                transmit, self.steps_elapsed
+            )
         rhs = self._rhs2
         np.copyto(rhs[:, 0], transmit)
         np.multiply(rhs[:, 0], self._ids1, out=rhs[:, 1])
@@ -274,6 +370,14 @@ class RadioNetwork:
         hear_from = np.full(self.n, NO_SENDER, dtype=np.int64)
         heard = (~transmit) & (counts == 1.0)
         hear_from[heard] = np.rint(out[heard, 1]).astype(np.int64) - 1
+        if deaf is not None:
+            silenced = heard & deaf
+            n_silenced = int(np.count_nonzero(silenced))
+            if n_silenced:
+                hear_from[silenced] = NO_SENDER
+                heard = heard & ~deaf
+                fault_state.note_silenced(n_silenced)
+            self._fault_step = (transmit, deaf)
 
         self.steps_elapsed += 1
         if self.trace.wants_detail:
@@ -333,7 +437,15 @@ class RadioNetwork:
         """
         transmit = self._validate_mask(transmit)
         hear_from, counts, _ = self._deliver_core(transmit)
-        busy = (~transmit) & (counts >= 1.0)
+        if self._fault_state is not None:
+            # Carrier sense follows the same fault semantics as
+            # reception: suppressed (but awake) transmitters sense the
+            # channel like any listener, while down or jammed nodes
+            # sense nothing.
+            effective, deaf = self._fault_step
+            busy = (~effective) & (counts >= 1.0) & ~deaf
+        else:
+            busy = (~transmit) & (counts >= 1.0)
         return hear_from, busy
 
     # ------------------------------------------------------------------
@@ -593,7 +705,9 @@ class RadioNetwork:
         hear_from = np.full((w, self.n), NO_SENDER, dtype=np.int64)
         if w == 0:
             return hear_from
-        receptions = self._execute_window_rows(masks, hear_from, mode)
+        masks, receptions = self._execute_committed_window(
+            masks, hear_from, mode
+        )
         self._account_window(masks, receptions)
         return hear_from
 
@@ -741,7 +855,9 @@ class RadioNetwork:
                     f"steps [{done}, {done + k}), expected {k}"
                 )
             hear_from = np.full((k, self.n), NO_SENDER, dtype=np.int64)
-            receptions = self._execute_window_rows(masks, hear_from, mode)
+            masks, receptions = self._execute_committed_window(
+                masks, hear_from, mode
+            )
             self._account_window(masks, receptions)
             yield hear_from
             done += k

@@ -50,7 +50,17 @@ from repro.core.wakeup import (
     mis_as_wakeup_strategy,
     mis_as_wakeup_strategy_reference,
 )
+from repro.baselines.leader_uptime import (
+    uptime_threshold_election,
+    uptime_threshold_election_reference,
+)
+from repro.core.mis_restart import (
+    compute_restartable_mis,
+    restartable_mis_reference,
+)
 from repro.engine import run_schedule
+from repro.engine.policy import ExecutionPolicy
+from repro.faults import FaultSchedule
 from repro.graphs import greedy_independent_set
 from repro.radio import RadioNetwork, run_steps
 
@@ -281,3 +291,208 @@ class TestDifferentialFuzz:
                 res, net = runs[engine]
                 assert res == ref
                 _assert_trace_equal(net, net_ref)
+
+
+def _fuzz_schedule(n: int, seed: int) -> FaultSchedule:
+    """A non-trivial shared fault environment for a twin pair."""
+    return FaultSchedule.sample(
+        n, 4000, seed=seed, crash_rate=0.08, churn=0.25, jam=0.1, hetero=0.3
+    )
+
+
+class TestFaultTwins:
+    """Engine/reference pairs stay pinned under a shared FaultSchedule.
+
+    The fault transforms are keyed purely on the global
+    ``steps_elapsed`` clock, so the windowed engine and the step-wise
+    reference twin must realize the *identical* fault pattern — same
+    results, same trace totals, same final rng state, and the same
+    realized-event counters. An empty schedule must additionally be
+    bit-identical to no schedule at all.
+    """
+
+    @staticmethod
+    def _twin_networks(g, seed):
+        schedule = _fuzz_schedule(g.number_of_nodes(), seed)
+        return (
+            RadioNetwork(g, faults=schedule),
+            RadioNetwork(g, faults=schedule),
+        )
+
+    @staticmethod
+    def _assert_realized_equal(a: RadioNetwork, b: RadioNetwork) -> None:
+        assert a._fault_state is not None and b._fault_state is not None
+        assert a._fault_state.realized == b._fault_state.realized
+        assert (
+            a._fault_state.energy_remaining
+            == b._fault_state.energy_remaining
+        ).all()
+
+    def test_decay_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-decay")
+            n = g.number_of_nodes()
+            seed = _seed(r, "fault-decay")
+            active = np.random.default_rng(seed).random(n) < 0.45
+            active[0] = True
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            a = run_decay(net_w, active, rng_w, iterations=5)
+            b = run_decay_reference(net_r, active, rng_r, iterations=5)
+            assert (a.heard == b.heard).all()
+            assert (a.heard_from == b.heard_from).all()
+            assert a.messages == b.messages
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_effective_degree_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-eed")
+            n = g.number_of_nodes()
+            seed = _seed(r, "fault-eed")
+            setup = np.random.default_rng(seed)
+            p = setup.random(n) * 0.5
+            active = setup.random(n) < 0.85
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            a = estimate_effective_degree(net_w, p, active, rng_w, C=5)
+            b = estimate_effective_degree_reference(net_r, p, active, rng_r, C=5)
+            assert (a.high == b.high).all()
+            assert (a.counts == b.counts).all()
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_mis_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-mis")
+            seed = _seed(r, "fault-mis")
+            config = MISConfig(eed_C=3)
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = compute_mis(net_w, rng_w, config)
+            b = compute_mis_reference(net_r, rng_r, config)
+            assert a.mis == b.mis
+            assert a.steps_used == b.steps_used
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_bgi_broadcast_under_faults(self, fuzz_rounds):
+        # Crashed nodes can never be informed, so both twins run the
+        # same bounded best-effort sweep budget.
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-bgi")
+            seed = _seed(r, "fault-bgi")
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = bgi_broadcast(net_w, 0, rng_w, max_sweeps=40, best_effort=True)
+            b = bgi_broadcast_reference(
+                net_r, 0, rng_r, max_sweeps=40, best_effort=True
+            )
+            assert a == b
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_mis_restart_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-restart")
+            seed = _seed(r, "fault-restart")
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = compute_restartable_mis(net_w, rng_w)
+            b = restartable_mis_reference(net_r, rng_r)
+            assert a.mis == b.mis
+            assert a.readmitted == b.readmitted
+            assert a.conflict_edges == b.conflict_edges
+            assert a.dominated_fraction == b.dominated_fraction
+            assert a.history == b.history
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_leader_uptime_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-uptime")
+            seed = _seed(r, "fault-uptime")
+            net_w, net_r = self._twin_networks(g, seed)
+            rng_w = np.random.default_rng(seed)
+            rng_r = np.random.default_rng(seed)
+            a = uptime_threshold_election(net_w, rng_w, threshold=0.6)
+            b = uptime_threshold_election_reference(
+                net_r, rng_r, threshold=0.6
+            )
+            assert a == b
+            _assert_trace_equal(net_w, net_r)
+            _assert_rng_equal(rng_w, rng_r)
+            self._assert_realized_equal(net_w, net_r)
+
+    def test_icp_under_faults(self, fuzz_rounds):
+        for r in range(fuzz_rounds):
+            g = nx.convert_node_labels_to_integers(
+                _fuzz_graph(r, "fault-icp")
+            )
+            seed = _seed(r, "fault-icp")
+            setup = np.random.default_rng(seed)
+            mis = sorted(greedy_independent_set(g, setup, "random"))
+            clustering = partition(g, 0.3, mis, setup)
+            schedule = build_schedule(g, clustering)
+            know = np.full(g.number_of_nodes(), -1, dtype=np.int64)
+            know[0] = 3
+            faults = _fuzz_schedule(g.number_of_nodes(), seed)
+            runs = {}
+            for engine in ("reference", "windowed", "fused"):
+                net = RadioNetwork(g, faults=faults)
+                rng = np.random.default_rng(seed + 1)
+                res = intra_cluster_propagation(
+                    net, clustering, schedule, know, 3, rng,
+                    policy=ExecutionPolicy(engine=engine),
+                )
+                runs[engine] = (res, net, rng)
+            ref, net_ref, rng_ref = runs["reference"]
+            for engine in ("windowed", "fused"):
+                res, net, rng = runs[engine]
+                assert (res.knowledge == ref.knowledge).all()
+                assert res.steps == ref.steps
+                _assert_trace_equal(net, net_ref)
+                _assert_rng_equal(rng, rng_ref)
+                self._assert_realized_equal(net, net_ref)
+
+    @pytest.mark.parametrize("case", ["decay", "mis"])
+    def test_empty_schedule_is_bit_identical_to_none(self, fuzz_rounds, case):
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-empty-" + case)
+            n = g.number_of_nodes()
+            seed = _seed(r, "fault-empty-" + case)
+            empty = FaultSchedule(seed=seed & 0xFFFF)
+            net_plain = RadioNetwork(g)
+            net_empty = RadioNetwork(g, faults=empty)
+            assert net_empty._fault_state is None
+            rng_plain = np.random.default_rng(seed)
+            rng_empty = np.random.default_rng(seed)
+            if case == "decay":
+                active = np.random.default_rng(seed + 9).random(n) < 0.5
+                active[0] = True
+                a = run_decay(net_plain, active, rng_plain, iterations=4)
+                b = run_decay(net_empty, active, rng_empty, iterations=4)
+                assert (a.heard == b.heard).all()
+                assert (a.heard_from == b.heard_from).all()
+            else:
+                a = compute_mis(
+                    net_plain, rng_plain, policy=ExecutionPolicy()
+                )
+                b = compute_mis(
+                    net_empty, rng_empty,
+                    policy=ExecutionPolicy(faults=empty),
+                )
+                assert a.mis == b.mis
+                assert a.steps_used == b.steps_used
+            _assert_trace_equal(net_plain, net_empty)
+            _assert_rng_equal(rng_plain, rng_empty)

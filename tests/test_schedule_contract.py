@@ -42,7 +42,12 @@ from repro.core.intra_cluster import (
     decay_background_schedule,
 )
 from repro.core.mis import MISConfig, mis_schedule
+from repro.core.mis_restart import (
+    RestartableMISConfig,
+    restartable_mis_schedule,
+)
 from repro.core.wakeup import _wakeup_mis_schedule
+from repro.faults import FaultSchedule
 from repro.engine import (
     ProtocolSegmentSource,
     ScheduleSegmentAdapter,
@@ -110,6 +115,7 @@ EMITTER_RUNS = {
     "decay_block_schedule": "test_decay_block",
     "effective_degree_schedule": "test_effective_degree",
     "mis_schedule": "test_mis",
+    "restartable_mis_schedule": "test_mis_restart",
     "bgi_schedule": "test_bgi",
     "_wakeup_mis_schedule": "test_wakeup",
     "decay_background_schedule": "test_decay_background",
@@ -259,6 +265,27 @@ class TestEmitterContracts:
         )
         assert runner.windows_checked > 0
         assert graphs.is_maximal_independent_set(g, result.mis)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kind", GRAPH_KINDS)
+    def test_mis_restart(self, kind, seed):
+        # Driven under a non-empty fault schedule: the replay then also
+        # exercises the validator's faulted shadow paths (cloned fault
+        # state, per-window transforms on all three shadows).
+        g = _contract_graph(kind, seed)
+        n = g.number_of_nodes()
+        schedule = FaultSchedule.sample(
+            n, 2000, seed=seed, crash_rate=0.1, churn=0.2, jam=0.05,
+        )
+        runner = ValidatingRunner(RadioNetwork(g, faults=schedule))
+        result = runner.run(
+            restartable_mis_schedule(
+                runner.network, np.random.default_rng(75 + seed),
+                RestartableMISConfig(epochs=2, eed_C=3),
+            )
+        )
+        assert runner.windows_checked > 0
+        assert 0.0 <= result.dominated_fraction <= 1.0
 
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("kind", GRAPH_KINDS)

@@ -42,12 +42,16 @@ EXPECTED_API_ALL = [
     "EEDConfig",
     "ENGINE_MODES",
     "ExecutionPolicy",
+    "FaultSchedule",
     "ICPConfig",
+    "Jam",
     "LeaderConfig",
     "PartitionConfig",
     "ProtocolSpec",
+    "RestartableMISConfig",
     "RunReport",
     "TRACE_MODES",
+    "UptimeLeaderConfig",
     "WakeupConfig",
     "get_protocol",
     "list_protocols",
@@ -66,6 +70,7 @@ ALLOWED_ROOTS = {
     "repro.baselines",
     "repro.core",
     "repro.engine",
+    "repro.faults",
     "repro.graphs",
     "repro.radio",
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env python
-"""Line-coverage floor for the engine layer (``src/repro/engine``).
+"""Line-coverage floor for the engine layer (``src/repro/engine``)
+and the fault-injection layer (``src/repro/faults``).
 
 Stdlib-only (the container bakes no ``coverage``/``pytest-cov``): line
 events are collected with ``sys.monitoring`` on Python 3.12+ (cheap —
@@ -12,7 +13,10 @@ come from compiling each engine module and walking its code objects'
 The floor is a regression gate for the scheduler layer specifically:
 the engine is the substrate every protocol's correctness argument rests
 on, so untested engine branches are a categorically worse smell than
-untested leaf protocols. Run from the repository root::
+untested leaf protocols. The fault layer is held to the same floor for
+the same reason — its mask transforms sit inside every delivery, so an
+untested branch there corrupts every protocol at once. Run from the
+repository root::
 
     PYTHONPATH=src python tools/check_engine_coverage.py
 
@@ -28,6 +32,8 @@ import types
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 ENGINE_DIR = (REPO_ROOT / "src" / "repro" / "engine").resolve()
+FAULTS_DIR = (REPO_ROOT / "src" / "repro" / "faults").resolve()
+TRACKED_DIRS = (ENGINE_DIR, FAULTS_DIR)
 
 #: Overall executable-line coverage the engine package must keep.
 FLOOR = 0.90
@@ -45,6 +51,9 @@ TEST_FILES = [
     "tests/test_engine_streaming.py",
     "tests/test_schedule_contract.py",
     "tests/test_fuzz_differential.py",
+    # The fault layer's own suite (schedule refusals, mask-transform
+    # semantics, energy ledger, uptime math, provenance).
+    "tests/test_faults.py",
     # The API front door is the policy layer's (engine/policy.py)
     # primary exerciser: equivalence, refusals, shims, resolution.
     "tests/test_api.py",
@@ -52,7 +61,7 @@ TEST_FILES = [
 ]
 
 _executed: dict[str, set[int]] = {}
-_prefix = str(ENGINE_DIR)
+_prefix = tuple(str(d) for d in TRACKED_DIRS)
 
 
 def _start_settrace() -> None:
@@ -160,32 +169,40 @@ def main() -> int:
     total_expected = 0
     total_hit = 0
     failed = False
-    print("\nengine line coverage:")
-    for path in sorted(ENGINE_DIR.glob("*.py")):
-        expected = executable_lines(path)
-        hit = _executed.get(str(path), set()) & expected
-        missed = sorted(expected - hit)
-        ratio = len(hit) / len(expected) if expected else 1.0
-        total_expected += len(expected)
-        total_hit += len(hit)
-        flag = ""
-        if ratio < FILE_FLOOR:
-            failed = True
-            flag = f"  << below file floor {FILE_FLOOR:.0%}"
-        print(
-            f"  {path.name:14s} {ratio:7.1%} "
-            f"({len(hit)}/{len(expected)}){flag}"
-        )
-        if missed and ratio < 1.0:
-            preview = ", ".join(map(str, missed[:12]))
-            more = "" if len(missed) <= 12 else f", ... +{len(missed) - 12}"
-            print(f"    missed lines: {preview}{more}")
+    print("\nengine + fault layer line coverage:")
+    for tracked in TRACKED_DIRS:
+        for path in sorted(tracked.glob("*.py")):
+            label = f"{tracked.name}/{path.name}"
+            expected = executable_lines(path)
+            hit = _executed.get(str(path), set()) & expected
+            missed = sorted(expected - hit)
+            ratio = len(hit) / len(expected) if expected else 1.0
+            total_expected += len(expected)
+            total_hit += len(hit)
+            flag = ""
+            if ratio < FILE_FLOOR:
+                failed = True
+                flag = f"  << below file floor {FILE_FLOOR:.0%}"
+            print(
+                f"  {label:22s} {ratio:7.1%} "
+                f"({len(hit)}/{len(expected)}){flag}"
+            )
+            if missed and ratio < 1.0:
+                preview = ", ".join(map(str, missed[:12]))
+                more = (
+                    ""
+                    if len(missed) <= 12
+                    else f", ... +{len(missed) - 12}"
+                )
+                print(f"    missed lines: {preview}{more}")
 
     overall = total_hit / total_expected if total_expected else 1.0
-    print(f"  {'TOTAL':14s} {overall:7.1%} ({total_hit}/{total_expected})")
+    print(
+        f"  {'TOTAL':22s} {overall:7.1%} ({total_hit}/{total_expected})"
+    )
     if overall < FLOOR:
         failed = True
-        print(f"overall engine coverage below floor {FLOOR:.0%}")
+        print(f"overall coverage below floor {FLOOR:.0%}")
     return 1 if failed else 0
 
 
