@@ -18,15 +18,20 @@ paths, rows in RunReport form — persisted to ``BENCH_PR5.json``), and
 the ``bench_p6_faults`` pass (PR 6: the fault-injection layer — a run
 with an empty ``FaultSchedule`` within 5% of one with none, plus
 degradation curves for the robustness protocol variants — persisted
-to ``BENCH_PR6.json``). Every bench record carries ``peak_mem_bytes``
-alongside its wall times. The ``BENCH_*.json`` records are the perf
-trajectory future PRs compare themselves against.
+to ``BENCH_PR6.json``), and the ``bench_p7_kernels`` pass (PR 7:
+residual-graph delivery + compiled chunk kernels — small-n
+bit-identity of every accelerated leg, then the restricted-MIS
+speedup gates at scale — persisted to ``BENCH_PR7.json``). Every
+bench record carries ``peak_mem_bytes`` alongside its wall times. The
+``BENCH_*.json`` records are the perf trajectory future PRs compare
+themselves against.
 
 Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
-        [--skip-p4] [--skip-p5] [--skip-p6] [--n 2000]
+        [--skip-p4] [--skip-p5] [--skip-p6] [--skip-p7] [--n 2000]
         [--p4-n 100000] [--p5-n 100000] [--p6-n 1200]
+        [--p7-n 100000]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -124,6 +129,19 @@ def main(argv: list[str] | None = None) -> int:
         help="scale of the PR 6 disabled-fault overhead gate "
         "(default 1200)",
     )
+    parser.add_argument(
+        "--skip-p7",
+        action="store_true",
+        help="skip the PR 7 residual/kernels bench (BENCH_PR7.json "
+        "untouched)",
+    )
+    parser.add_argument(
+        "--p7-n",
+        type=int,
+        default=100000,
+        help="scale of the PR 7 restricted-MIS gate (default 100000; "
+        "CI uses 30000)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -134,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p4_streaming
     import bench_p5_api
     import bench_p6_faults
+    import bench_p7_kernels
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -237,6 +256,28 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"persisted to {bench_p6_faults.RESULT_PATH}")
         ok = ok and p6["passes_floors"]
+
+    if not args.skip_p7:
+        p7 = bench_p7_kernels.run_bench(n=args.p7_n)
+        if tier1 is not None:
+            p7["tier1"] = tier1
+        bench_p7_kernels.write_results(p7)
+
+        legs = p7["mis_legs"]
+        gate = (
+            f"(floor {legs['numba_floor']}x)"
+            if legs["numba_floor"] is not None
+            else "(no numba: floor waived)"
+        )
+        print(
+            f"residual MIS n={legs['n']}: restricted numpy "
+            f"{legs['restrict_speedup']:.2f}x "
+            f"(floor {legs['restrict_floor']}x), accelerated "
+            f"[{legs['accelerated_kernel']}] "
+            f"{legs['numba_speedup']:.2f}x {gate}"
+        )
+        print(f"persisted to {bench_p7_kernels.RESULT_PATH}")
+        ok = ok and p7["passes_floors"]
 
     return 0 if ok else 1
 

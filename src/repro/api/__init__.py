@@ -46,6 +46,7 @@ from ..engine.policy import (
     ENGINE_MODES,
     ExecutionPolicy,
     TRACE_MODES,
+    available_delivery_modes,
     parse_mem_budget,
 )
 from ..faults import FaultSchedule, Jam
@@ -91,6 +92,7 @@ __all__ = [
     "TRACE_MODES",
     "UptimeLeaderConfig",
     "WakeupConfig",
+    "available_delivery_modes",
     "get_protocol",
     "list_protocols",
     "parse_mem_budget",

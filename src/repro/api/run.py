@@ -21,6 +21,7 @@ from typing import Any
 import networkx as nx
 import numpy as np
 
+from ..engine.kernels import compiled_kernel_name
 from ..engine.policy import ExecutionPolicy
 from ..radio.errors import ProtocolError
 from ..radio.network import RadioNetwork
@@ -213,6 +214,17 @@ def run(
             "events": schedule.event_counts(),
             "realized": realized,
         }
+    # Delivery provenance: which chunk kernels actually ran, and how
+    # much of the run executed on a residual (active-set-restricted)
+    # world — so a report names the code that produced it.
+    delivery_prov: dict[str, Any] = {
+        "mode": resolved.delivery,
+        "restrict": resolved.restrict,
+        "kernel": compiled_kernel_name(resolved.delivery),
+    }
+    if network is not None:
+        delivery_prov["kernel_use"] = dict(network.kernel_use)
+        delivery_prov["residual"] = dict(network.residual_stats)
     if network is not None:
         steps = network.steps_elapsed - steps_before
         trace = {
@@ -242,6 +254,7 @@ def run(
             "seed": seed_used,
             "graph": _graph_facts(graph, network),
             "faults": faults_prov,
+            "delivery": delivery_prov,
             "version": getattr(repro, "__version__", "unknown"),
         },
     )

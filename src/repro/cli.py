@@ -65,8 +65,9 @@ from .engine.policy import (
     parse_mem_budget,
     validate_chunk_steps,
 )
+from .engine.kernels import ALL_DELIVERY_MODES
+from .engine.residual import RESTRICT_MODES
 from .radio.errors import ProtocolError
-from .radio.network import DELIVERY_MODES
 
 
 def _build_graph(args: argparse.Namespace, rng: np.random.Generator):
@@ -163,10 +164,23 @@ def _add_policy_options(
     group.add_argument(
         "--delivery",
         default="auto",
-        choices=list(DELIVERY_MODES),
+        choices=list(ALL_DELIVERY_MODES),
         help=(
             "window execution strategy (bit-identical; auto routes per "
-            "window row on mask density and COO output size)"
+            "window row on mask density and COO output size; numba/cupy "
+            "need their optional package installed and refuse by name "
+            "otherwise)"
+        ),
+    )
+    group.add_argument(
+        "--restrict",
+        default="auto",
+        choices=list(RESTRICT_MODES),
+        help=(
+            "active-set-restricted (residual-graph) delivery for "
+            "streamed plans that declare a transmit support "
+            "(bit-identical; auto restricts when the live set is small "
+            "enough to pay)"
         ),
     )
     group.add_argument(
@@ -304,6 +318,7 @@ def _policy_from_args(args: argparse.Namespace) -> api.ExecutionPolicy:
         chunk_steps=args.chunk_steps,
         mem_budget=args.mem_budget,
         validate=args.validate,
+        restrict=args.restrict,
     )
 
 

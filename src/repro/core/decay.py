@@ -36,6 +36,7 @@ from typing import Any
 
 import numpy as np
 
+from ..engine.pcg import CoinField
 from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
@@ -173,6 +174,29 @@ class Decay(Protocol):
         if self._step >= self.total_steps:
             self._finished = True
 
+    def _absorb_window_at(
+        self, hear_window: np.ndarray, cols: np.ndarray
+    ) -> None:
+        """Column-restricted twin of :meth:`_absorb_window`.
+
+        ``hear_window`` is ``(k, len(cols))`` with senders already
+        translated to global ids; every node outside ``cols`` heard
+        silence (the residual support invariant), so folding the member
+        columns folds the whole window.
+        """
+        k = hear_window.shape[0]
+        got = hear_window != NO_SENDER
+        fresh = got.any(axis=0) & ~self.heard[cols]
+        if fresh.any():
+            local = np.nonzero(fresh)[0]
+            gcols = cols[local]
+            first = got[:, local].argmax(axis=0)
+            self.heard_from[gcols] = hear_window[first, local]
+            self.heard[gcols] = True
+        self._step += k
+        if self._step >= self.total_steps:
+            self._finished = True
+
     def result(self) -> DecayResult:
         payloads: list[Any] = [None] * self.n
         for v in np.nonzero(self.heard)[0]:
@@ -217,13 +241,27 @@ def decay_block_schedule(
         n = network.n
         # Per-step transmission probabilities of the sweep ladder.
         probs = 2.0 ** -((np.arange(total) % protocol.span) + 1.0)
+        coins = CoinField(rng, n)
 
         def masks(start: int, stop: int) -> np.ndarray:
-            coins = rng.random((stop - start, n)) < probs[start:stop, None]
-            return coins & protocol.active[None, :]
+            flips = coins.draw(start, stop) < probs[start:stop, None]
+            return flips & protocol.active[None, :]
+
+        def masks_at(
+            start: int, stop: int, cols: np.ndarray
+        ) -> np.ndarray:
+            flips = coins.draw_at(start, stop, cols)
+            return (
+                flips < probs[start:stop, None]
+            ) & protocol.active[cols][None, :]
 
         yield StreamedWindow(
-            TransmitPlan(total, masks), protocol._absorb_window
+            TransmitPlan(
+                total, masks,
+                support=protocol.active, masks_at=masks_at,
+            ),
+            consume=protocol._absorb_window,
+            consume_at=protocol._absorb_window_at,
         )
     return protocol.result()
 

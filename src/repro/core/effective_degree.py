@@ -34,6 +34,7 @@ import math
 
 import numpy as np
 
+from ..engine.pcg import CoinField
 from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
@@ -147,6 +148,25 @@ class EstimateEffectiveDegree(Protocol):
         if self._step >= self.total_steps:
             self._finished = True
 
+    def _absorb_window_at(
+        self, hear_window: np.ndarray, cols: np.ndarray
+    ) -> None:
+        """Column-restricted twin of :meth:`_absorb_window`.
+
+        ``hear_window`` is ``(k, len(cols))``; nodes outside ``cols``
+        heard silence (residual support invariant), so their counters
+        are unchanged by construction.
+        """
+        k = hear_window.shape[0]
+        heard = (hear_window != NO_SENDER) & self.active[cols][None, :]
+        levels = (self._step + np.arange(k)) // self.steps_per_level
+        for lev in np.unique(levels):
+            rows = heard[levels == lev]
+            self.counts[lev, cols] += rows.sum(axis=0)
+        self._step += k
+        if self._step >= self.total_steps:
+            self._finished = True
+
     def result(self) -> EffectiveDegreeResult:
         threshold = self.steps_per_level / THRESHOLD_DIVISOR
         high = (self.counts >= threshold).any(axis=0) & self.active
@@ -185,14 +205,27 @@ def effective_degree_schedule(
         # 2^i is exact, so dividing row-wise reproduces the protocol's
         # per-step `p / 2**i` values bit-for-bit.
         pow2 = 2.0 ** (np.arange(total) // protocol.steps_per_level)
+        coins = CoinField(rng, n)
 
         def masks(start: int, stop: int) -> np.ndarray:
             probs = protocol.p[None, :] / pow2[start:stop, None]
-            coins = rng.random((stop - start, n)) < probs
-            return protocol.active[None, :] & coins
+            flips = coins.draw(start, stop) < probs
+            return protocol.active[None, :] & flips
+
+        def masks_at(
+            start: int, stop: int, cols: np.ndarray
+        ) -> np.ndarray:
+            probs = protocol.p[cols][None, :] / pow2[start:stop, None]
+            flips = coins.draw_at(start, stop, cols) < probs
+            return protocol.active[cols][None, :] & flips
 
         yield StreamedWindow(
-            TransmitPlan(total, masks), protocol._absorb_window
+            TransmitPlan(
+                total, masks,
+                support=protocol.active, masks_at=masks_at,
+            ),
+            consume=protocol._absorb_window,
+            consume_at=protocol._absorb_window_at,
         )
     return protocol.result()
 

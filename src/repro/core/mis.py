@@ -29,10 +29,16 @@ from typing import Hashable
 
 import numpy as np
 
+from ..engine.pcg import CoinField
 from ..engine.policy import ExecutionPolicy, legacy_policy
-from ..engine.segments import ProtocolSchedule, TracePhase
-from ..radio.network import RadioNetwork
-from .decay import claim10_iterations, decay_block_schedule, run_decay_reference
+from ..engine.segments import (
+    PlanSection,
+    ProtocolSchedule,
+    StreamedWindow,
+    TracePhase,
+)
+from ..radio.network import RadioNetwork, TransmitPlan
+from .decay import Decay, claim10_iterations, run_decay_reference
 from .effective_degree import (
     HIGH_GUARANTEE,
     effective_degree_schedule,
@@ -179,23 +185,85 @@ def mis_schedule(
         # --- marking ---------------------------------------------------
         marked = active & (rng.random(n) < p)
 
-        # --- "did a neighbor mark itself?" via Decay ---------------------
-        yield TracePhase("mis/decay-marked")
-        marked_echo = yield from decay_block_schedule(
-            network, marked, rng, iterations=decay_iters, n_estimate=n_est
+        # --- both Decay blocks, fused into one streamed plan -----------
+        # The two blocks of a round ("did a neighbor mark itself?" and
+        # the MIS-membership announcement) share one TransmitPlan, so
+        # chunk dispatch, fault masking, and density routing run once
+        # per round. The second block's membership (joined = marked
+        # nodes that heard no marked neighbor) depends on the first
+        # block's outcome, which is legal inside one plan because the
+        # runner never lets a chunk straddle the PlanSection boundary:
+        # by the first mask request of section 2, section 1 is fully
+        # folded. Coins come from one CoinField in row order, so the
+        # rng stream equals the two sequential blocks' draws exactly.
+        d1 = Decay(
+            network, marked, iterations=decay_iters, n_estimate=n_est
         )
-        # A node v heard during this block iff some marked neighbor's
+        span = d1.total_steps
+        probs = 2.0 ** -((np.arange(span) % d1.span) + 1.0)
+        coins = CoinField(rng, n)
+        second: list[Decay] = []
+
+        def _second() -> Decay:
+            if not second:
+                second.append(
+                    Decay(
+                        network,
+                        d1.active & ~d1.heard,
+                        iterations=decay_iters,
+                        n_estimate=n_est,
+                    )
+                )
+            return second[0]
+
+        def masks(start: int, stop: int) -> np.ndarray:
+            flips = coins.draw(start, stop)
+            if stop <= span:
+                return (
+                    flips < probs[start:stop, None]
+                ) & d1.active[None, :]
+            return (
+                flips < probs[start - span:stop - span, None]
+            ) & _second().active[None, :]
+
+        def masks_at(
+            start: int, stop: int, cols: np.ndarray
+        ) -> np.ndarray:
+            flips = coins.draw_at(start, stop, cols)
+            if stop <= span:
+                return (
+                    flips < probs[start:stop, None]
+                ) & d1.active[cols][None, :]
+            return (
+                flips < probs[start - span:stop - span, None]
+            ) & _second().active[cols][None, :]
+
+        yield StreamedWindow(
+            TransmitPlan(
+                2 * span, masks,
+                support=active.copy(), masks_at=masks_at,
+            ),
+            sections=(
+                PlanSection(
+                    span, "mis/decay-marked",
+                    d1._absorb_window, d1._absorb_window_at,
+                ),
+                PlanSection(
+                    span, "mis/decay-mis",
+                    lambda slab: _second()._absorb_window(slab),
+                    lambda slab, cols: _second()._absorb_window_at(
+                        slab, cols
+                    ),
+                ),
+            ),
+        )
+        # A node v heard during block 1 iff some marked neighbor's
         # transmission reached it cleanly; Claim 10 makes this whp exact.
-        joined = marked & ~marked_echo.heard
+        joined = marked & ~d1.heard
 
         in_mis |= joined
 
-        # --- announce MIS membership via Decay ---------------------------
-        yield TracePhase("mis/decay-mis")
-        mis_echo = yield from decay_block_schedule(
-            network, joined, rng, iterations=decay_iters, n_estimate=n_est
-        )
-        removed = joined | (mis_echo.heard & active)
+        removed = joined | (_second().heard & active)
         active &= ~removed
 
         # --- effective degree estimate -----------------------------------

@@ -47,7 +47,16 @@ is what makes ``n >= 10^5`` runs practical (DESIGN.md, "Streaming
 windows").
 """
 
+from .kernels import (
+    ALL_DELIVERY_MODES,
+    COMPILED_DELIVERY_MODES,
+    DeliveryKernels,
+    available_delivery_modes,
+    compiled_kernel_name,
+    require_delivery_mode,
+)
 from .mux import multiplex
+from .pcg import CoinField
 from .policy import (
     ENGINE_MODES,
     ExecutionPolicy,
@@ -55,6 +64,7 @@ from .policy import (
     legacy_policy,
     parse_mem_budget,
 )
+from .residual import RESTRICT_MODES, ResidualContext
 from .runner import (
     DELIVERY_MODES,
     ProtocolSegmentSource,
@@ -67,6 +77,7 @@ from .segments import (
     COIN_BUDGET,
     DecisionStep,
     ObliviousWindow,
+    PlanSection,
     ProtocolSchedule,
     ScheduleSegmentAdapter,
     Segment,
@@ -87,11 +98,18 @@ from .streaming import (
 from .validate import ObliviousnessViolationError, ValidatingRunner
 
 __all__ = [
+    "ALL_DELIVERY_MODES",
     "COIN_BUDGET",
+    "COMPILED_DELIVERY_MODES",
+    "CoinField",
     "DELIVERY_MODES",
+    "DeliveryKernels",
     "ENGINE_MODES",
     "DecisionStep",
     "ExecutionPolicy",
+    "PlanSection",
+    "RESTRICT_MODES",
+    "ResidualContext",
     "TRACE_MODES",
     "ObliviousnessViolationError",
     "ObliviousWindow",
@@ -107,13 +125,16 @@ __all__ = [
     "TracePhase",
     "ValidatingRunner",
     "WindowedRunner",
+    "available_delivery_modes",
     "chunk_steps_for_budget",
     "coin_chunk",
+    "compiled_kernel_name",
     "legacy_policy",
     "memory_budget",
     "multiplex",
     "parse_mem_budget",
     "protocol_schedule",
+    "require_delivery_mode",
     "resolve_chunk_steps",
     "run_schedule",
     "segment_schedule",

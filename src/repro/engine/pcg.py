@@ -1,0 +1,272 @@
+"""Vectorized PCG64 jump-ahead: coin draws at chosen stream offsets.
+
+The residual-delivery path (:mod:`repro.engine.residual`) wants the
+coins of a ``(k, n)`` chunk only at its live columns — a small fraction
+of ``n`` in late protocol rounds — while staying bit-identical to the
+reference emitters, which draw the *full* ``rng.random((k, n))`` block.
+Values sampled at arbitrary offsets of the generator's future stream
+make that possible: produce exactly the doubles the full draw would
+have placed at ``(row, col)`` for the requested columns, then advance
+the generator past the whole block in one
+``bit_generator.advance(k * n)`` — same values where it matters, same
+final generator state, a fraction of the work.
+
+This requires the default :class:`numpy.random.PCG64` bit generator,
+whose underlying LCG has a closed-form jump: ``state_d = A^d * state +
+(A^d - 1) / (A - 1) * inc (mod 2^128)``, computed per offset by
+square-and-multiply. One ``Generator.random()`` double consumes exactly
+one ``next_uint64`` call, and numpy's PCG64 output function is XSL-RR
+of the *post-advance* state (advance one LCG step, then ``rotr64(hi ^
+lo, hi >> 58)``), with the double built as ``(out >> 11) * 2^-53`` —
+all three conventions are pinned against numpy itself by
+``tests/test_residual.py``, so a numpy whose stream differs fails
+loudly instead of silently diverging. Other bit generators fall back to
+draw-and-slice (same stream, none of the savings).
+
+All 128-bit arithmetic is emulated on ``uint64`` limb pairs with
+32-bit-half multiplies — pure vectorized numpy, no new dependencies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The PCG64 LCG multiplier (Melissa O'Neill's default 128-bit constant,
+#: the one numpy's PCG64 uses — verified against ``bit_generator.advance``).
+PCG64_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+
+_MASK64 = (1 << 64) - 1
+_MASK128 = (1 << 128) - 1
+_INV_2_53 = float(2.0**-53)
+
+#: Measured per-value cost of the jump-ahead draw relative to a plain
+#: ``rng.random`` block (the limb-pair multiplies plus their
+#: temporaries against one hardware PRNG step; ~10x at realistic chunk
+#: heights once the per-column transforms amortize). Column sets larger
+#: than ``n / OFFSET_COST_FACTOR`` draw the full block and slice
+#: instead — same values, cheaper at that width.
+OFFSET_COST_FACTOR = 10
+
+
+def _mulhi64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """High 64 bits of the 128-bit product of two uint64 operands.
+
+    Schoolbook on 32-bit halves; every partial product and carry sum
+    stays below 2^64, so nothing here can overflow.
+    """
+    a0 = a & np.uint64(0xFFFFFFFF)
+    a1 = a >> np.uint64(32)
+    b0 = b & np.uint64(0xFFFFFFFF)
+    b1 = b >> np.uint64(32)
+    p01 = a0 * b1
+    p10 = a1 * b0
+    mid = (
+        ((a0 * b0) >> np.uint64(32))
+        + (p01 & np.uint64(0xFFFFFFFF))
+        + (p10 & np.uint64(0xFFFFFFFF))
+    )
+    return (
+        a1 * b1
+        + (p01 >> np.uint64(32))
+        + (p10 >> np.uint64(32))
+        + (mid >> np.uint64(32))
+    )
+
+
+def _mul128(ahi, alo, bhi, blo):
+    """``(a * b) mod 2^128`` on (hi, lo) uint64 limb pairs."""
+    lo = alo * blo  # wraps mod 2^64, exactly the low limb
+    hi = _mulhi64(alo, blo) + ahi * blo + alo * bhi
+    return hi, lo
+
+
+def _add128(ahi, alo, bhi, blo):
+    """``(a + b) mod 2^128`` on (hi, lo) uint64 limb pairs."""
+    lo = alo + blo
+    carry = (lo < alo).astype(np.uint64)
+    return ahi + bhi + carry, lo
+
+
+def _split128(value: int) -> tuple[np.uint64, np.uint64]:
+    """A python int mod 2^128 as an (hi, lo) uint64 scalar pair."""
+    value &= _MASK128
+    return np.uint64(value >> 64), np.uint64(value & _MASK64)
+
+
+def jump_transform(delta: int, inc: int) -> tuple[int, int]:
+    """The LCG jump ``(A_delta, C_delta)`` for one offset, as ints.
+
+    ``state_delta = (A_delta * state + C_delta) mod 2^128`` advances a
+    PCG64 LCG with increment ``inc`` by ``delta`` steps — the standard
+    square-and-multiply accumulation (Brown, "Random number generation
+    with arbitrary strides").
+    """
+    if delta < 0:
+        raise ValueError(f"jump delta must be >= 0, got {delta}")
+    acc_mult, acc_plus = 1, 0
+    cur_mult, cur_plus = PCG64_MULT, inc & _MASK128
+    while delta > 0:
+        if delta & 1:
+            acc_mult = (acc_mult * cur_mult) & _MASK128
+            acc_plus = (acc_plus * cur_mult + cur_plus) & _MASK128
+        cur_plus = ((cur_mult + 1) * cur_plus) & _MASK128
+        cur_mult = (cur_mult * cur_mult) & _MASK128
+        delta >>= 1
+    return acc_mult, acc_plus
+
+
+def _jump_transforms_vec(deltas: np.ndarray, inc: int):
+    """Vectorized :func:`jump_transform` over an array of offsets.
+
+    Returns four uint64 arrays ``(Ahi, Alo, Chi, Clo)`` — one (A, C)
+    limb pair per delta. The squaring chain is shared (scalar python
+    ints); only the conditional accumulation is per-element.
+    """
+    m = deltas.size
+    a_hi = np.zeros(m, dtype=np.uint64)
+    a_lo = np.ones(m, dtype=np.uint64)
+    c_hi = np.zeros(m, dtype=np.uint64)
+    c_lo = np.zeros(m, dtype=np.uint64)
+    if m == 0:
+        return a_hi, a_lo, c_hi, c_lo
+    cur_mult, cur_plus = PCG64_MULT, inc & _MASK128
+    d = deltas.astype(np.uint64)
+    for bit in range(int(deltas.max()).bit_length()):
+        sel = (d >> np.uint64(bit)) & np.uint64(1) == np.uint64(1)
+        if sel.any():
+            m_hi, m_lo = _split128(cur_mult)
+            p_hi, p_lo = _split128(cur_plus)
+            hi, lo = _mul128(a_hi[sel], a_lo[sel], m_hi, m_lo)
+            a_hi[sel], a_lo[sel] = hi, lo
+            hi, lo = _mul128(c_hi[sel], c_lo[sel], m_hi, m_lo)
+            hi, lo = _add128(hi, lo, p_hi, p_lo)
+            c_hi[sel], c_lo[sel] = hi, lo
+        cur_plus = ((cur_mult + 1) * cur_plus) & _MASK128
+        cur_mult = (cur_mult * cur_mult) & _MASK128
+    return a_hi, a_lo, c_hi, c_lo
+
+
+def _xsl_rr_double(state_hi: np.ndarray, state_lo: np.ndarray) -> np.ndarray:
+    """numpy's PCG64 output path: XSL-RR of a (post-advance) state,
+    then the 53-bit double ``(out >> 11) * 2^-53``."""
+    rot = state_hi >> np.uint64(58)
+    x = state_hi ^ state_lo
+    out = (x >> rot) | (x << ((np.uint64(64) - rot) & np.uint64(63)))
+    return (out >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def supports_offset_draws(rng: np.random.Generator) -> bool:
+    """Whether ``rng`` rides a plain PCG64 (the jump math's target).
+
+    Exact type check on purpose: PCG64DXSM shares the state layout but
+    not the output function, so it must take the fallback path.
+    """
+    return type(rng.bit_generator) is np.random.PCG64
+
+
+def peek_uniform_block(
+    rng: np.random.Generator,
+    rows: int,
+    stride: int,
+    cols: np.ndarray,
+) -> np.ndarray:
+    """The doubles ``rng.random((rows, stride))[:, cols]`` *would*
+    produce, computed at their stream offsets without advancing ``rng``.
+
+    ``cols`` must hold column indices in ``[0, stride)``. The caller
+    that wants the generator to end up exactly where the full block
+    draw would have left it follows up with
+    ``rng.bit_generator.advance(rows * stride)`` (what
+    :meth:`CoinField.draw_at` does).
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    state = rng.bit_generator.state["state"]
+    inc = int(state["inc"])
+    s = int(state["state"])
+
+    # Per-column transforms: draw (t, cols[j]) is stream offset
+    # t * stride + cols[j], and numpy outputs the *post-advance* state,
+    # so the state to output has been advanced offset + 1 times.
+    a_hi, a_lo, c_hi, c_lo = _jump_transforms_vec(cols + 1, inc)
+
+    # Per-row base states: row t starts t * stride draws in.
+    row_mult, row_plus = jump_transform(stride, inc)
+    s_hi = np.empty(rows, dtype=np.uint64)
+    s_lo = np.empty(rows, dtype=np.uint64)
+    for t in range(rows):
+        s_hi[t] = s >> 64
+        s_lo[t] = s & _MASK64
+        s = (row_mult * s + row_plus) & _MASK128
+
+    g_hi, g_lo = _mul128(
+        a_hi[None, :], a_lo[None, :], s_hi[:, None], s_lo[:, None]
+    )
+    g_hi, g_lo = _add128(g_hi, g_lo, c_hi[None, :], c_lo[None, :])
+    return _xsl_rr_double(g_hi, g_lo)
+
+
+class CoinField:
+    """The coin source behind one streamed transmit plan.
+
+    ``draw(start, stop)`` is the legacy full block — a plain
+    ``rng.random((k, n))``, byte-identical to what the pre-residual
+    emitters drew. ``draw_at(start, stop, cols)`` returns only the
+    requested columns of that block while consuming the generator
+    exactly as the full draw would (offset generation + one
+    ``advance``, or block-draw-and-slice on non-PCG64 generators and
+    wide column sets) — so restricted and unrestricted executions of
+    one plan share a single rng stream, value for value.
+
+    The streaming executor's contract (consecutive, non-overlapping
+    ``[start, stop)`` intervals covering the plan in order, once each)
+    is what lets both forms map interval ``[start, stop)`` onto stream
+    offsets ``[start * n, stop * n)`` without any internal bookkeeping.
+    """
+
+    def __init__(self, rng: np.random.Generator, n: int) -> None:
+        self.rng = rng
+        self.n = int(n)
+        self._offset_ok = supports_offset_draws(rng)
+
+    def draw(self, start: int, stop: int) -> np.ndarray:
+        """The full ``(stop - start, n)`` coin block (legacy form)."""
+        return self.rng.random((stop - start, self.n))
+
+    def draw_at(
+        self, start: int, stop: int, cols: np.ndarray
+    ) -> np.ndarray:
+        """Columns ``cols`` of the full block, same stream consumption."""
+        k = stop - start
+        if k <= 0:
+            return np.empty((0, cols.size), dtype=np.float64)
+        if (
+            not self._offset_ok
+            or cols.size * OFFSET_COST_FACTOR >= self.n
+        ):
+            # Draw-and-slice fallback, in bounded row blocks so the
+            # full-width scratch stays within the streaming cost model
+            # even when the restricted chunk height was sized for the
+            # (much narrower) residual width.
+            from .segments import coin_chunk
+
+            block = coin_chunk(self.n)
+            if k <= block:
+                return self.rng.random((k, self.n))[:, cols]
+            parts = [
+                self.rng.random((min(block, k - done), self.n))[:, cols]
+                for done in range(0, k, block)
+            ]
+            return np.concatenate(parts, axis=0)
+        vals = peek_uniform_block(self.rng, k, self.n, cols)
+        self.rng.bit_generator.advance(k * self.n)
+        return vals
+
+
+__all__ = [
+    "CoinField",
+    "OFFSET_COST_FACTOR",
+    "PCG64_MULT",
+    "jump_transform",
+    "peek_uniform_block",
+    "supports_offset_draws",
+]

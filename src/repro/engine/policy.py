@@ -37,7 +37,13 @@ import numpy as np
 
 from ..faults.schedule import FaultSchedule, default_faults, validate_faults
 from ..radio.errors import ProtocolError
-from ..radio.network import DELIVERY_MODES, RadioNetwork
+from ..radio.network import RadioNetwork
+from .kernels import (
+    ALL_DELIVERY_MODES,
+    available_delivery_modes,
+    require_delivery_mode,
+)
+from .residual import RESTRICT_MODES, validate_restrict
 from .streaming import memory_budget, resolve_chunk_steps
 
 #: Every engine variant any protocol accepts. ``"auto"`` defers to the
@@ -74,13 +80,17 @@ def validate_engine(
 
 
 def validate_delivery(delivery: str) -> str:
-    """Check a window delivery mode, naming the accepted values."""
-    if delivery not in DELIVERY_MODES:
-        raise ProtocolError(
-            f"unknown delivery mode: {delivery!r} "
-            f"(expected one of {DELIVERY_MODES})"
-        )
-    return delivery
+    """Check a window delivery mode, naming the accepted values.
+
+    Beyond the always-available numpy strategies
+    (:data:`~repro.radio.network.DELIVERY_MODES`), the compiled
+    backends ``"numba"`` and ``"cupy"`` are accepted exactly when their
+    optional dependency is importable and usable — an explicit request
+    for an absent backend refuses by name, listing the installed
+    alternatives (:func:`~repro.engine.kernels.available_delivery_modes`);
+    ``"auto"`` is the only mode that silently adapts.
+    """
+    return require_delivery_mode(delivery)
 
 
 def validate_chunk_steps(chunk_steps: int | None) -> int | None:
@@ -197,6 +207,15 @@ class ExecutionPolicy:
         ``"default"`` (full :class:`~repro.radio.trace.StepTrace`) or
         ``"cheap"`` (totals only). Networks the caller built keep the
         trace they were built with.
+    restrict:
+        Active-set restriction mode for streamed plans that declare a
+        transmit support (``"auto"``/``"off"``/``"force"``, see
+        :mod:`repro.engine.residual`). ``"auto"`` (default) switches to
+        residual-graph delivery when the live set is small enough to
+        pay; ``"off"`` never restricts; ``"force"`` restricts whenever
+        a plan allows it (equivalence tests pin the restricted path
+        with it). A performance knob: results are bit-identical either
+        way.
     faults:
         A :class:`~repro.faults.FaultSchedule` to install on the
         network the run executes over (``None`` = unset; :meth:`resolve`
@@ -219,6 +238,7 @@ class ExecutionPolicy:
     validate: bool = False
     trace: str = "default"
     faults: FaultSchedule | None = None
+    restrict: str = "auto"
 
     def __post_init__(self) -> None:
         validate_engine(self.engine)
@@ -227,6 +247,7 @@ class ExecutionPolicy:
         validate_mem_budget(self.mem_budget)
         validate_trace(self.trace)
         validate_faults(self.faults)
+        validate_restrict(self.restrict)
 
     def engine_for(
         self, allowed: tuple[str, ...], default: str
@@ -345,6 +366,7 @@ class ExecutionPolicy:
             delivery=self.delivery,
             chunk_steps=self.chunk_steps,
             mem_budget=self.mem_budget,
+            restrict=self.restrict,
         )
 
     def run_schedule(
@@ -408,14 +430,18 @@ def legacy_policy(
 
 
 __all__ = [
+    "ALL_DELIVERY_MODES",
     "ENGINE_MODES",
     "ExecutionPolicy",
+    "RESTRICT_MODES",
     "TRACE_MODES",
+    "available_delivery_modes",
     "legacy_policy",
     "parse_mem_budget",
     "validate_chunk_steps",
     "validate_delivery",
     "validate_engine",
     "validate_mem_budget",
+    "validate_restrict",
     "validate_trace",
 ]

@@ -51,9 +51,18 @@ from ..radio.network import (
     TransmitPlan,
     as_transmit_plan,
 )
+from .kernels import require_delivery_mode
+from .residual import (
+    REBUILD_FACTOR,
+    RESIDUAL_MAX_FRACTION,
+    RESTRICT_LIVE_FRACTION,
+    ResidualContext,
+    validate_restrict,
+)
 from .segments import (
     DecisionStep,
     ObliviousWindow,
+    PlanSection,
     ProtocolSchedule,
     SegmentProtocol,
     StreamedWindow,
@@ -108,12 +117,13 @@ class WindowedRunner:
         delivery: str = "auto",
         chunk_steps: int | None = None,
         mem_budget: int | None = None,
+        restrict: str = "auto",
     ) -> None:
-        if delivery not in DELIVERY_MODES:
-            raise ProtocolError(
-                f"unknown delivery mode: {delivery!r} "
-                f"(expected one of {DELIVERY_MODES})"
-            )
+        # All delivery modes (including the compiled numba/cupy
+        # backends) validate through the kernel registry: unknown names
+        # and absent dependencies are refused here, before any run.
+        require_delivery_mode(delivery)
+        validate_restrict(restrict)
         # Validate the streaming knobs eagerly (resolution also consults
         # the process-wide default, so it happens per execution).
         resolve_chunk_steps(network.n, chunk_steps, mem_budget)
@@ -122,12 +132,25 @@ class WindowedRunner:
         self.delivery = delivery
         self.chunk_steps = chunk_steps
         self.mem_budget = mem_budget
+        self.restrict = restrict
         self.steps_executed = 0
+        # Residual-delivery cache: the current ResidualContext, plus
+        # the live count at which auto last declined one (so the
+        # closure test is only retried after the live set halves again).
+        self._residual_cache: ResidualContext | None = None
+        self._residual_declined_live: int | None = None
 
-    def _resolved_chunk_steps(self) -> int | None:
-        """The configured streaming bound, or ``None`` when unset."""
+    def _resolved_chunk_steps(self, width: int | None = None) -> int | None:
+        """The configured streaming bound, or ``None`` when unset.
+
+        ``width`` re-resolves a ``mem_budget`` against a restricted
+        column width: the same byte cap buys proportionally taller
+        slabs on a residual world.
+        """
         return resolve_chunk_steps(
-            self.network.n, self.chunk_steps, self.mem_budget
+            self.network.n if width is None else max(1, width),
+            self.chunk_steps,
+            self.mem_budget,
         )
 
     def _charge(self, steps: int) -> None:
@@ -170,6 +193,84 @@ class WindowedRunner:
         """Execute one charged decision step."""
         return self.network.deliver(mask)
 
+    def _plan_sections(
+        self, segment: StreamedWindow
+    ) -> tuple[PlanSection, ...]:
+        """The section list of a streamed window.
+
+        Fused windows carry their own sections; a plain window becomes
+        one anonymous section wrapping its ``consume``/``consume_at``
+        callbacks, so there is exactly one streaming loop either way.
+        """
+        if segment.sections is not None:
+            total = sum(s.width for s in segment.sections)
+            if total != segment.plan.total_steps:
+                raise ProtocolError(
+                    f"fused StreamedWindow sections cover {total} steps "
+                    f"but the plan has {segment.plan.total_steps}"
+                )
+            return tuple(segment.sections)
+        return (
+            PlanSection(
+                segment.plan.total_steps,
+                None,
+                segment.consume,
+                segment.consume_at,
+            ),
+        )
+
+    def _restriction_for(
+        self, plan: TransmitPlan, sections: tuple[PlanSection, ...]
+    ) -> ResidualContext | None:
+        """Decide (and cache) the residual context for one plan.
+
+        ``None`` means execute full-width. Restriction needs the plan's
+        opt-in surface (``support`` + ``masks_at``) and every section's
+        ``consume_at``. Under ``"auto"``, it also needs to be worth it:
+        the live fraction at or below
+        :data:`~repro.engine.residual.RESTRICT_LIVE_FRACTION` and the
+        one-hop closure below
+        :data:`~repro.engine.residual.RESIDUAL_MAX_FRACTION` of ``n``.
+        Contexts are reused while the support stays inside the cached
+        member set and the live count has not halved since the build
+        (:data:`~repro.engine.residual.REBUILD_FACTOR`); ``"force"``
+        restricts whenever the plan allows, which is how the
+        equivalence suites pin the restricted path at any scale.
+        """
+        if self.restrict == "off":
+            return None
+        if plan.support is None or plan.masks_at is None:
+            return None
+        if any(s.consume_at is None for s in sections):
+            return None
+        network = self.network
+        support = np.asarray(plan.support, dtype=bool)
+        live = int(support.sum())
+        if self.restrict == "auto":
+            if live > RESTRICT_LIVE_FRACTION * network.n:
+                return None
+            declined = self._residual_declined_live
+            if declined is not None and live > REBUILD_FACTOR * declined:
+                return None
+        cached = self._residual_cache
+        if cached is not None and cached.covers(support):
+            if (
+                self.restrict == "force"
+                or live >= REBUILD_FACTOR * cached.live_at_build
+            ):
+                return cached
+        ctx = ResidualContext(network, support)
+        if (
+            self.restrict == "auto"
+            and ctx.k > RESIDUAL_MAX_FRACTION * network.n
+        ):
+            self._residual_declined_live = live
+            return None
+        self._residual_declined_live = None
+        self._residual_cache = ctx
+        network.residual_stats["rebuilds"] += 1
+        return ctx
+
     def _execute_stream(self, segment: StreamedWindow) -> None:
         """Execute one streamed window, folding chunks as they arrive.
 
@@ -179,10 +280,19 @@ class WindowedRunner:
         chunk's coins before yielding it. Per-slab processing goes
         through :meth:`_consume_stream_slab`, the hook the validating
         runner interposes on — there is exactly one streaming loop.
+
+        Fused windows execute section by section (chunks never straddle
+        a section boundary; each section may enter its own trace
+        phase), and plans that opt in may run column-restricted on a
+        residual context (:meth:`_restriction_for`) — both reduce to
+        the classic single-loop behavior when unused.
         """
         plan = segment.plan
-        consume = segment.consume
-        assert consume is not None
+        sections = self._plan_sections(segment)
+        ctx = self._restriction_for(plan, sections)
+        if ctx is not None:
+            self._execute_stream_restricted(plan, sections, ctx)
+            return
         chunk = default_stream_chunk(
             self.network.n, self._resolved_chunk_steps()
         )
@@ -191,19 +301,128 @@ class WindowedRunner:
         # the charging wrapper also stashes each chunk's masks for the
         # per-slab hook; exactly one chunk is in flight at a time.
         current: list[np.ndarray] = []
+        base = 0
+        for section in sections:
+            if section.phase is not None:
+                self.network.trace.enter_phase(section.phase)
 
-        def charged(start: int, stop: int) -> np.ndarray:
-            masks = np.asarray(inner(start, stop))
-            self._charge(stop - start)
-            current.append(masks)
-            return masks
+            def charged(
+                start: int, stop: int, _base: int = base
+            ) -> np.ndarray:
+                masks = np.asarray(inner(_base + start, _base + stop))
+                self._charge(stop - start)
+                current.append(masks)
+                return masks
 
-        for slab in self.network.deliver_window_chunks(
-            TransmitPlan(plan.total_steps, charged),
-            chunk_steps=chunk,
-            mode=self.delivery,
-        ):
-            self._consume_stream_slab(slab, current.pop(), consume)
+            for slab in self.network.deliver_window_chunks(
+                TransmitPlan(section.width, charged),
+                chunk_steps=chunk,
+                mode=self.delivery,
+            ):
+                self._consume_stream_slab(
+                    slab, current.pop(), section.consume
+                )
+            self.network.residual_stats["full_steps"] += section.width
+            base += section.width
+
+    def _execute_stream_restricted(
+        self,
+        plan: TransmitPlan,
+        sections: tuple[PlanSection, ...],
+        ctx: ResidualContext,
+    ) -> None:
+        """The column-restricted twin of :meth:`_execute_stream`.
+
+        Chunks are produced compact (``plan.masks_at`` over the member
+        columns — same rng consumption as the full draw), fault-masked
+        compact (global-id-keyed transforms), executed on the residual
+        kernels, and folded compact through each section's
+        ``consume_at`` — with senders translated back to global ids
+        first, so protocol state never sees a local index. Accounting
+        is identical to the full path: intended masks are False outside
+        the members, so compact popcounts *are* the global popcounts.
+        """
+        network = self.network
+        members = ctx.members
+        k_r = ctx.k
+        chunk = default_stream_chunk(
+            max(1, k_r), self._resolved_chunk_steps(k_r)
+        )
+        stats = network.residual_stats
+        base = 0
+        for section in sections:
+            if section.phase is not None:
+                network.trace.enter_phase(section.phase)
+            done = 0
+            while done < section.width:
+                k = min(chunk, section.width - done)
+                start = base + done
+                intended = np.asarray(
+                    plan.masks_at(start, start + k, members)
+                )
+                if intended.shape != (k, k_r) or (
+                    intended.dtype != np.bool_
+                ):
+                    raise ProtocolError(
+                        f"masks_at produced shape {intended.shape} "
+                        f"dtype {intended.dtype} for steps "
+                        f"[{start}, {start + k}) over {k_r} members; "
+                        f"expected bool ({k}, {k_r})"
+                    )
+                self._charge(k)
+                slab = self._execute_restricted_chunk(intended, ctx)
+                stats["restricted_steps"] += k
+                self._consume_restricted_slab(
+                    slab, intended, ctx, section
+                )
+                done += k
+            base += section.width
+
+    def _execute_restricted_chunk(
+        self, intended: np.ndarray, ctx: ResidualContext
+    ) -> np.ndarray:
+        """Fault transform + kernels + deaf silencing + sender
+        translation + accounting for one compact chunk; returns the
+        compact hear slab with **global** sender ids."""
+        network = self.network
+        k = intended.shape[0]
+        hear = np.full((k, ctx.k), NO_SENDER, dtype=np.int64)
+        fault_state = network._fault_state
+        if fault_state is None:
+            effective = intended
+            receptions = ctx.kernels.execute(
+                intended, hear, self.delivery,
+                counters=network.kernel_use,
+            )
+        else:
+            effective, deaf = fault_state.transform_window(
+                intended, network.steps_elapsed, cols=ctx.members
+            )
+            receptions = ctx.kernels.execute(
+                effective, hear, self.delivery,
+                counters=network.kernel_use,
+            )
+            silenced = deaf & (hear != NO_SENDER)
+            n_silenced = int(np.count_nonzero(silenced))
+            if n_silenced:
+                hear[silenced] = NO_SENDER
+                receptions -= n_silenced
+                fault_state.note_silenced(n_silenced)
+        got = hear != NO_SENDER
+        if got.any():
+            hear[got] = ctx.members[hear[got]]
+        network._account_window(effective, receptions)
+        return hear
+
+    def _consume_restricted_slab(
+        self,
+        slab: np.ndarray,
+        intended: np.ndarray,
+        ctx: ResidualContext,
+        section: PlanSection,
+    ) -> None:
+        """Fold one restricted slab (hook for the validator)."""
+        section.consume_at(slab, ctx.members)
 
     def _consume_stream_slab(
         self,
@@ -230,7 +449,7 @@ class WindowedRunner:
                 self._charge(segment.masks.shape[0])
                 reply = self._execute_window(segment.masks)
             elif isinstance(segment, StreamedWindow):
-                if segment.consume is None:
+                if segment.consume is None and segment.sections is None:
                     raise ProtocolError(
                         "schedule yielded a StreamedWindow without a "
                         "consume callback; generator-form emitters must "
@@ -264,6 +483,7 @@ def run_schedule(
     delivery: str = "auto",
     chunk_steps: int | None = None,
     mem_budget: int | None = None,
+    restrict: str = "auto",
 ) -> Any:
     """One-shot convenience: ``WindowedRunner(network, ...).run(...)``."""
     return WindowedRunner(
@@ -272,6 +492,7 @@ def run_schedule(
         delivery=delivery,
         chunk_steps=chunk_steps,
         mem_budget=mem_budget,
+        restrict=restrict,
     ).run(schedule)
 
 
@@ -301,7 +522,7 @@ def segment_schedule(
             yield segment
             source.commit(None)
         elif isinstance(segment, StreamedWindow):
-            if segment.consume is None:
+            if segment.consume is None and segment.sections is None:
                 segment = dataclasses.replace(
                     segment, consume=source.commit
                 )

@@ -99,6 +99,37 @@ class DecisionStep:
 
 
 @dataclasses.dataclass
+class PlanSection:
+    """One phase-labeled span of a fused :class:`StreamedWindow`.
+
+    A fused plan concatenates what used to be several back-to-back
+    streamed windows (the two Decay blocks of a Radio MIS round) into
+    one :class:`~repro.radio.network.TransmitPlan`, so chunk dispatch,
+    fault masking, and density routing run once per round. Sections
+    keep the pieces' identities: ``width`` rows of the plan, an
+    optional trace ``phase`` the runner enters when the section starts,
+    and the section's own fold callbacks.
+
+    ``consume(hear_chunk)`` folds a full-width hear slab;
+    ``consume_at(hear_chunk, cols)`` is its column-restricted twin for
+    residual delivery (``cols`` are sorted global ids; senders in the
+    compact slab are already translated to global ids). A section whose
+    plan opts into restriction must provide both.
+
+    The runner never lets an executed chunk straddle a section
+    boundary, so a section's callbacks see exactly the rows of its own
+    span — which is what lets a fused emitter switch per-section state
+    (the second Decay block's membership depends on the first's
+    outcome) inside one plan.
+    """
+
+    width: int
+    phase: str | None = None
+    consume: Callable[[np.ndarray], None] | None = None
+    consume_at: Callable[[np.ndarray, np.ndarray], None] | None = None
+
+
+@dataclasses.dataclass
 class StreamedWindow:
     """An oblivious window executed as a stream of bounded chunks.
 
@@ -132,6 +163,15 @@ class StreamedWindow:
 
     plan: TransmitPlan
     consume: Callable[[np.ndarray], None] | None = None
+    #: Column-restricted fold for residual delivery:
+    #: ``consume_at(hear_chunk, cols)`` receives the member columns of
+    #: the full hear slab (senders already global ids). Optional — a
+    #: window without it simply never restricts.
+    consume_at: Callable[[np.ndarray, np.ndarray], None] | None = None
+    #: Fused multi-phase form: when set, a tuple of
+    #: :class:`PlanSection` whose widths sum to ``plan.total_steps``;
+    #: the sections' callbacks replace ``consume``/``consume_at``.
+    sections: tuple[PlanSection, ...] | None = None
 
 
 @dataclasses.dataclass
@@ -286,6 +326,7 @@ __all__ = [
     "COIN_BUDGET",
     "DecisionStep",
     "ObliviousWindow",
+    "PlanSection",
     "ProtocolSchedule",
     "ScheduleSegmentAdapter",
     "Segment",

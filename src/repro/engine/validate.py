@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..radio.errors import ProtocolError
-from ..radio.network import GATHER_WINDOW_WIDTH, RadioNetwork
+from ..radio.network import GATHER_WINDOW_WIDTH, NO_SENDER, RadioNetwork
 from ..radio.trace import CheapTrace
 from .runner import WindowedRunner
 
@@ -64,6 +64,7 @@ class ValidatingRunner(WindowedRunner):
         delivery: str = "auto",
         chunk_steps: int | None = None,
         mem_budget: int | None = None,
+        restrict: str = "auto",
     ) -> None:
         super().__init__(
             network,
@@ -71,6 +72,7 @@ class ValidatingRunner(WindowedRunner):
             delivery=delivery,
             chunk_steps=chunk_steps,
             mem_budget=mem_budget,
+            restrict=restrict,
         )
         self.shadow_step = RadioNetwork(network.graph, trace=CheapTrace())
         self.shadow_sparse = RadioNetwork(network.graph, trace=CheapTrace())
@@ -173,6 +175,30 @@ class ValidatingRunner(WindowedRunner):
         self.windows_checked += 1
         self.steps_checked += slab.shape[0]
         consume(slab)
+
+    def _consume_restricted_slab(self, slab, intended, ctx, section) -> None:
+        """Cross-check one restricted slab before folding it.
+
+        The compact slab is expanded back to full width — intended
+        masks are False and receptions absent outside the member
+        columns by the residual support invariant — and compared
+        against the step replay and both forced full-width strategies.
+        This is the direct assertion that active-set restriction (and
+        its interplay with an installed fault schedule) realizes
+        exactly the unrestricted channel.
+        """
+        n = self.network.n
+        members = ctx.members
+        full_masks = np.zeros((intended.shape[0], n), dtype=bool)
+        full_masks[:, members] = intended
+        full_slab = np.full(
+            (slab.shape[0], n), NO_SENDER, dtype=np.int64
+        )
+        full_slab[:, members] = slab
+        self._compare(full_slab, full_masks)
+        self.windows_checked += 1
+        self.steps_checked += slab.shape[0]
+        section.consume_at(slab, members)
 
     def _execute_step(self, mask: np.ndarray) -> np.ndarray:
         hear_from = super()._execute_step(mask)

@@ -66,6 +66,28 @@ def _hash_uniform(
     return (key >> np.uint64(11)).astype(np.float64) * _INV_2_53
 
 
+def _positions_in(
+    cols: np.ndarray, nodes
+) -> tuple[np.ndarray, np.ndarray]:
+    """Local positions in sorted ``cols`` of the global ids in
+    ``nodes`` that are present, paired with those global ids.
+
+    The index translation behind every column-restricted fault
+    transform: fault events stay keyed on **global** node ids (so
+    coins, ledgers, and counters are identical however the runner
+    restricts), and only events naming a member column touch the
+    compact window.
+    """
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if cols.size == 0 or nodes.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    pos = np.searchsorted(cols, nodes)
+    ok = pos < cols.size
+    ok &= cols[np.minimum(pos, cols.size - 1)] == nodes
+    return pos[ok], nodes[ok]
+
+
 class FaultState:
     """Mutable realization of a :class:`FaultSchedule` on ``n`` nodes.
 
@@ -136,25 +158,43 @@ class FaultState:
         return twin
 
     # ------------------------------------------------------------------
-    def alive_window(self, start: int, width: int) -> np.ndarray:
-        """(width, n) bool: node up (joined, not crashed, not asleep)
-        at each global step in ``[start, start + width)``."""
+    def alive_window(
+        self, start: int, width: int, cols: np.ndarray | None = None
+    ) -> np.ndarray:
+        """(width, k) bool: node up (joined, not crashed, not asleep)
+        at each global step in ``[start, start + width)``.
+
+        ``cols`` (sorted global node ids) restricts the columns to a
+        member subset — same per-node values, compact layout.
+        """
         steps = np.arange(start, start + width, dtype=np.int64)[:, None]
-        alive = (steps >= self.join_step[None, :]) & (
-            steps < self.crash_step[None, :]
+        join = self.join_step if cols is None else self.join_step[cols]
+        crash = (
+            self.crash_step if cols is None else self.crash_step[cols]
         )
+        alive = (steps >= join[None, :]) & (steps < crash[None, :])
         stop_w = start + width
         for node, s0, s1 in self.sleeps:
             lo, hi = max(s0, start), min(s1, stop_w)
             if lo < hi:
-                alive[lo - start : hi - start, node] = False
+                if cols is None:
+                    alive[lo - start : hi - start, node] = False
+                else:
+                    loc, _ = _positions_in(cols, [node])
+                    if loc.size:
+                        alive[lo - start : hi - start, loc[0]] = False
         return alive
 
     def deaf_window(
-        self, start: int, width: int, alive: np.ndarray
+        self,
+        start: int,
+        width: int,
+        alive: np.ndarray,
+        cols: np.ndarray | None = None,
     ) -> np.ndarray:
-        """(width, n) bool: listeners forced to silence — down nodes
-        plus jammed regions in ``[start, start + width)``."""
+        """(width, k) bool: listeners forced to silence — down nodes
+        plus jammed regions in ``[start, start + width)``; ``cols``
+        restricts columns as in :meth:`alive_window`."""
         deaf = ~alive
         stop_w = start + width
         for jam in self.jams:
@@ -163,53 +203,73 @@ class FaultState:
                 rows = slice(lo - start, hi - start)
                 if jam.nodes is None:
                     deaf[rows, :] = True
-                else:
+                elif cols is None:
                     deaf[rows, list(jam.nodes)] = True
+                else:
+                    loc, _ = _positions_in(cols, list(jam.nodes))
+                    if loc.size:
+                        deaf[rows, loc] = True
         return deaf
 
     # ------------------------------------------------------------------
     def transform_window(
-        self, masks: np.ndarray, start: int
+        self, masks: np.ndarray, start: int, cols: np.ndarray | None = None
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Intended (w, n) masks at global step ``start`` → effective
+        """Intended (w, k) masks at global step ``start`` → effective
         masks + deaf mask; commits energy depletion and counters.
 
         Call exactly once per executed window/chunk, in execution
         order — energy carries across calls, everything else is
         stateless in the step index.
+
+        ``cols`` (sorted global node ids) is the column-restricted
+        form used by residual delivery: masks cover only the member
+        columns, but every fault quantity stays keyed on **global**
+        ids — suppression coins hash the global node id, the energy
+        ledger debits global slots, jams and sleeps translate through
+        member positions. A restricted window therefore realizes
+        exactly the fault pattern of its full-width twin, provided the
+        full-width intended masks are False outside ``cols`` (the
+        residual support invariant — transmitters are always members).
         """
         width = masks.shape[0]
-        alive = self.alive_window(start, width)
+        alive = self.alive_window(start, width, cols)
         effective = masks & alive
 
         if self._scaled.size:
-            cols = self._scaled
-            sub = effective[:, cols]
+            if cols is None:
+                loc = gids = self._scaled
+            else:
+                loc, gids = _positions_in(cols, self._scaled)
+            sub = effective[:, loc]
             if sub.any():
                 steps = np.arange(
                     start, start + width, dtype=np.uint64
                 )[:, None]
                 coins = _hash_uniform(
-                    self.schedule.seed, steps, cols.astype(np.uint64)[None, :]
+                    self.schedule.seed, steps, gids.astype(np.uint64)[None, :]
                 )
-                effective[:, cols] = sub & (
-                    coins < self.tx_scale[cols][None, :]
+                effective[:, loc] = sub & (
+                    coins < self.tx_scale[gids][None, :]
                 )
 
         if self._budgeted.size:
-            cols = self._budgeted
-            sub = effective[:, cols]
+            if cols is None:
+                loc = gids = self._budgeted
+            else:
+                loc, gids = _positions_in(cols, self._budgeted)
+            sub = effective[:, loc]
             if sub.any():
                 used = np.cumsum(sub, axis=0, dtype=np.int64)
                 allowed = sub & (
-                    used <= self.energy_remaining[cols][None, :]
+                    used <= self.energy_remaining[gids][None, :]
                 )
-                effective[:, cols] = allowed
-                self.energy_remaining[cols] -= allowed.sum(
+                effective[:, loc] = allowed
+                self.energy_remaining[gids] -= allowed.sum(
                     axis=0, dtype=np.int64
                 )
 
-        deaf = self.deaf_window(start, width, alive)
+        deaf = self.deaf_window(start, width, alive, cols)
         self.realized["steps_faulted"] += int(width)
         self.realized["suppressed_transmissions"] += int(
             masks.sum() - effective.sum()

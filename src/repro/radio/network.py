@@ -130,10 +130,33 @@ class TransmitPlan:
     same order (and the same total amount) as one monolithic
     row-major draw, whatever chunk size the executor picks. The chunk
     size is therefore a memory knob, never a semantics knob.
+
+    Two optional fields opt a plan into **active-set-restricted
+    delivery** (:mod:`repro.engine.residual`):
+
+    * ``support`` — a global length-``n`` bool mask covering every node
+      that could transmit at *any* step of the plan (e.g. a protocol's
+      live set when the plan was emitted). The runner may then execute
+      the plan on the residual graph induced by ``support`` and its
+      neighborhood instead of all of ``n``.
+    * ``masks_at(start, stop, cols)`` — the ``cols`` columns of
+      ``masks(start, stop)``, produced while consuming the plan's coin
+      stream exactly as the full call would (see
+      :class:`~repro.engine.pcg.CoinField`). The same
+      consecutive-intervals contract applies; per plan the runner
+      commits to one of the two producers and never mixes them within
+      an interval.
+
+    Plans without these fields (or runners with restriction off)
+    execute exactly as before — both are pure opt-in accelerators,
+    bit-identical by construction and pinned by the residual test
+    suite.
     """
 
     total_steps: int
     masks: Callable[[int, int], np.ndarray]
+    support: np.ndarray | None = None
+    masks_at: Callable[[int, int, np.ndarray], np.ndarray] | None = None
 
 
 def as_transmit_plan(plan: TransmitPlan | np.ndarray) -> TransmitPlan:
@@ -219,6 +242,18 @@ class RadioNetwork:
         )
         self.trace = trace if trace is not None else StepTrace()
         self.steps_elapsed = 0
+        # Delivery provenance: per-kernel executed-row counters and
+        # residual-restriction statistics, filled by the window router
+        # and the restricted runner, surfaced through RunReport.
+        self.kernel_use: dict[str, int] = {}
+        self.residual_stats: dict[str, int] = {
+            "rebuilds": 0,
+            "restricted_steps": 0,
+            "full_steps": 0,
+        }
+        # Lazy DeliveryKernels view over this network's own CSR, for
+        # the compiled delivery modes (repro.engine.kernels).
+        self._kernels = None
         # Fault layer (repro.faults): None until a non-empty schedule is
         # installed — the disabled path is a single attribute check per
         # delivery, which is what keeps it bit-identical and overhead-free.
@@ -713,10 +748,21 @@ class RadioNetwork:
 
     def _check_delivery_mode(self, mode: str) -> None:
         if mode not in DELIVERY_MODES:
-            raise ProtocolError(
-                f"unknown delivery mode: {mode!r} "
-                f"(expected one of {DELIVERY_MODES})"
+            # Compiled modes (numba/cupy) are known to the kernel
+            # registry, which refuses absent backends uniformly.
+            from ..engine.kernels import require_delivery_mode
+
+            require_delivery_mode(mode)
+
+    def _delivery_kernels(self):
+        """Lazy kernel registry bound to this network's own CSR."""
+        if self._kernels is None:
+            from ..engine.kernels import DeliveryKernels
+
+            self._kernels = DeliveryKernels(
+                self._adj.indptr, self._adj.indices, self.n
             )
+        return self._kernels
 
     def _validate_window_masks(self, masks: np.ndarray) -> np.ndarray:
         """Shared shape/dtype validation for window mask matrices."""
@@ -739,9 +785,29 @@ class RadioNetwork:
         """
         if not masks.any():
             return 0
+        if mode not in ("sparse", "dense"):
+            # Compiled modes always delegate to the kernel registry;
+            # "auto" delegates when a compiled backend is installed so
+            # the registry can route its sparse rows through it (and
+            # name it in provenance). Without one, auto stays on the
+            # numpy paths below — zero new overhead on the base path.
+            from ..engine import kernels as _kernels
+
+            if mode != "auto" or _kernels.probe_numba():
+                return self._delivery_kernels().execute(
+                    masks, hear_from, mode, counters=self.kernel_use
+                )
+        bump = self._bump_kernel
         if mode == "dense":
+            bump("dense", masks.shape[0])
             return self._deliver_window_dense(masks, hear_from)
         if mode == "sparse":
+            bump(
+                "gather"
+                if masks.shape[0] <= GATHER_WINDOW_WIDTH
+                else "spmm",
+                masks.shape[0],
+            )
             return self._deliver_window_sparse(masks, hear_from)
         # auto: route per row on popcount density at *every* width —
         # dense rows must never reach the sparse/gather kernels, whose
@@ -759,20 +825,28 @@ class RadioNetwork:
         dense_rows = self.dense_window_rows(masks)
         if not dense_rows.any():
             if masks.shape[0] <= GATHER_WINDOW_WIDTH:
+                bump("gather", masks.shape[0])
                 return self._deliver_window_gather(masks, hear_from)
+            bump("spmm", masks.shape[0])
             return self._deliver_window_sparse(masks, hear_from)
         if dense_rows.all():
+            bump("dense", masks.shape[0])
             return self._deliver_window_dense(masks, hear_from)
         receptions = 0
-        for rows, execute in (
-            (dense_rows, self._deliver_window_dense),
-            (~dense_rows, self._deliver_window_sparse),
+        for rows, execute, name in (
+            (dense_rows, self._deliver_window_dense, "dense"),
+            (~dense_rows, self._deliver_window_sparse, "spmm"),
         ):
             idx = np.nonzero(rows)[0]
             sub = np.full((idx.size, self.n), NO_SENDER, dtype=np.int64)
+            bump(name, idx.size)
             receptions += execute(masks[idx], sub)
             hear_from[idx] = sub
         return receptions
+
+    def _bump_kernel(self, name: str, rows: int) -> None:
+        """Count executed rows per kernel leg (RunReport provenance)."""
+        self.kernel_use[name] = self.kernel_use.get(name, 0) + int(rows)
 
     def _account_window(self, masks: np.ndarray, receptions: int) -> None:
         """Advance ``steps_elapsed`` and the trace for one executed block."""

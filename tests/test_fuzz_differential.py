@@ -382,6 +382,62 @@ class TestFaultTwins:
             _assert_rng_equal(rng_w, rng_r)
             self._assert_realized_equal(net_w, net_r)
 
+    def test_mis_restricted_under_faults(self, fuzz_rounds):
+        # Active-set restriction × faults: a run forced onto residual
+        # contexts realizes the identical fault masks (crashes, jams,
+        # sleeps, energy debits land on the same global (step, node)
+        # cells) as the unrestricted engine and the step-wise twin.
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-mis-restrict")
+            seed = _seed(r, "fault-mis-restrict")
+            config = MISConfig(eed_C=3)
+            schedule = _fuzz_schedule(g.number_of_nodes(), seed)
+            nets = [RadioNetwork(g, faults=schedule) for _ in range(3)]
+            rngs = [np.random.default_rng(seed) for _ in range(3)]
+            forced = compute_mis(
+                nets[0], rngs[0], config,
+                policy=ExecutionPolicy(restrict="force"),
+            )
+            off = compute_mis(
+                nets[1], rngs[1], config,
+                policy=ExecutionPolicy(restrict="off"),
+            )
+            ref = compute_mis_reference(nets[2], rngs[2], config)
+            assert forced.mis == off.mis == ref.mis
+            assert forced.steps_used == off.steps_used == ref.steps_used
+            assert forced.history == off.history == ref.history
+            _assert_trace_equal(nets[0], nets[1])
+            _assert_trace_equal(nets[0], nets[2])
+            _assert_rng_equal(*rngs)
+            self._assert_realized_equal(nets[0], nets[1])
+            self._assert_realized_equal(nets[0], nets[2])
+            assert nets[0].residual_stats["restricted_steps"] > 0
+
+    def test_decay_restricted_under_faults(self, fuzz_rounds):
+        # Same property at the single-block level, where the support
+        # (the Decay active set) is sparse from step 0.
+        for r in range(fuzz_rounds):
+            g = _fuzz_graph(r, "fault-decay-restrict")
+            n = g.number_of_nodes()
+            seed = _seed(r, "fault-decay-restrict")
+            active = np.random.default_rng(seed).random(n) < 0.3
+            active[0] = True
+            net_f, net_r = self._twin_networks(g, seed)
+            rng_f = np.random.default_rng(seed + 1)
+            rng_r = np.random.default_rng(seed + 1)
+            a = run_decay(
+                net_f, active, rng_f, iterations=5,
+                policy=ExecutionPolicy(restrict="force"),
+            )
+            b = run_decay_reference(net_r, active, rng_r, iterations=5)
+            assert (a.heard == b.heard).all()
+            assert (a.heard_from == b.heard_from).all()
+            assert a.messages == b.messages
+            _assert_trace_equal(net_f, net_r)
+            _assert_rng_equal(rng_f, rng_r)
+            self._assert_realized_equal(net_f, net_r)
+            assert net_f.residual_stats["restricted_steps"] > 0
+
     def test_bgi_broadcast_under_faults(self, fuzz_rounds):
         # Crashed nodes can never be informed, so both twins run the
         # same bounded best-effort sweep budget.

@@ -53,6 +53,7 @@ EXPECTED_API_ALL = [
     "TRACE_MODES",
     "UptimeLeaderConfig",
     "WakeupConfig",
+    "available_delivery_modes",
     "get_protocol",
     "list_protocols",
     "parse_mem_budget",
