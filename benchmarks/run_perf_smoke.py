@@ -21,17 +21,21 @@ degradation curves for the robustness protocol variants — persisted
 to ``BENCH_PR6.json``), and the ``bench_p7_kernels`` pass (PR 7:
 residual-graph delivery + compiled chunk kernels — small-n
 bit-identity of every accelerated leg, then the restricted-MIS
-speedup gates at scale — persisted to ``BENCH_PR7.json``). Every
-bench record carries ``peak_mem_bytes`` alongside its wall times. The
-``BENCH_*.json`` records are the perf trajectory future PRs compare
-themselves against.
+speedup gates at scale — persisted to ``BENCH_PR7.json``), and the
+``bench_p8_corpus`` pass (PR 8: the graph corpus layer — cell-grid
+CSR generation bit-compatible with the reference generators and at
+least 10x faster, metadata-only mmap loads, and zero-copy
+shared-memory trial workers with flat per-worker RSS — persisted to
+``BENCH_PR8.json``). Every bench record carries ``peak_mem_bytes``
+alongside its wall times. The ``BENCH_*.json`` records are the perf
+trajectory future PRs compare themselves against.
 
 Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
-        [--skip-p4] [--skip-p5] [--skip-p6] [--skip-p7] [--n 2000]
-        [--p4-n 100000] [--p5-n 100000] [--p6-n 1200]
-        [--p7-n 100000]
+        [--skip-p4] [--skip-p5] [--skip-p6] [--skip-p7] [--skip-p8]
+        [--n 2000] [--p4-n 100000] [--p5-n 100000] [--p6-n 1200]
+        [--p7-n 100000] [--p8-n 100000]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -142,6 +146,18 @@ def main(argv: list[str] | None = None) -> int:
         help="scale of the PR 7 restricted-MIS gate (default 100000; "
         "CI uses 30000)",
     )
+    parser.add_argument(
+        "--skip-p8",
+        action="store_true",
+        help="skip the PR 8 corpus bench (BENCH_PR8.json untouched)",
+    )
+    parser.add_argument(
+        "--p8-n",
+        type=int,
+        default=100000,
+        help="scale of the PR 8 corpus gates (default 100000; CI uses "
+        "30000)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -153,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p5_api
     import bench_p6_faults
     import bench_p7_kernels
+    import bench_p8_corpus
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -278,6 +295,25 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"persisted to {bench_p7_kernels.RESULT_PATH}")
         ok = ok and p7["passes_floors"]
+
+    if not args.skip_p8:
+        p8 = bench_p8_corpus.run_bench(n=args.p8_n)
+        if tier1 is not None:
+            p8["tier1"] = tier1
+        bench_p8_corpus.write_results(p8)
+
+        gen, store, shm = p8["generation"], p8["store"], p8["shm"]
+        print(
+            f"corpus n={gen['n']}: generation "
+            f"{gen['speedup']:.1f}x (floor {gen['speedup_floor']}x); "
+            f"mmap load {store['mmap_load_s'] * 1000:.1f}ms "
+            f"(ceiling {store['load_ceiling_s'] * 1000:.0f}ms); "
+            f"worker handle {shm['handle_bytes']}B "
+            f"({shm['handle_ratio']:.0f}x under the pickled arrays); "
+            f"pool==serial: {shm['pool_matches_serial']}"
+        )
+        print(f"persisted to {bench_p8_corpus.RESULT_PATH}")
+        ok = ok and p8["passes_floors"]
 
     return 0 if ok else 1
 

@@ -10,6 +10,8 @@ Public API layout:
   :class:`~repro.api.report.RunReport` records;
 * :mod:`repro.radio` — the radio network model (simulator substrate);
 * :mod:`repro.graphs` — graph classes of Section 1.3 + properties;
+* :mod:`repro.corpus` — graph corpus at scale: array-native CSR
+  generation, the mmap-loaded on-disk store, shared-memory workers;
 * :mod:`repro.core` — the paper's algorithms: Decay,
   EstimateEffectiveDegree, Radio MIS (Theorem 14), Partition(beta, MIS),
   Compete, broadcast (Theorem 7), leader election (Theorem 8);
@@ -29,7 +31,7 @@ Quickstart::
     print("broadcast rounds:", bc.result.total_rounds)
 """
 
-from . import analysis, api, baselines, core, engine, graphs, radio
+from . import analysis, api, baselines, core, corpus, engine, graphs, radio
 from .core import (
     BroadcastResult,
     CompeteConfig,
@@ -69,6 +71,7 @@ __all__ = [
     "compete",
     "compute_mis",
     "core",
+    "corpus",
     "elect_leader",
     "engine",
     "graphs",

@@ -30,14 +30,39 @@ import math
 import os
 import pickle
 import tracemalloc
+import warnings
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..corpus.shm import SharedGraph, SharedGraphHandle, attach
 from ..engine.policy import ExecutionPolicy
 from ..engine.streaming import memory_budget, set_memory_budget
 from ..faults import default_faults, set_default_faults, validate_faults
 from ..radio.errors import ProtocolError
+
+
+def _resolve_corpus(corpus: Any) -> Any:
+    """The ``corpus=`` knob's graph: a CSRGraph as-is, a path mmap-loaded."""
+    if hasattr(corpus, "csr_arrays"):
+        return corpus
+    from ..corpus.store import load_graph
+
+    return load_graph(corpus)
+
+
+def _warn_unpicklable(runner: str, exc: Exception, fallback: str) -> None:
+    """Satellite of the parallel runners: a degraded path must say so.
+
+    Silently running serially where the caller asked for a pool turns
+    a pickling bug into a mysterious slowdown; the warning names the
+    actual failure so the caller can fix the measure/payload.
+    """
+    warnings.warn(
+        f"{runner}: {fallback} ({type(exc).__name__}: {exc})",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _trial_budget(
@@ -227,13 +252,33 @@ def _run_one_trial(
         return measure(np.random.default_rng(child))
 
 
+def _run_one_corpus_trial(
+    payload: tuple[
+        Callable[[np.random.Generator, Any], float],
+        np.random.SeedSequence,
+        int | None,
+        Any,
+        SharedGraphHandle,
+    ]
+) -> float:
+    """Process-pool worker for corpus trials: attach the published CSR
+    slabs (zero-copy, cached per process) and run one seeded trial.
+    What crossed the process boundary is the handle — segment names and
+    metadata, a few hundred bytes — never the arrays."""
+    measure, child, mem_budget, faults, handle = payload
+    graph = attach(handle)
+    with _trial_memory_budget(mem_budget), _trial_fault_default(faults):
+        return measure(np.random.default_rng(child), graph)
+
+
 def run_trials_parallel(
-    measure: Callable[[np.random.Generator], float],
+    measure: Callable[..., float],
     n_trials: int,
     seed: int,
     processes: int | None = None,
     mem_budget: int | None = None,
     policy: ExecutionPolicy | None = None,
+    corpus: Any | None = None,
 ) -> TrialStats:
     """Like :func:`run_trials`, fanned across a process pool.
 
@@ -248,7 +293,10 @@ def run_trials_parallel(
         Trial callable; must be picklable (a module-level function or
         ``functools.partial`` over one), since workers are separate
         processes. Unpicklable callables fall back to the serial path
-        rather than failing the experiment.
+        (with a ``RuntimeWarning`` naming the failure) rather than
+        failing the experiment. With ``corpus`` the signature is
+        ``measure(rng, graph)`` — the graph reaches workers through
+        shared memory, not through the measure's pickle.
     n_trials, seed:
         As in :func:`run_trials`.
     processes:
@@ -263,6 +311,16 @@ def run_trials_parallel(
         cap is per trial, and trials within one worker run
         sequentially, so total worker memory stays near the cap plus
         the trial's graph fixtures.
+    corpus:
+        A :class:`~repro.corpus.graph.CSRGraph` (or corpus entry path,
+        mmap-loaded) every trial runs on: the parent publishes the CSR
+        slabs to ``multiprocessing.shared_memory`` **once** and each
+        worker payload carries only the segment handle, so per-worker
+        graph memory is independent of worker count — the zero-copy
+        path for ``n = 10^6`` Monte-Carlo sweeps. ``measure`` then
+        takes ``(rng, graph)``. Segments are closed and unlinked when
+        the pool drains (also on worker crashes — the ``finally``
+        below — and on parent crash by the resource tracker).
     """
     mem_budget, faults = _trial_budget(mem_budget, policy)
     serial_policy = ExecutionPolicy(mem_budget=mem_budget, faults=faults)
@@ -270,13 +328,18 @@ def run_trials_parallel(
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     if processes is not None and processes < 1:
         raise ValueError(f"processes must be >= 1, got {processes}")
+    graph = _resolve_corpus(corpus) if corpus is not None else None
+    if graph is not None:
+        serial_measure = lambda rng: measure(rng, graph)  # noqa: E731
+    else:
+        serial_measure = measure
     workers = (
         processes
         if processes is not None
         else min(os.cpu_count() or 1, n_trials)
     )
     if workers == 1 or n_trials == 1:
-        return run_trials(measure, n_trials, seed, policy=serial_policy)
+        return run_trials(serial_measure, n_trials, seed, policy=serial_policy)
 
     # Probe picklability up front so closures/lambdas take the serial
     # path immediately — the pool itself is then only guarded against
@@ -284,18 +347,35 @@ def run_trials_parallel(
     # ``measure`` inside a worker propagate to the caller unchanged.
     try:
         pickle.dumps(measure)
-    except Exception:
-        return run_trials(measure, n_trials, seed, policy=serial_policy)
+    except Exception as exc:
+        _warn_unpicklable(
+            "run_trials_parallel",
+            exc,
+            "measure is not picklable; falling back to the serial path",
+        )
+        return run_trials(serial_measure, n_trials, seed, policy=serial_policy)
 
     children = np.random.SeedSequence(seed).spawn(n_trials)
-    payloads = [(measure, child, mem_budget, faults) for child in children]
+    shared: SharedGraph | None = None
+    if graph is not None:
+        shared = SharedGraph.publish(graph)
+        payloads = [
+            (measure, child, mem_budget, faults, shared.handle)
+            for child in children
+        ]
+        worker_fn: Callable[..., float] = _run_one_corpus_trial
+    else:
+        payloads = [
+            (measure, child, mem_budget, faults) for child in children
+        ]
+        worker_fn = _run_one_trial
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers
         ) as pool:
             values = list(
                 pool.map(
-                    _run_one_trial,
+                    worker_fn,
                     payloads,
                     chunksize=max(1, n_trials // (4 * workers)),
                 )
@@ -307,7 +387,11 @@ def run_trials_parallel(
         # Sandboxed environments that cannot spawn worker processes:
         # degrade gracefully to the serial path (same seeding, same
         # results, just slower).
-        return run_trials(measure, n_trials, seed, policy=serial_policy)
+        return run_trials(serial_measure, n_trials, seed, policy=serial_policy)
+    finally:
+        if shared is not None:
+            shared.close()
+            shared.unlink()
     return TrialStats.from_values(values)
 
 
@@ -367,6 +451,8 @@ def _run_one_report(
     protocol, target, child, config, policy, budget, fault_default = payload
     from ..api import run
 
+    if isinstance(target, SharedGraphHandle):
+        target = attach(target)
     with _trial_memory_budget(budget), _trial_fault_default(fault_default):
         return run(
             protocol,
@@ -379,12 +465,13 @@ def _run_one_report(
 
 def run_report_trials(
     protocol: Any,
-    target: Any,
-    n_trials: int,
-    seed: int,
+    target: Any = None,
+    n_trials: int = 1,
+    seed: int = 0,
     config: Any | None = None,
     policy: ExecutionPolicy | None = None,
     processes: int | None = None,
+    corpus: Any | None = None,
 ) -> list[Any]:
     """Repeated :func:`repro.api.run` trials, one ``RunReport`` each.
 
@@ -398,13 +485,28 @@ def run_report_trials(
 
     ``processes > 1`` fans trials across a process pool with the same
     graceful degradation as :func:`run_trials_parallel` (unpicklable
-    targets and sandboxed environments fall back to the serial path;
-    trial order and seeding are identical either way). Wall-clock and
-    peak-memory fields are per-trial measurements and naturally vary
-    across runs; the protocol results are seed-reproducible.
+    targets warn and fall back to the serial path; so do sandboxed
+    environments; trial order and seeding are identical either way).
+    Wall-clock and peak-memory fields are per-trial measurements and
+    naturally vary across runs; the protocol results are
+    seed-reproducible.
+
+    ``corpus`` (a :class:`~repro.corpus.graph.CSRGraph` or corpus
+    entry path; exclusive with ``target``) is the zero-copy fan-out
+    path: the parent publishes the CSR slabs to shared memory once and
+    worker payloads carry only the segment handle — per-worker graph
+    memory independent of worker count. Array-native targets passed
+    via ``target=`` take the same shared-memory path when pooled.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if corpus is not None:
+        if target is not None:
+            raise ProtocolError(
+                "run_report_trials takes target= or corpus=, not both — "
+                "the corpus entry IS the graph"
+            )
+        target = _resolve_corpus(corpus)
     children = np.random.SeedSequence(seed).spawn(n_trials)
     default_budget = memory_budget()
     fault_default = default_faults()
@@ -420,22 +522,48 @@ def run_report_trials(
     )
     if workers < 1:
         raise ValueError(f"processes must be >= 1, got {workers}")
+    shareable = hasattr(target, "csr_arrays")
     if workers > 1 and n_trials > 1:
+        probe = (
+            (protocol, config, policy)
+            if shareable  # the graph travels via shared memory, not pickle
+            else (protocol, target, config, policy)
+        )
         try:
-            pickle.dumps((protocol, target, config, policy))
-        except Exception:
+            pickle.dumps(probe)
+        except Exception as exc:
+            _warn_unpicklable(
+                "run_report_trials",
+                exc,
+                "the (protocol, target, config, policy) payload is not "
+                "picklable; running trials serially",
+            )
             workers = 1
     if workers > 1 and n_trials > 1:
+        shared = SharedGraph.publish(target) if shareable else None
+        pool_payloads = (
+            [
+                (protocol, shared.handle, child, config, policy,
+                 default_budget, fault_default)
+                for child in children
+            ]
+            if shared is not None
+            else payloads
+        )
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=min(workers, n_trials)
             ) as pool:
-                return list(pool.map(_run_one_report, payloads))
+                return list(pool.map(_run_one_report, pool_payloads))
         except (
             concurrent.futures.process.BrokenProcessPool,
             PermissionError,
         ):
             pass
+        finally:
+            if shared is not None:
+                shared.close()
+                shared.unlink()
     return [_run_one_report(payload) for payload in payloads]
 
 

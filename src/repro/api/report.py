@@ -16,12 +16,21 @@ from __future__ import annotations
 import dataclasses
 from typing import Any
 
+from ..core.resulteq import ArrayEqMixin
 from ..engine.policy import ExecutionPolicy
 
 
-@dataclasses.dataclass(frozen=True)
-class RunReport:
+@dataclasses.dataclass(frozen=True, eq=False)
+class RunReport(ArrayEqMixin):
     """Outcome of one :func:`repro.api.run` call.
+
+    Reports compare by *outcome*: ``run(...) == run(...)`` is True when
+    protocol, result, steps, trace totals, resolved policy, and
+    provenance all match — the corpus layer's cache-hit check. The
+    measurement fields (:attr:`wall_time_s`, :attr:`peak_mem_bytes`)
+    are excluded from comparison, since wall clock differs on every
+    execution of the same outcome; ndarray payloads inside the nested
+    result compare via :func:`numpy.array_equal`.
 
     Attributes
     ----------
@@ -68,8 +77,8 @@ class RunReport:
     result: Any
     steps: int
     trace: dict[str, int]
-    wall_time_s: float
-    peak_mem_bytes: int | None
+    wall_time_s: float = dataclasses.field(compare=False)
+    peak_mem_bytes: int | None = dataclasses.field(compare=False)
     policy: ExecutionPolicy
     provenance: dict[str, Any]
 

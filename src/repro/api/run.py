@@ -66,6 +66,60 @@ def _graph_facts(
     }
 
 
+def _corpus_facts(graph: Any) -> dict[str, Any] | None:
+    """The ``provenance["corpus"]`` record: which stored instance ran.
+
+    ``None`` for ordinary networkx targets; for array-native
+    :class:`~repro.corpus.graph.CSRGraph` targets it names the content
+    digest (when the entry carries one) and how the arrays arrived
+    (``"mmap"``, ``"shm"``, or ``"memory"``).
+    """
+    if graph is None or not hasattr(graph, "csr_arrays"):
+        return None
+    return {
+        "digest": graph.graph.get("digest"),
+        "source": getattr(graph, "source", "memory"),
+        "n": graph.number_of_nodes(),
+    }
+
+
+def _resolve_corpus_target(
+    spec: ProtocolSpec, target: Any, corpus: Any
+) -> Any:
+    """Fold the ``corpus=`` knob into the run target, refusing misuse.
+
+    ``corpus`` may be a :class:`~repro.corpus.graph.CSRGraph` (used
+    as-is) or a corpus entry path (mmap-loaded). Protocols whose hooks
+    walk networkx-only surfaces declare ``corpus_ok=False`` and are
+    refused by name — ``CSRGraph.to_networkx()`` is the documented
+    bridge.
+    """
+    if corpus is not None:
+        if target is not None:
+            raise ProtocolError(
+                "run() takes target= or corpus=, not both — the corpus "
+                "entry IS the graph"
+            )
+        if hasattr(corpus, "csr_arrays"):
+            target = corpus
+        else:
+            from ..corpus.store import load_graph
+
+            target = load_graph(corpus)
+    if (
+        target is not None
+        and hasattr(target, "csr_arrays")
+        and not (spec.accepts == "network" and spec.corpus_ok)
+    ):
+        raise ProtocolError(
+            f"protocol {spec.name!r} does not take array-native corpus "
+            f"graphs (accepts={spec.accepts!r}, corpus_ok="
+            f"{spec.corpus_ok}); materialize one with "
+            f"CSRGraph.to_networkx() instead"
+        )
+    return target
+
+
 def _prepare_target(
     spec: ProtocolSpec,
     target: nx.Graph | RadioNetwork | None,
@@ -107,6 +161,7 @@ def run(
     config: Any | None = None,
     policy: ExecutionPolicy | None = None,
     measure_memory: bool = False,
+    corpus: Any | None = None,
 ) -> RunReport:
     """Run a registered protocol and return its :class:`RunReport`.
 
@@ -142,6 +197,14 @@ def run(
         Opt-in: tracing taxes allocations, so timed runs leave it off
         and measure in a second pass (the benchmarks' two-pass
         pattern).
+    corpus:
+        Run on a corpus graph instead of ``target`` (passing both
+        refuses): a :class:`~repro.corpus.graph.CSRGraph` directly, or
+        the path of a stored entry — mmap-loaded zero-copy, with the
+        entry digest recorded in ``provenance["corpus"]``. Network-
+        accepting protocols consume the CSR arrays end to end;
+        protocols declared ``corpus_ok=False`` refuse and name
+        ``CSRGraph.to_networkx()`` as the bridge.
 
     Returns
     -------
@@ -159,6 +222,7 @@ def run(
             )
     policy = policy or ExecutionPolicy()
     generator, seed_used = _resolve_rng(seed, rng)
+    target = _resolve_corpus_target(spec, target, corpus)
     execute_target, network, graph = _prepare_target(spec, target, policy)
 
     n = graph.number_of_nodes() if graph is not None else None
@@ -253,6 +317,7 @@ def run(
         provenance={
             "seed": seed_used,
             "graph": _graph_facts(graph, network),
+            "corpus": _corpus_facts(graph),
             "faults": faults_prov,
             "delivery": delivery_prov,
             "version": getattr(repro, "__version__", "unknown"),

@@ -27,6 +27,7 @@ values are named alongside the accepted ones).
     python -m repro leader_uptime --n 150 --crash-rate 0.1 --threshold 0.6
     python -m repro wakeup --believed-n 4096 --k 64
     python -m repro partition --graph udg --n 120 --beta 0.25
+    python -m repro mis --corpus corpus/udg-n100000-3f1c9a2b44d0 --seed 7
     python -m repro classes --n 150
 
 Every subcommand accepts ``--seed`` (default 0) and prints a short
@@ -72,6 +73,12 @@ from .radio.errors import ProtocolError
 
 def _build_graph(args: argparse.Namespace, rng: np.random.Generator):
     """Construct the graph a subcommand asked for."""
+    if getattr(args, "corpus", None) is not None:
+        # A stored corpus entry replaces the generated families:
+        # mmap-loaded CSR arrays, zero-copy, digest into provenance.
+        from . import corpus
+
+        return corpus.load_graph(args.corpus)
     kind = args.graph
     if kind == "udg":
         return graphs.random_udg(args.n, side=args.side, rng=rng)
@@ -118,6 +125,13 @@ def _add_graph_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--clique-size", type=int, default=10, help="clique-chain clique size"
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="PATH",
+        help="run on a stored corpus entry (mmap-loaded CSR graph) "
+        "instead of generating one; overrides the --graph family flags",
     )
 
 
@@ -341,7 +355,8 @@ def _run_protocol(spec: api.ProtocolSpec, args: argparse.Namespace) -> int:
             graph = None
         else:
             graph = _build_graph(args, rng)
-            if spec.cli.relabel:
+            if spec.cli.relabel and not hasattr(graph, "csr_arrays"):
+                # Corpus graphs are identity-labeled by construction.
                 graph = nx.convert_node_labels_to_integers(graph)
             faults = _faults_from_args(args, graph)
             if faults is not None:

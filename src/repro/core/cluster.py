@@ -14,10 +14,11 @@ from collections import defaultdict
 
 import networkx as nx
 import numpy as np
+from .resulteq import ArrayEqMixin
 
 
-@dataclasses.dataclass
-class Clustering:
+@dataclasses.dataclass(eq=False)
+class Clustering(ArrayEqMixin):
     """A partition of the nodes into clusters around centers.
 
     Attributes

@@ -41,6 +41,7 @@ from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
+from .resulteq import ArrayEqMixin
 
 
 def decay_span(n_estimate: int) -> int:
@@ -67,8 +68,8 @@ def claim10_iterations(n_estimate: int, amplification: float = 4.0) -> int:
     return max(1, math.ceil(amplification * math.log2(max(2, n_estimate))))
 
 
-@dataclasses.dataclass
-class DecayResult:
+@dataclasses.dataclass(eq=False)
+class DecayResult(ArrayEqMixin):
     """Outcome of a Decay block.
 
     Attributes

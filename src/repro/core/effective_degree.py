@@ -39,6 +39,7 @@ from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
 from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
 from ..radio.protocol import Protocol, run_steps
+from .resulteq import ArrayEqMixin
 
 #: Lemma 11's hearing-rate threshold: High iff some round-``i`` hear count
 #: reaches ``steps_per_level / 33``.
@@ -51,8 +52,8 @@ HIGH_GUARANTEE = 1.0
 LOW_GUARANTEE = 0.01
 
 
-@dataclasses.dataclass
-class EffectiveDegreeResult:
+@dataclasses.dataclass(eq=False)
+class EffectiveDegreeResult(ArrayEqMixin):
     """Outcome of one EstimateEffectiveDegree block.
 
     ``high`` is the per-node High/Low verdict (True = High); ``counts``

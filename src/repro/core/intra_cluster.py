@@ -63,11 +63,12 @@ from ..radio.errors import ProtocolError
 from ..radio.network import NO_SENDER, RadioNetwork
 from ..radio.protocol import Protocol, TimeMultiplexer, run_steps
 from .cluster import Clustering
+from .resulteq import ArrayEqMixin
 from .schedule import ClusterSchedule
 
 
-@dataclasses.dataclass
-class ICPResult:
+@dataclasses.dataclass(eq=False)
+class ICPResult(ArrayEqMixin):
     """Outcome of one packet-level Intra-Cluster Propagation run."""
 
     knowledge: np.ndarray

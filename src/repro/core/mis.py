@@ -39,6 +39,7 @@ from ..engine.segments import (
 )
 from ..radio.network import RadioNetwork, TransmitPlan
 from .decay import Decay, claim10_iterations, run_decay_reference
+from .resulteq import ArrayEqMixin
 from .effective_degree import (
     HIGH_GUARANTEE,
     effective_degree_schedule,
@@ -110,8 +111,8 @@ class MISRoundRecord:
     golden_type2: int
 
 
-@dataclasses.dataclass
-class MISResult:
+@dataclasses.dataclass(eq=False)
+class MISResult(ArrayEqMixin):
     """Output of :func:`compute_mis`.
 
     ``mis`` holds node labels; ``mis_mask`` the same set as a boolean

@@ -39,6 +39,7 @@ from ..engine.policy import ExecutionPolicy
 from ..engine.segments import ProtocolSchedule, TracePhase
 from ..radio.network import RadioNetwork
 from .decay import claim10_iterations, decay_block_schedule, run_decay_reference
+from .resulteq import ArrayEqMixin
 from .effective_degree import (
     effective_degree_schedule,
     estimate_effective_degree_reference,
@@ -75,8 +76,8 @@ class RestartEpochRecord:
     mis_size_after: int
 
 
-@dataclasses.dataclass
-class RestartableMISResult:
+@dataclasses.dataclass(eq=False)
+class RestartableMISResult(ArrayEqMixin):
     """Output of :func:`compute_restartable_mis`.
 
     ``readmitted`` totals the awake undecided nodes epochs after the

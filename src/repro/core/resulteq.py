@@ -1,0 +1,96 @@
+"""Array-aware equality for result dataclasses.
+
+The generated dataclass ``__eq__`` compares fields with ``==``, which
+on an ndarray field yields an element-wise array and then raises
+``ValueError: truth value of an array is ambiguous`` the moment the
+tuple comparison tries to reduce it to a bool. Every result type with
+an ndarray payload (``MISResult.mis_mask``, ``DecayResult.heard``,
+``RunReport.result``, ...) was therefore *uncomparable* — a problem
+now that the corpus layer wants ``run(...) == run(...)`` as its
+cache-hit check.
+
+:class:`ArrayEqMixin` replaces the generated ``__eq__`` (declare the
+dataclass with ``eq=False`` and inherit the mixin) with a field-wise
+comparison that routes ndarrays through :func:`numpy.array_equal` and
+recurses into containers, so nested results (a ``RunReport`` holding a
+``MISResult``) compare structurally. NaN keeps IEEE semantics
+(``NaN != NaN``) — result arrays are NaN-free by construction, and a
+NaN that sneaks in *should* break cache equality rather than alias two
+different runs.
+
+Only :mod:`dataclasses` and :mod:`numpy` are imported, so the mixin is
+safe to use from any layer without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ArrayEqMixin", "values_equal"]
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Structural equality that tolerates ndarray members.
+
+    ndarrays compare via :func:`numpy.array_equal` (shape + elements,
+    dtype-insensitive like ``==``); dicts compare keys then values
+    recursively; lists/tuples of matching type compare element-wise;
+    everything else falls back to ``bool(a == b)``.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not isinstance(a, np.ndarray) or not isinstance(b, np.ndarray):
+            return False
+        return bool(np.array_equal(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        if a.keys() != b.keys():
+            return False
+        return all(values_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and type(a) is type(b):
+        if len(a) != len(b):
+            return False
+        return all(values_equal(x, y) for x, y in zip(a, b))
+    try:
+        return bool(a == b)
+    except ValueError:
+        # A nested object whose own __eq__ produced an array (e.g. a
+        # plain dataclass holding ndarrays) — fall back to identity.
+        return a is b
+
+
+class ArrayEqMixin:
+    """Field-wise ``__eq__`` for dataclasses with ndarray fields.
+
+    Usage::
+
+        @dataclasses.dataclass(eq=False)
+        class MISResult(ArrayEqMixin):
+            mis_mask: np.ndarray
+            ...
+
+    Instances stay unhashable (like an ``eq=True`` non-frozen
+    dataclass): two equal results are still distinct objects and must
+    not silently collapse in sets/dict keys.
+    """
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __eq__(self, other: Any) -> bool:
+        if other is self:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        for field in dataclasses.fields(self):  # type: ignore[arg-type]
+            if field.compare and not values_equal(
+                getattr(self, field.name), getattr(other, field.name)
+            ):
+                return False
+        return True
+
+    def __ne__(self, other: Any) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result

@@ -31,7 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse import csgraph
 
-from .independence import greedy_independent_set
+from .independence import greedy_independent_set, greedy_independent_set_csr
 
 #: Sources per chunk when sweeping all-pairs BFS for the diameter; bounds
 #: the dense distance block at ``_BFS_CHUNK * n`` float64 entries.
@@ -69,31 +69,62 @@ class GraphContext:
         self._graph_ref = weakref.ref(graph)
         self.n = graph.number_of_nodes()
         self.m = graph.number_of_edges()
-        self.nodelist: list[Hashable] = list(graph.nodes)
-        self._index: dict[Hashable, int] = {
-            label: i for i, label in enumerate(self.nodelist)
-        }
-        if self.n:
-            adj = nx.to_scipy_sparse_array(
-                graph, nodelist=self.nodelist, format="csr"
-            )
-            adj = (adj != 0).astype(np.float64)
-            self.indptr = adj.indptr.astype(np.int32)
-            self.indices = adj.indices.astype(np.int32)
+        # Array-native graphs (the corpus layer's CSRGraph) hand their
+        # CSR over by reference — memmap/shared-memory views included —
+        # instead of round-tripping through networkx conversion. They
+        # are identity-labeled by contract.
+        self._from_arrays = hasattr(graph, "csr_arrays")
+        if self._from_arrays:
+            self.nodelist = range(self.n)  # type: ignore[assignment]
+            self._index: dict[Hashable, int] | None = None
+            self.indptr, self.indices = graph.csr_arrays()
             self._csr = sp.csr_array(
-                (adj.data, self.indices, self.indptr), shape=(self.n, self.n)
+                (
+                    np.ones(len(self.indices), dtype=np.float64),
+                    self.indices,
+                    self.indptr,
+                ),
+                shape=(self.n, self.n),
             )
+            self._identity_order = True
         else:
-            self.indptr = np.zeros(1, dtype=np.int32)
-            self.indices = np.zeros(0, dtype=np.int32)
-            self._csr = sp.csr_array((0, 0), dtype=np.float64)
+            self.nodelist: list[Hashable] = list(graph.nodes)
+            self._index = {
+                label: i for i, label in enumerate(self.nodelist)
+            }
+            if self.n:
+                adj = nx.to_scipy_sparse_array(
+                    graph, nodelist=self.nodelist, format="csr"
+                )
+                adj = (adj != 0).astype(np.float64)
+                self.indptr = adj.indptr.astype(np.int32)
+                self.indices = adj.indices.astype(np.int32)
+                self._csr = sp.csr_array(
+                    (adj.data, self.indices, self.indptr),
+                    shape=(self.n, self.n),
+                )
+            else:
+                self.indptr = np.zeros(1, dtype=np.int32)
+                self.indices = np.zeros(0, dtype=np.int32)
+                self._csr = sp.csr_array((0, 0), dtype=np.float64)
+            self._identity_order = self.nodelist == list(range(self.n))
         self.degrees = np.diff(self.indptr).astype(np.int64)
-        self._identity_order = self.nodelist == list(range(self.n))
         self._identity_csr: sp.csr_array | None = None
         self._edges: tuple[np.ndarray, np.ndarray] | None = None
         self._diameter: int | None = None
         self._connected: bool | None = None
         self._mis: list[Hashable] | None = None
+        if self._from_arrays:
+            # Stored invariants (corpus entries cache them alongside
+            # the arrays) seed the lazy caches: a mmap-loaded graph
+            # answers diameter/mis without recomputing.
+            cached = getattr(graph, "invariants", None) or {}
+            if "diameter" in cached:
+                self._diameter = int(cached["diameter"])
+            if "connected" in cached:
+                self._connected = bool(cached["connected"])
+            if "mis" in cached:
+                self._mis = [int(v) for v in np.asarray(cached["mis"])]
 
     # ------------------------------------------------------------------
     # adjacency views
@@ -153,6 +184,11 @@ class GraphContext:
 
     def index_of(self, label: Hashable) -> int:
         """CSR row of the node with this label."""
+        if self._index is None:  # array-native: labels are rows
+            row = int(label)
+            if row != label or not 0 <= row < self.n:
+                raise KeyError(label)
+            return row
         return self._index[label]
 
     def induced_csr(
@@ -251,10 +287,18 @@ class GraphContext:
         keep drawing their own per trial.
         """
         if self._mis is None:
-            self._mis = sorted(
-                greedy_independent_set(self._require_graph()),
-                key=lambda v: self._index[v],
-            )
+            if self._from_arrays:
+                self._mis = [
+                    int(v)
+                    for v in greedy_independent_set_csr(
+                        self.indptr, self.indices
+                    )
+                ]
+            else:
+                self._mis = sorted(
+                    greedy_independent_set(self._require_graph()),
+                    key=lambda v: self._index[v],
+                )
         return list(self._mis)
 
     def alpha_lower(self) -> int:

@@ -88,6 +88,55 @@ def _stable_key(v: Hashable) -> str:
     return repr(v)
 
 
+def greedy_independent_set_csr(
+    indptr: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Min-degree greedy MIS over CSR arrays (identity-labeled nodes).
+
+    Replicates :func:`greedy_independent_set` with
+    ``strategy="min-degree"`` exactly: the same minimum-degree rule
+    with the same tiebreak — lexicographic on ``repr(node)``, so for
+    integer labels ``"10" < "2"`` — via a lazy-deletion heap instead
+    of a linear ``min`` scan over the shrinking vertex set. Returns
+    the chosen nodes as a sorted int64 array (the
+    :meth:`~repro.graphs.context.GraphContext.mis` order).
+    """
+    import heapq
+
+    n = len(indptr) - 1
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    # rank[v] = position of repr(v) in the sorted repr order — the
+    # heap then compares (degree, rank) exactly as the reference
+    # compares (degree, repr).
+    reprs = np.array([repr(v) for v in range(n)])
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.argsort(reprs)] = np.arange(n)
+
+    degree = np.diff(indptr).astype(np.int64)
+    alive = np.ones(n, dtype=bool)
+    heap = [(int(degree[v]), int(rank[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    chosen = []
+    while heap:
+        deg, _, v = heapq.heappop(heap)
+        if not alive[v] or degree[v] != deg:
+            continue  # stale entry: v removed or its degree decayed
+        chosen.append(v)
+        neighbors = indices[indptr[v] : indptr[v + 1]]
+        removed = [v] + [int(u) for u in neighbors if alive[u]]
+        alive[removed] = False
+        for u in removed:
+            for w in indices[indptr[u] : indptr[u + 1]].tolist():
+                if alive[w]:
+                    degree[w] -= 1
+                    heapq.heappush(
+                        heap, (int(degree[w]), int(rank[w]), w)
+                    )
+    chosen.sort()
+    return np.asarray(chosen, dtype=np.int64)
+
+
 def _greedy_clique_cover_bound(graph: nx.Graph, nodes: set[Hashable]) -> int:
     """Upper bound on ``alpha(G[nodes])`` via a greedy clique cover.
 

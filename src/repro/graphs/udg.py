@@ -79,6 +79,24 @@ def random_udg(
     )
 
 
+def check_grid_jitter(
+    jitter: float, spacing: float, radius: float
+) -> None:
+    """Refuse jitter that can disconnect a perturbed grid.
+
+    Two adjacent grid points sit ``spacing`` apart; each may move by up
+    to ``jitter`` toward or away from the other, so the worst-case gap
+    is ``spacing + 2 * jitter``. Keeping that at most ``radius`` means
+    ``jitter <= (radius - spacing) / 2`` — equality leaves the edge
+    exactly at the (inclusive) radius, so it is allowed. (The bound is
+    checked in the ``spacing + 2 * jitter`` form: the subtraction form
+    rounds below 0.05 for the default ``spacing=0.9`` and would refuse
+    the default jitter.)
+    """
+    if jitter < 0 or spacing + 2 * jitter > radius:
+        raise ValueError(f"jitter {jitter} too large for spacing {spacing}")
+
+
 def grid_udg(
     rows: int,
     cols: int,
@@ -97,9 +115,7 @@ def grid_udg(
     """
     if rows < 1 or cols < 1:
         raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
-    if jitter < 0 or jitter >= (radius - spacing) / 2 + spacing:
-        # A loose sanity check; heavy jitter can disconnect the grid.
-        raise ValueError(f"jitter {jitter} too large for spacing {spacing}")
+    check_grid_jitter(jitter, spacing, radius)
     xs, ys = np.meshgrid(np.arange(cols), np.arange(rows))
     base = np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float) * spacing
     noise = rng.uniform(-jitter, jitter, size=base.shape)

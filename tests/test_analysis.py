@@ -136,3 +136,48 @@ class TestTextTable:
         table.add_row([0.0001234, 123456.0])
         out = table.render()
         assert "0.000123" in out and "1.23e+05" in out
+
+
+class TestParallelFallbackWarnings:
+    """The pickle probes must *name* a degraded path, never swallow it.
+
+    Regression: both parallel runners used to catch the pickling
+    failure silently and run serially — a pickling bug surfaced only as
+    a mysterious slowdown."""
+
+    def test_run_trials_parallel_warns_on_unpicklable_measure(self):
+        from repro.analysis import run_trials_parallel
+
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            stats = run_trials_parallel(
+                lambda r: float(r.random()), 3, seed=2, processes=2
+            )
+        # the fallback stays bit-identical to the serial path
+        assert stats == run_trials(lambda r: float(r.random()), 3, seed=2)
+
+    def test_warning_names_the_actual_failure(self):
+        from repro.analysis import run_trials_parallel
+
+        with pytest.warns(RuntimeWarning, match="PicklingError|pickle"):
+            run_trials_parallel(
+                lambda r: 0.0, 2, seed=0, processes=2
+            )
+
+    def test_run_report_trials_warns_on_unpicklable_payload(self):
+        from repro.analysis import run_report_trials
+        from repro import graphs
+
+        g = graphs.random_udg(
+            n=25, side=3.0, rng=np.random.default_rng(1)
+        )
+        # a config closure cannot cross a process boundary
+        class Unpicklable:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        g.graph["poison"] = Unpicklable()
+        with pytest.warns(RuntimeWarning, match="running trials serially"):
+            reports = run_report_trials(
+                "decay", g, n_trials=2, seed=3, processes=2
+            )
+        assert len(reports) == 2

@@ -53,6 +53,23 @@ class TestUDG:
         large = graphs.grid_udg(2, 15, rng)
         assert nx.diameter(large) > nx.diameter(small)
 
+    def test_grid_udg_oversized_jitter_refused(self, rng):
+        # Regression: the old bound allowed jitter up to
+        # (radius - spacing)/2 + spacing, so jitter=0.9 at the default
+        # spacing slipped through and could disconnect the grid.
+        with pytest.raises(ValueError, match="jitter"):
+            graphs.grid_udg(3, 3, rng, jitter=0.9)
+
+    def test_grid_udg_default_jitter_still_accepted(self, rng):
+        # The fixed bound must not round the defaults out of range
+        # ((1.0 - 0.9) / 2 < 0.05 in float64; the sum form does not).
+        g = graphs.grid_udg(3, 3, rng, spacing=0.9, jitter=0.05)
+        assert g.number_of_nodes() == 9
+
+    def test_grid_udg_jitter_at_exact_bound_accepted(self, rng):
+        g = graphs.grid_udg(3, 3, rng, spacing=0.8, jitter=0.1)
+        assert nx.is_connected(g)
+
     def test_clustered_udg_node_count(self, rng):
         g = graphs.clustered_udg(3, 10, rng)
         assert g.number_of_nodes() == 30

@@ -70,6 +70,7 @@ ALLOWED_ROOTS = {
     "repro.api",
     "repro.baselines",
     "repro.core",
+    "repro.corpus",
     "repro.engine",
     "repro.faults",
     "repro.graphs",

@@ -1,6 +1,7 @@
 #!/usr/bin/env python
-"""Line-coverage floor for the engine layer (``src/repro/engine``)
-and the fault-injection layer (``src/repro/faults``).
+"""Line-coverage floor for the engine layer (``src/repro/engine``),
+the fault-injection layer (``src/repro/faults``), and the corpus
+layer (``src/repro/corpus``).
 
 Stdlib-only (the container bakes no ``coverage``/``pytest-cov``): line
 events are collected with ``sys.monitoring`` on Python 3.12+ (cheap —
@@ -34,7 +35,8 @@ import types
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 ENGINE_DIR = (REPO_ROOT / "src" / "repro" / "engine").resolve()
 FAULTS_DIR = (REPO_ROOT / "src" / "repro" / "faults").resolve()
-TRACKED_DIRS = (ENGINE_DIR, FAULTS_DIR)
+CORPUS_DIR = (REPO_ROOT / "src" / "repro" / "corpus").resolve()
+TRACKED_DIRS = (ENGINE_DIR, FAULTS_DIR, CORPUS_DIR)
 
 #: Overall executable-line coverage the engine package must keep.
 FLOOR = 0.90
@@ -62,6 +64,10 @@ TEST_FILES = [
     # Residual delivery + compiled kernels (pcg offset draws, kernel
     # registry, restriction equivalence) — ISSUE 7's engine additions.
     "tests/test_residual.py",
+    # The corpus layer (cell-grid generation, the mmap store, shm
+    # fan-out) and the result-equality mixin it leans on — ISSUE 8.
+    "tests/test_corpus.py",
+    "tests/test_result_equality.py",
 ]
 
 #: Comment marker excluding a statement (and its whole block) from the
