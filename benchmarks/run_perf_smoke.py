@@ -26,7 +26,12 @@ speedup gates at scale — persisted to ``BENCH_PR7.json``), and the
 CSR generation bit-compatible with the reference generators and at
 least 10x faster, metadata-only mmap loads, and zero-copy
 shared-memory trial workers with flat per-worker RSS — persisted to
-``BENCH_PR8.json``). Every bench record carries ``peak_mem_bytes``
+``BENCH_PR8.json``), and the ``bench_p9_pipeline`` pass (PR 9: the
+fused coin+fault+delivery pipeline — small-n bit-identity of the
+fused pass against the unfused chunk paths (faulted legs included),
+the fused-vs-unfused speedup gate at scale, and optionally the
+end-to-end n = 10^6 corpus-store MIS — persisted to
+``BENCH_PR9.json``). Every bench record carries ``peak_mem_bytes``
 alongside its wall times. The ``BENCH_*.json`` records are the perf
 trajectory future PRs compare themselves against.
 
@@ -34,8 +39,9 @@ Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
         [--skip-p4] [--skip-p5] [--skip-p6] [--skip-p7] [--skip-p8]
-        [--n 2000] [--p4-n 100000] [--p5-n 100000] [--p6-n 1200]
-        [--p7-n 100000] [--p8-n 100000]
+        [--skip-p9] [--n 2000] [--p4-n 100000] [--p5-n 100000]
+        [--p6-n 1200] [--p7-n 100000] [--p8-n 100000]
+        [--p9-n 100000] [--p9-e2e]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -158,6 +164,24 @@ def main(argv: list[str] | None = None) -> int:
         help="scale of the PR 8 corpus gates (default 100000; CI uses "
         "30000)",
     )
+    parser.add_argument(
+        "--skip-p9",
+        action="store_true",
+        help="skip the PR 9 pipeline bench (BENCH_PR9.json untouched)",
+    )
+    parser.add_argument(
+        "--p9-n",
+        type=int,
+        default=100000,
+        help="scale of the PR 9 fused-pipeline gate (default 100000; "
+        "CI uses 30000)",
+    )
+    parser.add_argument(
+        "--p9-e2e",
+        action="store_true",
+        help="also run the PR 9 end-to-end n=10^6 corpus-store MIS "
+        "(minutes of wall clock; the smoke default skips it)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -170,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p6_faults
     import bench_p7_kernels
     import bench_p8_corpus
+    import bench_p9_pipeline
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -314,6 +339,41 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"persisted to {bench_p8_corpus.RESULT_PATH}")
         ok = ok and p8["passes_floors"]
+
+    if not args.skip_p9:
+        p9 = bench_p9_pipeline.run_bench(
+            n=args.p9_n, skip_e2e=not args.p9_e2e
+        )
+        if tier1 is not None:
+            p9["tier1"] = tier1
+        bench_p9_pipeline.write_results(p9)
+
+        legs = p9["pipeline_legs"]
+        gate = (
+            f"(floor {legs['numba_floor']}x)"
+            if legs["numba_floor"] is not None
+            else "(no numba: forced pipeline refuses by name)"
+        )
+        numba_part = (
+            f"{legs['numba_speedup']:.2f}x "
+            if legs["numba_speedup"] is not None
+            else ""
+        )
+        print(
+            f"fused pipeline n={legs['n']}: fused numpy "
+            f"{legs['pipeline_speedup']:.2f}x "
+            f"(floor {legs['pipeline_floor']}x), pipeline-numba "
+            f"{numba_part}{gate}"
+        )
+        if p9["e2e_million"] is not None:
+            e2e = p9["e2e_million"]
+            print(
+                f"e2e n={e2e['n']}: MIS {e2e['mis_s']:.1f}s, peak "
+                f"{e2e['peak_mem_bytes'] / 2**30:.2f} GiB (ceiling "
+                f"{e2e['peak_ceiling_bytes'] / 2**30:.1f} GiB)"
+            )
+        print(f"persisted to {bench_p9_pipeline.RESULT_PATH}")
+        ok = ok and p9["passes_floors"]
 
     return 0 if ok else 1
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any
 
-from ..core.resulteq import ArrayEqMixin
+from ..core.resulteq import ArrayEqMixin, values_equal
 from ..engine.policy import ExecutionPolicy
 
 
@@ -81,6 +81,29 @@ class RunReport(ArrayEqMixin):
     peak_mem_bytes: int | None = dataclasses.field(compare=False)
     policy: ExecutionPolicy
     provenance: dict[str, Any]
+
+    def __eq__(self, other: Any) -> bool:
+        # Outcome equality, like the mixin — but the per-phase wall
+        # buckets in provenance["timing"] are a measurement (they
+        # differ on every execution of the same outcome), so they are
+        # excluded exactly as wall_time_s is.
+        if other is self:
+            return True
+        if type(other) is not type(self):
+            return NotImplemented
+        for field in dataclasses.fields(self):
+            if not field.compare:
+                continue
+            a = getattr(self, field.name)
+            b = getattr(other, field.name)
+            if field.name == "provenance":
+                a = {k: v for k, v in a.items() if k != "timing"}
+                b = {k: v for k, v in b.items() if k != "timing"}
+            if not values_equal(a, b):
+                return False
+        return True
+
+    __hash__ = None  # type: ignore[assignment]
 
     def row(self) -> dict[str, Any]:
         """Flatten to a JSON-ready dict (the ``BENCH_*.json`` row form).

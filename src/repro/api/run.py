@@ -231,6 +231,18 @@ def run(
         engine=policy.engine_for(spec.engines, spec.default_engine),
     )
 
+    if network is not None:
+        # Per-run accounting: kernel_use, residual_stats, and
+        # phase_timing describe THIS run. On a reused network they
+        # would otherwise accumulate across runs (over-counting
+        # residual rebuilds, mixing timing buckets); steps/trace are
+        # different — they are lifetime counters the report deltas.
+        network.kernel_use.clear()
+        for key in network.residual_stats:
+            network.residual_stats[key] = 0
+        for key in network.phase_timing:
+            network.phase_timing[key] = 0.0
+
     steps_before = network.steps_elapsed if network is not None else 0
     trace_before = (
         (
@@ -320,6 +332,19 @@ def run(
             "corpus": _corpus_facts(graph),
             "faults": faults_prov,
             "delivery": delivery_prov,
+            "residual": (
+                dict(network.residual_stats)
+                if network is not None
+                else None
+            ),
+            "timing": (
+                {
+                    k: round(v, 6)
+                    for k, v in network.phase_timing.items()
+                }
+                if network is not None
+                else None
+            ),
             "version": getattr(repro, "__version__", "unknown"),
         },
     )

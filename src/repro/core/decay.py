@@ -39,7 +39,12 @@ import numpy as np
 from ..engine.pcg import CoinField
 from ..engine.policy import ExecutionPolicy, legacy_policy
 from ..engine.segments import ProtocolSchedule, StreamedWindow
-from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
+from ..radio.network import (
+    NO_SENDER,
+    PipelineForm,
+    RadioNetwork,
+    TransmitPlan,
+)
 from ..radio.protocol import Protocol, run_steps
 from .resulteq import ArrayEqMixin
 
@@ -198,6 +203,36 @@ class Decay(Protocol):
         if self._step >= self.total_steps:
             self._finished = True
 
+    def _absorb_coo(
+        self,
+        k: int,
+        steps: np.ndarray,
+        nodes: np.ndarray,
+        senders: np.ndarray,
+    ) -> None:
+        """Reception-triple twin of :meth:`_absorb_window`.
+
+        Folds ``(step, node, sender)`` triples for a ``k``-step chunk,
+        in arbitrary order: among a node's receptions the earliest step
+        wins, matching the first-hit scan of the slab form (the radio
+        model delivers at most one sender per node per step, so the
+        earliest step pins a unique sender).
+        """
+        fresh = ~self.heard[nodes]
+        if fresh.any():
+            st = steps[fresh]
+            nd = nodes[fresh]
+            sd = senders[fresh]
+            order = np.lexsort((st, nd))
+            nd = nd[order]
+            first = np.ones(nd.shape[0], dtype=bool)
+            first[1:] = nd[1:] != nd[:-1]
+            self.heard_from[nd[first]] = sd[order][first]
+            self.heard[nd[first]] = True
+        self._step += k
+        if self._step >= self.total_steps:
+            self._finished = True
+
     def result(self) -> DecayResult:
         payloads: list[Any] = [None] * self.n
         for v in np.nonzero(self.heard)[0]:
@@ -256,13 +291,21 @@ def decay_block_schedule(
                 flips < probs[start:stop, None]
             ) & protocol.active[cols][None, :]
 
+        # Separable form for the fused pipeline: the ladder probability
+        # is a pure row factor and the fixed active set a 0/1 column
+        # factor, so ``coin < prob * active`` reproduces the slab mask
+        # exactly (a 0 column prob can never exceed a [0, 1) coin).
+        col = protocol.active.astype(np.float64)
+
         yield StreamedWindow(
             TransmitPlan(
                 total, masks,
                 support=protocol.active, masks_at=masks_at,
+                pipeline=PipelineForm(coins, probs, lambda start: col),
             ),
             consume=protocol._absorb_window,
             consume_at=protocol._absorb_window_at,
+            consume_coo=protocol._absorb_coo,
         )
     return protocol.result()
 

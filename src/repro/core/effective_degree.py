@@ -36,8 +36,13 @@ import numpy as np
 
 from ..engine.pcg import CoinField
 from ..engine.policy import ExecutionPolicy, legacy_policy
-from ..engine.segments import ProtocolSchedule, StreamedWindow
-from ..radio.network import NO_SENDER, RadioNetwork, TransmitPlan
+from ..engine.segments import PlanSection, ProtocolSchedule, StreamedWindow
+from ..radio.network import (
+    NO_SENDER,
+    PipelineForm,
+    RadioNetwork,
+    TransmitPlan,
+)
 from ..radio.protocol import Protocol, run_steps
 from .resulteq import ArrayEqMixin
 
@@ -168,6 +173,29 @@ class EstimateEffectiveDegree(Protocol):
         if self._step >= self.total_steps:
             self._finished = True
 
+    def _absorb_coo(
+        self,
+        k: int,
+        steps: np.ndarray,
+        nodes: np.ndarray,
+        senders: np.ndarray,
+    ) -> None:
+        """Reception-triple twin of :meth:`_absorb_window`.
+
+        Folds ``(step, node, sender)`` triples for a ``k``-step chunk:
+        each reception bumps the counter of its step's density level.
+        Hear counts are order-independent sums, so arbitrary triple
+        order is fine; ``np.add.at`` accumulates duplicates (the same
+        node hearing on several steps of one chunk) correctly.
+        """
+        keep = self.active[nodes]
+        if keep.any():
+            lev = (self._step + steps[keep]) // self.steps_per_level
+            np.add.at(self.counts, (lev, nodes[keep]), 1)
+        self._step += k
+        if self._step >= self.total_steps:
+            self._finished = True
+
     def result(self) -> EffectiveDegreeResult:
         threshold = self.steps_per_level / THRESHOLD_DIVISOR
         high = (self.counts >= threshold).any(axis=0) & self.active
@@ -208,25 +236,60 @@ def effective_degree_schedule(
         pow2 = 2.0 ** (np.arange(total) // protocol.steps_per_level)
         coins = CoinField(rng, n)
 
+        # ``coin < p / 2^i`` is tested as ``coin * 2^i < p``: scaling a
+        # float by a power of two is exact (exponent arithmetic only),
+        # so the comparison is bit-identical while the per-step
+        # threshold matrix ``p / 2^i`` never materializes — the coin
+        # block (a dead scratch view once thresholded) rescales in
+        # place instead.
+
         def masks(start: int, stop: int) -> np.ndarray:
-            probs = protocol.p[None, :] / pow2[start:stop, None]
-            flips = coins.draw(start, stop) < probs
-            return protocol.active[None, :] & flips
+            flips = coins.draw(start, stop)
+            flips *= pow2[start:stop, None]
+            out = flips < protocol.p[None, :]
+            out &= protocol.active[None, :]
+            return out
 
         def masks_at(
             start: int, stop: int, cols: np.ndarray
         ) -> np.ndarray:
-            probs = protocol.p[cols][None, :] / pow2[start:stop, None]
-            flips = coins.draw_at(start, stop, cols) < probs
-            return protocol.active[cols][None, :] & flips
+            flips = coins.draw_at(start, stop, cols)
+            flips *= pow2[start:stop, None]
+            out = flips < protocol.p[cols][None, :]
+            out &= protocol.active[cols][None, :]
+            return out
+
+        # Separable form for the fused pipeline: `p * 2^-i` equals the
+        # slab path's `p / 2^i` bit-for-bit (power-of-two scaling is
+        # exact), with the desire level — already zeroed outside the
+        # active set — as the fixed column factor.
+        row_probs = 2.0 ** -(np.arange(total) // protocol.steps_per_level)
+
+        # One unlabeled section per density level. Chunks never
+        # straddle a section boundary, so every fold sees rows of a
+        # single level, and the whole ladder still shares one plan —
+        # one restriction decision (and one ResidualContext) for the
+        # block instead of one per level.
+        sections = tuple(
+            PlanSection(
+                protocol.steps_per_level,
+                None,
+                protocol._absorb_window,
+                protocol._absorb_window_at,
+                protocol._absorb_coo,
+            )
+            for _ in range(protocol.levels)
+        )
 
         yield StreamedWindow(
             TransmitPlan(
                 total, masks,
                 support=protocol.active, masks_at=masks_at,
+                pipeline=PipelineForm(
+                    coins, row_probs, lambda start: protocol.p
+                ),
             ),
-            consume=protocol._absorb_window,
-            consume_at=protocol._absorb_window_at,
+            sections=sections,
         )
     return protocol.result()
 

@@ -205,6 +205,39 @@ def peek_uniform_block(
     return _xsl_rr_double(g_hi, g_lo)
 
 
+def row_base_states(
+    rng: np.random.Generator, rows: int, stride: int
+) -> tuple[np.ndarray, np.ndarray, np.uint64, np.uint64, np.uint64, np.uint64]:
+    """Per-row LCG launch states for a fused ``(rows, stride)`` block.
+
+    Returns ``(s_hi, s_lo, i_hi, i_lo, m_hi, m_lo)``: the (hi, lo)
+    uint64 limbs of the generator state at the *start* of each row of a
+    row-major ``rng.random((rows, stride))`` draw (row ``t`` begins
+    ``t * stride`` draws into the future, computed with the same
+    :func:`jump_transform` stride jump :func:`peek_uniform_block`
+    uses), plus the increment and multiplier limbs. This is the host
+    side of the fused pipeline kernel
+    (:mod:`repro.engine.kernels`): the compiled kernel advances each
+    row's state one draw at a time — bit-identical to the block draw —
+    and the caller then moves the generator past the block with
+    ``rng.bit_generator.advance(rows * stride)``. Does not advance
+    ``rng`` itself.
+    """
+    state = rng.bit_generator.state["state"]
+    inc = int(state["inc"])
+    s = int(state["state"])
+    row_mult, row_plus = jump_transform(stride, inc)
+    s_hi = np.empty(rows, dtype=np.uint64)
+    s_lo = np.empty(rows, dtype=np.uint64)
+    for t in range(rows):
+        s_hi[t] = s >> 64
+        s_lo[t] = s & _MASK64
+        s = (row_mult * s + row_plus) & _MASK128
+    i_hi, i_lo = _split128(inc)
+    m_hi, m_lo = _split128(PCG64_MULT)
+    return s_hi, s_lo, i_hi, i_lo, m_hi, m_lo
+
+
 class CoinField:
     """The coin source behind one streamed transmit plan.
 
@@ -227,10 +260,33 @@ class CoinField:
         self.rng = rng
         self.n = int(n)
         self._offset_ok = supports_offset_draws(rng)
+        self._scratch: np.ndarray | None = None
+
+    def _block(self, k: int) -> np.ndarray:
+        """Fill and return ``k`` full rows of a reused scratch block.
+
+        ``Generator.random(out=...)`` into one long-lived buffer
+        instead of a fresh ``(k, n)`` allocation per chunk: at
+        streaming chunk sizes the fresh pages' first-touch faults are
+        a measurable slice of the draw itself. The view is only valid
+        until the next draw — every caller consumes it immediately
+        (threshold compare or column take).
+        """
+        if self._scratch is None or self._scratch.shape[0] < k:
+            self._scratch = np.empty((k, self.n), dtype=np.float64)
+        view = self._scratch[:k]
+        self.rng.random(out=view)
+        return view
 
     def draw(self, start: int, stop: int) -> np.ndarray:
-        """The full ``(stop - start, n)`` coin block (legacy form)."""
-        return self.rng.random((stop - start, self.n))
+        """The full ``(stop - start, n)`` coin block (legacy form).
+
+        Returns a view of a reused scratch buffer, valid until the
+        next draw on this field — callers threshold it into a bool
+        mask immediately (and may mutate it in place: the values are
+        dead once the mask exists).
+        """
+        return self._block(stop - start)
 
     def draw_at(
         self, start: int, stop: int, cols: np.ndarray
@@ -246,20 +302,54 @@ class CoinField:
             # Draw-and-slice fallback, in bounded row blocks so the
             # full-width scratch stays within the streaming cost model
             # even when the restricted chunk height was sized for the
-            # (much narrower) residual width.
+            # (much narrower) residual width. The column take lands
+            # straight in the preassembled result — no per-block
+            # slices, no concatenate copy.
             from .segments import coin_chunk
 
             block = coin_chunk(self.n)
-            if k <= block:
-                return self.rng.random((k, self.n))[:, cols]
-            parts = [
-                self.rng.random((min(block, k - done), self.n))[:, cols]
-                for done in range(0, k, block)
-            ]
-            return np.concatenate(parts, axis=0)
+            out = np.empty((k, cols.size), dtype=np.float64)
+            done = 0
+            while done < k:
+                rows = min(block, k - done)
+                np.take(
+                    self._block(rows), cols, axis=1,
+                    out=out[done:done + rows],
+                )
+                done += rows
+            return out
         vals = peek_uniform_block(self.rng, k, self.n, cols)
         self.rng.bit_generator.advance(k * self.n)
         return vals
+
+    @property
+    def offset_ok(self) -> bool:
+        """Whether the generator supports offset (jump-ahead) draws."""
+        return self._offset_ok
+
+    def launch_states(
+        self, start: int, stop: int
+    ) -> tuple[
+        np.ndarray, np.ndarray, np.uint64, np.uint64, np.uint64, np.uint64
+    ]:
+        """Per-row launch states for block ``[start, stop)``.
+
+        The streaming contract (consecutive intervals, in order) means
+        the generator already sits at stream offset ``start * n``, so
+        the row states come straight off the current state. The caller
+        pairs this with :meth:`skip` once the fused kernel has produced
+        the block's draws. Only valid when :attr:`offset_ok`.
+        """
+        return row_base_states(self.rng, stop - start, self.n)
+
+    def skip(self, rows: int) -> None:
+        """Consume ``rows`` full block rows without materializing them.
+
+        Leaves the generator exactly where ``draw(start, start + rows)``
+        would have — the fused pipeline kernel generates those values
+        inline from :meth:`launch_states` instead.
+        """
+        self.rng.bit_generator.advance(rows * self.n)
 
 
 __all__ = [
@@ -268,5 +358,6 @@ __all__ = [
     "PCG64_MULT",
     "jump_transform",
     "peek_uniform_block",
+    "row_base_states",
     "supports_offset_draws",
 ]

@@ -39,6 +39,7 @@ same runner (and the same budget accounting) as everything else.
 from __future__ import annotations
 
 import dataclasses
+from time import perf_counter
 from typing import Any
 
 import numpy as np
@@ -47,10 +48,12 @@ from ..radio.errors import BudgetExceededError, ProtocolError
 from ..radio.network import (
     DELIVERY_MODES,
     NO_SENDER,
+    PipelineForm,
     RadioNetwork,
     TransmitPlan,
     as_transmit_plan,
 )
+from . import kernels
 from .kernels import require_delivery_mode
 from .residual import (
     REBUILD_FACTOR,
@@ -139,6 +142,9 @@ class WindowedRunner:
         # closure test is only retried after the live set halves again).
         self._residual_cache: ResidualContext | None = None
         self._residual_declined_live: int | None = None
+        # Reused (n,) threshold row for the non-binary pipeline mask
+        # fallback (see _pipeline_masks).
+        self._pipeline_thresh: np.ndarray | None = None
 
     def _resolved_chunk_steps(self, width: int | None = None) -> int | None:
         """The configured streaming bound, or ``None`` when unset.
@@ -216,6 +222,7 @@ class WindowedRunner:
                 None,
                 segment.consume,
                 segment.consume_at,
+                segment.consume_coo,
             ),
         )
 
@@ -271,6 +278,31 @@ class WindowedRunner:
         network.residual_stats["rebuilds"] += 1
         return ctx
 
+    def _coo_fold_ok(self, sections: tuple[PlanSection, ...]) -> bool:
+        """Whether the fused COO reception path may serve this plan.
+
+        Needs every section's ``consume_coo`` fold and a delivery mode
+        that routes per row (``"auto"``, gated on the module toggle so
+        benchmarks can pin the unfused baseline, or a forced
+        ``"pipeline"``). The validating runner overrides this to
+        ``False``: its replay machinery compares the *slab* paths, and
+        the pipeline itself is pinned by its own equivalence suite.
+        """
+        if self.delivery == "auto":
+            if not kernels.pipeline_enabled():
+                return False
+        elif self.delivery != "pipeline":
+            return False
+        return all(s.consume_coo is not None for s in sections)
+
+    def _pipeline_for(
+        self, plan: TransmitPlan, sections: tuple[PlanSection, ...]
+    ) -> PipelineForm | None:
+        """The plan's separable form when the fused pass may run."""
+        if plan.pipeline is None or not self._coo_fold_ok(sections):
+            return None
+        return plan.pipeline
+
     def _execute_stream(self, segment: StreamedWindow) -> None:
         """Execute one streamed window, folding chunks as they arrive.
 
@@ -293,6 +325,11 @@ class WindowedRunner:
         if ctx is not None:
             self._execute_stream_restricted(plan, sections, ctx)
             return
+        form = self._pipeline_for(plan, sections)
+        if form is not None:
+            self._execute_stream_pipeline(plan, sections, form)
+            return
+        timing = self.network.phase_timing
         chunk = default_stream_chunk(
             self.network.n, self._resolved_chunk_steps()
         )
@@ -301,6 +338,7 @@ class WindowedRunner:
         # the charging wrapper also stashes each chunk's masks for the
         # per-slab hook; exactly one chunk is in flight at a time.
         current: list[np.ndarray] = []
+        coin_spent = [0.0]
         base = 0
         for section in sections:
             if section.phase is not None:
@@ -309,20 +347,185 @@ class WindowedRunner:
             def charged(
                 start: int, stop: int, _base: int = base
             ) -> np.ndarray:
+                t0 = perf_counter()
                 masks = np.asarray(inner(_base + start, _base + stop))
+                coin_spent[0] += perf_counter() - t0
                 self._charge(stop - start)
                 current.append(masks)
                 return masks
 
-            for slab in self.network.deliver_window_chunks(
+            stream = self.network.deliver_window_chunks(
                 TransmitPlan(section.width, charged),
                 chunk_steps=chunk,
                 mode=self.delivery,
-            ):
+            )
+            while True:
+                # "deliver" is the chunk's wall time minus its mask
+                # production (timed inside `charged`); with faults
+                # installed the classic path's transform time lands in
+                # "deliver" too — only the fused pass separates it.
+                coin_spent[0] = 0.0
+                t0 = perf_counter()
+                slab = next(stream, None)
+                if slab is None:
+                    break
+                timing["deliver"] += perf_counter() - t0 - coin_spent[0]
+                timing["coins"] += coin_spent[0]
+                t0 = perf_counter()
                 self._consume_stream_slab(
                     slab, current.pop(), section.consume
                 )
+                timing["commit"] += perf_counter() - t0
             self.network.residual_stats["full_steps"] += section.width
+            base += section.width
+
+    def _pipeline_masks(
+        self,
+        form: PipelineForm,
+        start: int,
+        k: int,
+        col_probs: np.ndarray,
+        binary_cols: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Produce chunk rows ``[start, start + k)`` of a pipeline plan.
+
+        The compiled leg draws the PCG64 coins inline from per-row
+        jump-ahead launch states and writes the threshold bits in the
+        same loop — the float coin block never exists — then advances
+        the generator past the block (:meth:`CoinField.skip`), leaving
+        the rng exactly where the block draw would. The numpy fallback
+        draws the block (into the coin field's reused scratch) and
+        thresholds it without a ``(k, n)`` float threshold matrix:
+        when ``binary_cols`` is given — the section's column factor is
+        0/1, the Decay/MIS case — the whole block compares against the
+        row probabilities alone and masks with one boolean AND
+        (``coin < rp * col`` with ``col`` in {0, 1} *is* ``(coin <
+        rp) & col``: a [0, 1) coin is never below 0); otherwise one
+        reused ``(n,)`` threshold row per step. Both produce the
+        emitter's mask bits exactly (see
+        :class:`~repro.radio.network.PipelineForm`).
+        """
+        coins = form.coins
+        rp = np.ascontiguousarray(
+            form.row_probs[start : start + k], dtype=np.float64
+        )
+        out = np.empty((k, self.network.n), dtype=bool)
+        kern = kernels.pipeline_mask_kernel()
+        if kern is not None and coins.offset_ok:  # pragma: no cover
+            s_hi, s_lo, i_hi, i_lo, m_hi, m_lo = coins.launch_states(
+                start, start + k
+            )
+            kern(s_hi, s_lo, i_hi, i_lo, m_hi, m_lo, rp, col_probs, out)
+            coins.skip(k)
+            self.network._bump_kernel("pipeline-numba", k)
+        else:
+            block = coins.draw(start, start + k)
+            if binary_cols is not None:
+                np.less(block, rp[:, None], out=out)
+                out &= binary_cols[None, :]
+            else:
+                thresh = self._pipeline_thresh
+                if thresh is None or thresh.shape[0] != self.network.n:
+                    thresh = np.empty(self.network.n, dtype=np.float64)
+                    self._pipeline_thresh = thresh
+                for t in range(k):
+                    np.multiply(col_probs, rp[t], out=thresh)
+                    np.less(block[t], thresh, out=out[t])
+            self.network._bump_kernel("pipeline-numpy", k)
+        return out
+
+    def _execute_stream_pipeline(
+        self,
+        plan: TransmitPlan,
+        sections: tuple[PlanSection, ...],
+        form: PipelineForm,
+    ) -> None:
+        """The fused coin+fault+delivery twin of :meth:`_execute_stream`.
+
+        Per chunk: produce the mask bits straight from the separable
+        thresholds (:meth:`_pipeline_masks`), apply the fault transform
+        **in place** on the one mask array
+        (:meth:`~repro.faults.state.FaultState.transform_window_inplace`),
+        deliver to a sparse ``(step, node, sender)`` reception triple
+        (:meth:`~repro.engine.kernels.DeliveryKernels.execute_coo` — no
+        ``(k, n)`` hear slab), silence deaf receptions point-wise, and
+        fold through the section's ``consume_coo``. Charging, trace
+        accounting, fault counters, and rng consumption are identical
+        to the classic path chunk for chunk — the pipeline equivalence
+        suite pins all of it bit-for-bit. Each stage feeds its own
+        ``phase_timing`` bucket.
+        """
+        network = self.network
+        timing = network.phase_timing
+        fault_state = network._fault_state
+        delivery = network._delivery_kernels()
+        mode = "auto" if self.delivery == "pipeline" else self.delivery
+        chunk = default_stream_chunk(
+            network.n, self._resolved_chunk_steps()
+        )
+        base = 0
+        for section in sections:
+            if section.phase is not None:
+                network.trace.enter_phase(section.phase)
+            t0 = perf_counter()
+            col_probs = np.ascontiguousarray(
+                form.col_probs(base), dtype=np.float64
+            )
+            # Per-section column analysis, both optional fast paths:
+            # a 0/1 column factor lets the mask stage threshold the
+            # whole block at once, and the active index list lets the
+            # delivery stage scan transmitters compact (faults only
+            # clear bits, so the promise survives the transform).
+            active = col_probs != 0.0
+            binary_cols = (
+                active if bool((col_probs[active] == 1.0).all()) else None
+            )
+            cols = (
+                np.flatnonzero(active)
+                if 2 * int(active.sum()) <= network.n
+                else None
+            )
+            timing["plan"] += perf_counter() - t0
+            done = 0
+            while done < section.width:
+                k = min(chunk, section.width - done)
+                start = base + done
+                t0 = perf_counter()
+                masks = self._pipeline_masks(
+                    form, start, k, col_probs, binary_cols
+                )
+                timing["coins"] += perf_counter() - t0
+                self._charge(k)
+                t1 = perf_counter()
+                if fault_state is not None:
+                    fault_state.transform_window_inplace(
+                        masks, network.steps_elapsed
+                    )
+                t2 = perf_counter()
+                timing["faults"] += t2 - t1
+                steps, nodes, senders = delivery.execute_coo(
+                    masks, mode, counters=network.kernel_use, cols=cols
+                )
+                receptions = int(steps.size)
+                if fault_state is not None and receptions:
+                    deaf = fault_state.deaf_at(
+                        steps + network.steps_elapsed, nodes
+                    )
+                    dropped = int(np.count_nonzero(deaf))
+                    if dropped:
+                        keep = ~deaf
+                        steps = steps[keep]
+                        nodes = nodes[keep]
+                        senders = senders[keep]
+                        receptions -= dropped
+                        fault_state.note_silenced(dropped)
+                t3 = perf_counter()
+                timing["deliver"] += t3 - t2
+                network._account_window(masks, receptions)
+                section.consume_coo(k, steps, nodes, senders)
+                timing["commit"] += perf_counter() - t3
+                done += k
+            network.residual_stats["full_steps"] += section.width
             base += section.width
 
     def _execute_stream_restricted(
@@ -343,12 +546,14 @@ class WindowedRunner:
         the members, so compact popcounts *are* the global popcounts.
         """
         network = self.network
+        timing = network.phase_timing
         members = ctx.members
         k_r = ctx.k
         chunk = default_stream_chunk(
             max(1, k_r), self._resolved_chunk_steps(k_r)
         )
         stats = network.residual_stats
+        use_coo = self._coo_fold_ok(sections)
         base = 0
         for section in sections:
             if section.phase is not None:
@@ -357,9 +562,11 @@ class WindowedRunner:
             while done < section.width:
                 k = min(chunk, section.width - done)
                 start = base + done
+                t0 = perf_counter()
                 intended = np.asarray(
                     plan.masks_at(start, start + k, members)
                 )
+                timing["coins"] += perf_counter() - t0
                 if intended.shape != (k, k_r) or (
                     intended.dtype != np.bool_
                 ):
@@ -370,11 +577,22 @@ class WindowedRunner:
                         f"expected bool ({k}, {k_r})"
                     )
                 self._charge(k)
+                if use_coo:
+                    self._execute_restricted_chunk_coo(
+                        intended, ctx, section
+                    )
+                    stats["restricted_steps"] += k
+                    done += k
+                    continue
+                t0 = perf_counter()
                 slab = self._execute_restricted_chunk(intended, ctx)
+                timing["deliver"] += perf_counter() - t0
                 stats["restricted_steps"] += k
+                t0 = perf_counter()
                 self._consume_restricted_slab(
                     slab, intended, ctx, section
                 )
+                timing["commit"] += perf_counter() - t0
                 done += k
             base += section.width
 
@@ -414,6 +632,61 @@ class WindowedRunner:
         network._account_window(effective, receptions)
         return hear
 
+    def _execute_restricted_chunk_coo(
+        self,
+        intended: np.ndarray,
+        ctx: ResidualContext,
+        section: PlanSection,
+    ) -> None:
+        """Fused (COO) twin of :meth:`_execute_restricted_chunk`.
+
+        Same compact chunk, but: the fault transform mutates the
+        intended masks in place, the residual kernels return the
+        receptions as a ``(step, local, sender_local)`` triple instead
+        of filling a compact hear slab, local ids translate to global
+        through ``ctx.members`` (the restricted closure guarantees
+        every hearer of a member transmission is itself a member, so
+        the compact triple covers *all* receptions — trace totals
+        match the full path), and the fold is the section's
+        ``consume_coo``. Deaf silencing is point-wise on the global
+        ``(step, node)`` pairs — identical drops, identical counters.
+        """
+        network = self.network
+        timing = network.phase_timing
+        fault_state = network._fault_state
+        k = intended.shape[0]
+        t0 = perf_counter()
+        if fault_state is not None:
+            fault_state.transform_window_inplace(
+                intended, network.steps_elapsed, cols=ctx.members
+            )
+        t1 = perf_counter()
+        timing["faults"] += t1 - t0
+        mode = "auto" if self.delivery == "pipeline" else self.delivery
+        steps, local, senders_local = ctx.kernels.execute_coo(
+            intended, mode, counters=network.kernel_use
+        )
+        nodes = ctx.members[local]
+        senders = ctx.members[senders_local]
+        receptions = int(steps.size)
+        if fault_state is not None and receptions:
+            deaf = fault_state.deaf_at(
+                steps + network.steps_elapsed, nodes
+            )
+            dropped = int(np.count_nonzero(deaf))
+            if dropped:
+                keep = ~deaf
+                steps = steps[keep]
+                nodes = nodes[keep]
+                senders = senders[keep]
+                receptions -= dropped
+                fault_state.note_silenced(dropped)
+        t2 = perf_counter()
+        timing["deliver"] += t2 - t1
+        network._account_window(intended, receptions)
+        section.consume_coo(k, steps, nodes, senders)
+        timing["commit"] += perf_counter() - t2
+
     def _consume_restricted_slab(
         self,
         slab: np.ndarray,
@@ -438,16 +711,28 @@ class WindowedRunner:
 
         The emitter's ``StopIteration`` value is the protocol result —
         emitters ``return`` it like any generator.
+
+        Wall time spent *inside* the emitter (mask construction,
+        protocol state folds between segments) accrues to the
+        network's ``phase_timing["plan"]`` bucket; segment execution
+        fills the other buckets (streamed windows per stage, decision
+        steps and materialized windows as ``"deliver"``).
         """
+        timing = self.network.phase_timing
         reply: Any = None
         while True:
+            t_plan = perf_counter()
             try:
                 segment = schedule.send(reply)
             except StopIteration as stop:
                 return stop.value
+            finally:
+                timing["plan"] += perf_counter() - t_plan
             if isinstance(segment, ObliviousWindow):
                 self._charge(segment.masks.shape[0])
+                t0 = perf_counter()
                 reply = self._execute_window(segment.masks)
+                timing["deliver"] += perf_counter() - t0
             elif isinstance(segment, StreamedWindow):
                 if segment.consume is None and segment.sections is None:
                     raise ProtocolError(
@@ -460,7 +745,9 @@ class WindowedRunner:
                 reply = None
             elif isinstance(segment, DecisionStep):
                 self._charge(1)
+                t0 = perf_counter()
                 reply = self._execute_step(segment.mask)
+                timing["deliver"] += perf_counter() - t0
             elif isinstance(segment, TracePhase):
                 self.network.trace.enter_phase(segment.name)
                 reply = None

@@ -127,6 +127,15 @@ class PlanSection:
     phase: str | None = None
     consume: Callable[[np.ndarray], None] | None = None
     consume_at: Callable[[np.ndarray, np.ndarray], None] | None = None
+    #: Fused-pipeline fold: ``consume_coo(k, steps, nodes, senders)``
+    #: receives the chunk height and the chunk's clean receptions as
+    #: parallel int64 arrays — ``steps`` chunk-relative, ``nodes`` and
+    #: ``senders`` **global** ids, arbitrary order. Required (on every
+    #: section) for the plan's :class:`~repro.radio.network
+    #: .PipelineForm` to be taken.
+    consume_coo: (
+        Callable[[int, np.ndarray, np.ndarray, np.ndarray], None] | None
+    ) = None
 
 
 @dataclasses.dataclass
@@ -168,6 +177,10 @@ class StreamedWindow:
     #: the full hear slab (senders already global ids). Optional — a
     #: window without it simply never restricts.
     consume_at: Callable[[np.ndarray, np.ndarray], None] | None = None
+    #: Fused-pipeline fold (see :class:`PlanSection.consume_coo`).
+    consume_coo: (
+        Callable[[int, np.ndarray, np.ndarray, np.ndarray], None] | None
+    ) = None
     #: Fused multi-phase form: when set, a tuple of
     #: :class:`PlanSection` whose widths sum to ``plan.total_steps``;
     #: the sections' callbacks replace ``consume``/``consume_at``.

@@ -154,6 +154,14 @@ class ValidatingRunner(WindowedRunner):
                     f"{other[step, node]}"
                 )
 
+    def _coo_fold_ok(self, sections) -> bool:
+        """Pin the slab paths: the validator's replay machinery
+        compares full and compact hear slabs, which the fused COO
+        pipeline never materializes. The pipeline is validated by its
+        own equivalence suite (tests/test_pipeline.py) against the
+        slab paths this runner certifies."""
+        return False
+
     def _execute_window(self, masks: np.ndarray) -> np.ndarray:
         batched = super()._execute_window(masks)
         self._compare(batched, masks)

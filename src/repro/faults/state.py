@@ -138,6 +138,9 @@ class FaultState:
         self._energy_init = energy
         self.energy_remaining = energy.copy()
         self._budgeted = np.nonzero(energy >= 0)[0]
+        # Nodes with any lifetime bound — the only columns the fused
+        # in-place transform must visit for the crash/join clears.
+        self._bounded = np.nonzero((join > 0) | (crash < NEVER))[0]
 
         self.realized = {
             "steps_faulted": 0,
@@ -282,6 +285,123 @@ class FaultState:
         """Single-step form of :meth:`transform_window` (1-D in/out)."""
         effective, deaf = self.transform_window(transmit[None, :], step)
         return effective[0], deaf[0]
+
+    # ------------------------------------------------------------------
+    def transform_window_inplace(
+        self, masks: np.ndarray, start: int, cols: np.ndarray | None = None
+    ) -> None:
+        """Fused-transform twin of :meth:`transform_window` (ISSUE 9).
+
+        Turns the intended ``(w, k)`` masks into the effective masks
+        **in place**, visiting only fault-affected columns — no alive
+        mask, no ``masks & alive`` temporary, no second ``(w, k)``
+        array. Same global-id + global-clock keying, same transform
+        order (lifetime/sleep clears, then suppression coins, then
+        energy), same energy ledger debit, and byte-identical realized
+        counters: each stage only ever *clears* bits, so summing the
+        bits each stage clears equals ``masks.sum() - effective.sum()``
+        of the out-of-place form. The deaf side has no window-shaped
+        output here — the pipeline path tests its (sparse) receptions
+        point-wise with :meth:`deaf_at` instead. Call once per executed
+        chunk, in execution order, exactly like
+        :meth:`transform_window`.
+        """
+        width = masks.shape[0]
+        suppressed = 0
+
+        if self._bounded.size:
+            if cols is None:
+                loc = gids = self._bounded
+            else:
+                loc, gids = _positions_in(cols, self._bounded)
+            for c, g in zip(loc, gids):
+                lo = min(max(int(self.join_step[g]) - start, 0), width)
+                hi = max(min(int(self.crash_step[g]) - start, width), 0)
+                if lo > 0:
+                    suppressed += int(masks[:lo, c].sum())
+                    masks[:lo, c] = False
+                if hi < width:
+                    suppressed += int(masks[hi:, c].sum())
+                    masks[hi:, c] = False
+
+        stop_w = start + width
+        for node, s0, s1 in self.sleeps:
+            lo, hi = max(s0, start), min(s1, stop_w)
+            if lo < hi:
+                rows = slice(lo - start, hi - start)
+                if cols is None:
+                    c = node
+                else:
+                    pos, _ = _positions_in(cols, [node])
+                    if not pos.size:
+                        continue
+                    c = pos[0]
+                suppressed += int(masks[rows, c].sum())
+                masks[rows, c] = False
+
+        if self._scaled.size:
+            if cols is None:
+                loc = gids = self._scaled
+            else:
+                loc, gids = _positions_in(cols, self._scaled)
+            sub = masks[:, loc]
+            if sub.any():
+                steps = np.arange(
+                    start, start + width, dtype=np.uint64
+                )[:, None]
+                coins = _hash_uniform(
+                    self.schedule.seed, steps, gids.astype(np.uint64)[None, :]
+                )
+                kept = sub & (coins < self.tx_scale[gids][None, :])
+                suppressed += int(sub.sum() - kept.sum())
+                masks[:, loc] = kept
+
+        if self._budgeted.size:
+            if cols is None:
+                loc = gids = self._budgeted
+            else:
+                loc, gids = _positions_in(cols, self._budgeted)
+            sub = masks[:, loc]
+            if sub.any():
+                used = np.cumsum(sub, axis=0, dtype=np.int64)
+                allowed = sub & (
+                    used <= self.energy_remaining[gids][None, :]
+                )
+                suppressed += int(sub.sum() - allowed.sum())
+                masks[:, loc] = allowed
+                self.energy_remaining[gids] -= allowed.sum(
+                    axis=0, dtype=np.int64
+                )
+
+        self.realized["steps_faulted"] += int(width)
+        self.realized["suppressed_transmissions"] += suppressed
+
+    def deaf_at(
+        self, steps: np.ndarray, nodes: np.ndarray
+    ) -> np.ndarray:
+        """Point-wise deafness test: ``deaf_window`` semantics for a
+        sparse set of ``(global step, global node)`` reception pairs.
+
+        Returns the bool drop mask (True = listener hears silence).
+        The pipeline path filters its COO receptions with this and
+        reports the drop count through :meth:`note_silenced`; the
+        result matches indexing the window form —
+        ``deaf_window(...)[steps - start, nodes]`` — entry for entry.
+        """
+        deaf = (steps < self.join_step[nodes]) | (
+            steps >= self.crash_step[nodes]
+        )
+        for node, s0, s1 in self.sleeps:
+            deaf |= (nodes == node) & (steps >= s0) & (steps < s1)
+        for jam in self.jams:
+            in_window = (steps >= jam.start) & (steps < jam.stop)
+            if jam.nodes is None:
+                deaf |= in_window
+            elif in_window.any():
+                deaf |= in_window & np.isin(
+                    nodes, np.asarray(list(jam.nodes), dtype=np.int64)
+                )
+        return deaf
 
     def note_silenced(self, count: int) -> None:
         """Record receptions the hear transform masked to silence."""

@@ -118,6 +118,37 @@ GATHER_WINDOW_WIDTH = 32
 
 
 @dataclasses.dataclass
+class PipelineForm:
+    """Separable threshold form of a plan's masks (fused pipeline).
+
+    Declares that the plan's mask math factors as
+    ``mask[t, v] = coins[t, v] < row_probs[t] * col_probs(base)[v]``
+    over each section (``base`` is the section's first plan row) —
+    which is exactly what lets one fused pass draw the coin and decide
+    the bit in the same loop, without the emitter's intermediate
+    arrays. The product must reproduce the emitter's vectorized mask
+    arithmetic **bit-for-bit**; the two emitter families that opt in
+    satisfy that exactly:
+
+    * Decay: ``(coins < p_t) & active`` ⟺ ``coins < p_t * float(active)``
+      (the factor is 0.0 or 1.0 — multiplying by it is exact, and
+      ``coin < 0.0`` is False for every coin);
+    * EED: ``coins < p_v / 2^i`` ⟺ ``coins < p_v * 2^-i`` (a power-of-two
+      scale changes only the exponent, exact away from subnormals).
+
+    ``coins`` is the plan's own :class:`~repro.engine.pcg.CoinField` —
+    shared with ``masks``/``masks_at``, so whichever producer the
+    runner picks consumes the one rng stream identically.
+    ``col_probs`` is called once per section start and must return a
+    length-``n`` float64 vector.
+    """
+
+    coins: Any
+    row_probs: np.ndarray
+    col_probs: Callable[[int], np.ndarray]
+
+
+@dataclasses.dataclass
 class TransmitPlan:
     """A lazily produced window of oblivious transmit masks.
 
@@ -157,6 +188,12 @@ class TransmitPlan:
     masks: Callable[[int, int], np.ndarray]
     support: np.ndarray | None = None
     masks_at: Callable[[int, int, np.ndarray], np.ndarray] | None = None
+    #: Optional separable form for the fused pipeline pass (ISSUE 9):
+    #: a :class:`PipelineForm` proving the masks factor into per-row ×
+    #: per-column thresholds over the plan's coin field. Pure opt-in
+    #: accelerator like ``support``/``masks_at`` — plans without it
+    #: (or runs with the pipeline disabled) execute exactly as before.
+    pipeline: PipelineForm | None = None
 
 
 def as_transmit_plan(plan: TransmitPlan | np.ndarray) -> TransmitPlan:
@@ -250,6 +287,18 @@ class RadioNetwork:
             "rebuilds": 0,
             "restricted_steps": 0,
             "full_steps": 0,
+        }
+        # Per-phase wall-clock buckets (seconds), filled by the
+        # windowed runner: planning/emitter time, coin generation,
+        # fault transforms, delivery kernels, and reception folds.
+        # Surfaced as RunReport.provenance["timing"]; reset per run()
+        # alongside the counters above.
+        self.phase_timing: dict[str, float] = {
+            "plan": 0.0,
+            "coins": 0.0,
+            "faults": 0.0,
+            "deliver": 0.0,
+            "commit": 0.0,
         }
         # Lazy DeliveryKernels view over this network's own CSR, for
         # the compiled delivery modes (repro.engine.kernels).
@@ -762,6 +811,12 @@ class RadioNetwork:
             self._kernels = DeliveryKernels(
                 self._adj.indptr, self._adj.indices, self.n
             )
+            # Share the already-materialized adjacency (all-ones
+            # float64 data over the same indptr/indices) instead of
+            # letting the registry lazily build a duplicate — at mean
+            # degree n/2 that copy alone is nnz * 8 bytes, enough to
+            # blow a tight streamed mem_budget.
+            self._kernels._adj = self._adj
         return self._kernels
 
     def _validate_window_masks(self, masks: np.ndarray) -> np.ndarray:

@@ -301,7 +301,11 @@ class TestModeRegistry:
             assert mode in avail
         for mode in COMPILED_DELIVERY_MODES:
             assert mode in ALL_DELIVERY_MODES
-            probe = {"numba": probe_numba, "cupy": probe_cupy}[mode]
+            probe = {
+                "numba": probe_numba,
+                "cupy": probe_cupy,
+                "pipeline": probe_numba,
+            }[mode]
             assert (mode in avail) == probe()
 
     def test_unknown_mode_refused_with_full_inventory(self):

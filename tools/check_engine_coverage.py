@@ -68,6 +68,9 @@ TEST_FILES = [
     # fan-out) and the result-equality mixin it leans on — ISSUE 8.
     "tests/test_corpus.py",
     "tests/test_result_equality.py",
+    # The fused pipeline tier (fused coin/fault/delivery pass, COO
+    # kernels, per-phase timing, provenance counters) — ISSUE 9.
+    "tests/test_pipeline.py",
 ]
 
 #: Comment marker excluding a statement (and its whole block) from the
