@@ -31,17 +31,24 @@ fused coin+fault+delivery pipeline — small-n bit-identity of the
 fused pass against the unfused chunk paths (faulted legs included),
 the fused-vs-unfused speedup gate at scale, and optionally the
 end-to-end n = 10^6 corpus-store MIS — persisted to
-``BENCH_PR9.json``). Every bench record carries ``peak_mem_bytes``
-alongside its wall times. The ``BENCH_*.json`` records are the perf
-trajectory future PRs compare themselves against.
+``BENCH_PR9.json``), and the ``bench_p10_service`` pass (PR 10: the
+experiment service — resubmitting a completed MIS campaign at least
+50x faster than its cold run via the content-addressed report store,
+store-backed aggregates bit-identical to the serial harness, and the
+HTTP front end within 10% of driving the campaign engine directly on
+a 200-trial decay campaign — persisted to ``BENCH_PR10.json``).
+Every bench record carries ``peak_mem_bytes`` alongside its wall
+times. The ``BENCH_*.json`` records are the perf trajectory future
+PRs compare themselves against.
 
 Usage::
 
     python benchmarks/run_perf_smoke.py [--skip-tests] [--skip-p1]
         [--skip-p4] [--skip-p5] [--skip-p6] [--skip-p7] [--skip-p8]
-        [--skip-p9] [--n 2000] [--p4-n 100000] [--p5-n 100000]
-        [--p6-n 1200] [--p7-n 100000] [--p8-n 100000]
-        [--p9-n 100000] [--p9-e2e]
+        [--skip-p9] [--skip-p10] [--n 2000] [--p4-n 100000]
+        [--p5-n 100000] [--p6-n 1200] [--p7-n 100000]
+        [--p8-n 100000] [--p9-n 100000] [--p9-e2e] [--p10-n 2000]
+        [--p10-trials 200] [--p10-mis-trials 8]
 
 Exit status is nonzero if the test suite fails or a speedup/memory
 floor is missed, so this doubles as a CI gate.
@@ -182,6 +189,30 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the PR 9 end-to-end n=10^6 corpus-store MIS "
         "(minutes of wall clock; the smoke default skips it)",
     )
+    parser.add_argument(
+        "--skip-p10",
+        action="store_true",
+        help="skip the PR 10 service bench (BENCH_PR10.json untouched)",
+    )
+    parser.add_argument(
+        "--p10-n",
+        type=int,
+        default=2000,
+        help="scale of the PR 10 service campaigns (acceptance pins "
+        "2000)",
+    )
+    parser.add_argument(
+        "--p10-trials",
+        type=int,
+        default=200,
+        help="PR 10 decay campaign trial count (acceptance pins 200)",
+    )
+    parser.add_argument(
+        "--p10-mis-trials",
+        type=int,
+        default=8,
+        help="PR 10 MIS campaign trial count for the cache gate",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -195,6 +226,7 @@ def main(argv: list[str] | None = None) -> int:
     import bench_p7_kernels
     import bench_p8_corpus
     import bench_p9_pipeline
+    import bench_p10_service
 
     tier1 = None if args.skip_tests else run_tier1()
     ok = tier1 is None or tier1["returncode"] == 0
@@ -374,6 +406,27 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(f"persisted to {bench_p9_pipeline.RESULT_PATH}")
         ok = ok and p9["passes_floors"]
+
+    if not args.skip_p10:
+        p10 = bench_p10_service.run_bench(
+            n=args.p10_n,
+            trials=args.p10_trials,
+            mis_trials=args.p10_mis_trials,
+        )
+        if tier1 is not None:
+            p10["tier1"] = tier1
+        bench_p10_service.write_results(p10)
+
+        cache, http = p10["cache"], p10["http"]
+        print(
+            f"service: resubmit {cache['cache_speedup']:.0f}x over "
+            f"cold (floor {cache['cache_floor']:.0f}x); aggregates == "
+            f"harness: {cache['aggregates_identical_to_harness']}; "
+            f"http overhead {http['http_overhead']:+.1%} (ceiling "
+            f"{http['http_overhead_ceiling']:.0%})"
+        )
+        print(f"persisted to {bench_p10_service.RESULT_PATH}")
+        ok = ok and p10["passes_floors"]
 
     return 0 if ok else 1
 

@@ -186,13 +186,51 @@ class TrialStats:
     def from_values(cls, values: Sequence[float]) -> "TrialStats":
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
-            raise ValueError("cannot aggregate zero trials")
+            raise ProtocolError(
+                "cannot aggregate zero trials: TrialStats.from_values "
+                "needs at least one value"
+            )
         return cls(
             mean=float(arr.mean()),
             std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
             minimum=float(arr.min()),
             maximum=float(arr.max()),
             count=int(arr.size),
+        )
+
+    def merge(self, other: "TrialStats") -> "TrialStats":
+        """Combine two disjoint aggregates into one (streaming update).
+
+        Exact pooled mean/variance (Chan's parallel form): merging the
+        stats of two value blocks equals aggregating the concatenated
+        block, up to float rounding — which is what lets the campaign
+        engine maintain live aggregates **incrementally** as reports
+        land instead of re-walking every report per update
+        (``summarize_reports`` over 10^6 reports per status poll would
+        be quadratic in campaign size). ``std`` keeps the sample
+        convention (``ddof=1``) of :meth:`from_values`.
+        """
+        if not isinstance(other, TrialStats):
+            raise ProtocolError(
+                f"TrialStats.merge takes another TrialStats, got "
+                f"{type(other).__name__}"
+            )
+        na, nb = self.count, other.count
+        n = na + nb
+        delta = other.mean - self.mean
+        mean = self.mean + delta * nb / n
+        # Sum of squared deviations per side (ddof=1 stored stds).
+        m2 = (
+            self.std**2 * max(0, na - 1)
+            + other.std**2 * max(0, nb - 1)
+            + delta**2 * na * nb / n
+        )
+        return TrialStats(
+            mean=float(mean),
+            std=float(math.sqrt(m2 / (n - 1))) if n > 1 else 0.0,
+            minimum=float(min(self.minimum, other.minimum)),
+            maximum=float(max(self.maximum, other.maximum)),
+            count=int(n),
         )
 
 
@@ -577,7 +615,14 @@ def summarize_reports(reports: Sequence[Any]) -> dict[str, TrialStats]:
     """
     reports = list(reports)
     if not reports:
-        raise ValueError("cannot summarize zero reports")
+        # Refuse by name rather than letting TrialStats trip over an
+        # empty array (historically a bare ValueError with no context,
+        # and a KeyError further down for callers indexing the dict):
+        # the service maps this straight to a 4xx.
+        raise ProtocolError(
+            "summarize_reports got zero reports: an empty campaign or "
+            "trial batch has no aggregates (submit at least one trial)"
+        )
     summary = {
         "steps": TrialStats.from_values([r.steps for r in reports]),
         "wall_time_s": TrialStats.from_values(

@@ -105,6 +105,26 @@ class RunReport(ArrayEqMixin):
 
     __hash__ = None  # type: ignore[assignment]
 
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize this report to the tagged-JSON wire format.
+
+        The document round-trips exactly: ``RunReport.from_json(
+        r.to_json()) == r`` under the report's own outcome equality
+        (ndarray payloads byte-exact, sets/tuples/nested dataclasses
+        reconstructed; see :mod:`repro.api.wire`). This is the
+        experiment service's storage and HTTP format.
+        """
+        from .wire import report_to_json
+
+        return report_to_json(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "RunReport":
+        """Parse a :meth:`to_json` document back into a report."""
+        from .wire import report_from_json
+
+        return report_from_json(text)
+
     def row(self) -> dict[str, Any]:
         """Flatten to a JSON-ready dict (the ``BENCH_*.json`` row form).
 

@@ -55,6 +55,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Any
 
@@ -380,6 +381,86 @@ def _run_protocol(spec: api.ProtocolSpec, args: argparse.Namespace) -> int:
     return spec.cli.exit_code(report, payload)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the experiment service and serve until interrupted."""
+    import asyncio
+
+    from .service import ExperimentService
+
+    try:
+        service = ExperimentService(
+            args.reports,
+            args.corpus,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            campaign_slots=args.campaign_slots,
+        )
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        await service.start()
+        print(
+            f"repro service on http://{service.host}:{service.port} "
+            f"(reports: {service.reports.directory}, "
+            f"workers: {service.workers})",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Client-side campaign verbs: submit / status / watch."""
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port)
+    try:
+        if args.action == "submit":
+            if args.spec == "-":
+                document = sys.stdin.read()
+            else:
+                with open(args.spec) as handle:
+                    document = handle.read()
+            status = client.submit(document)
+            if args.wait:
+                status = client.wait(status["id"])
+        elif args.action == "status":
+            status = client.status(args.id)
+        else:  # watch
+            status = None
+            for snapshot in client.stream(args.id):
+                status = snapshot
+                if not args.json:
+                    print(
+                        f"{snapshot['state']}: "
+                        f"{snapshot['completed']}/{snapshot['total']} "
+                        f"({snapshot['cached']} cached, "
+                        f"{snapshot['failed']} failed)"
+                    )
+            if status is None:
+                raise ProtocolError(
+                    f"campaign {args.id!r} produced no status snapshots"
+                )
+            if not args.json:
+                return 0 if status["state"] == "completed" else 1
+    except (ServiceError, ProtocolError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot reach service: {exc}", file=sys.stderr)
+        return 2
+    _emit(args, status)
+    return 0 if status.get("state") != "failed" else 1
+
+
 def _cmd_classes(args: argparse.Namespace) -> int:
     """Summarize the paper's graph classes (not a protocol run)."""
     rng = np.random.default_rng(args.seed)
@@ -448,6 +529,69 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_options(classes)
     classes.set_defaults(func=_cmd_classes)
 
+    serve = sub.add_parser(
+        "serve",
+        help="host the experiment service (campaigns over HTTP)",
+    )
+    serve.add_argument(
+        "--reports",
+        required=True,
+        metavar="DIR",
+        help="report store directory (created on first write)",
+    )
+    serve.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="corpus store that resolves submitted graph digests",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8471, help="bind port (0 = pick free)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width per campaign (1 = in-process serial)",
+    )
+    serve.add_argument(
+        "--campaign-slots",
+        type=int,
+        default=2,
+        help="campaigns executing concurrently; the rest queue",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    campaign = sub.add_parser(
+        "campaign", help="submit and track campaigns on a service"
+    )
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+    for action, doc in (
+        ("submit", "submit a CampaignSpec JSON document"),
+        ("status", "one status snapshot of a campaign"),
+        ("watch", "stream status updates until the campaign settles"),
+    ):
+        ap = campaign_sub.add_parser(action, help=doc)
+        ap.add_argument("--host", default="127.0.0.1")
+        ap.add_argument("--port", type=int, default=8471)
+        ap.add_argument(
+            "--json", action="store_true",
+            help="print machine-readable JSON",
+        )
+        if action == "submit":
+            ap.add_argument(
+                "spec", help="spec document path, or - for stdin"
+            )
+            ap.add_argument(
+                "--wait",
+                action="store_true",
+                help="block until the campaign settles",
+            )
+        else:
+            ap.add_argument("id", help="campaign id (from submit)")
+        ap.set_defaults(func=_cmd_campaign)
+
     return parser
 
 
@@ -455,7 +599,16 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed early (`repro campaign status | head`);
+        # suppress the traceback and exit like a well-behaved filter.
+        # stdout's buffer still holds unflushable bytes — detach it so
+        # interpreter shutdown doesn't print a second error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,162 @@
+"""Thin HTTP client for the experiment service (stdlib ``http.client``).
+
+One connection per request (the server closes after responding), JSON
+in and out, and the server's uniform refusal shape re-raised locally
+as :class:`ServiceError` — a :class:`~repro.radio.errors.ProtocolError`
+subclass, so callers catch service refusals exactly like local ones.
+Used by ``repro campaign ...``, the tests, and the benchmarks; it is
+also the reference for what a curl session looks like (README
+quickstart).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+
+from ..api.report import RunReport
+from ..api.wire import decode_value
+from ..radio.errors import ProtocolError
+from .campaign import CampaignSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ProtocolError):
+    """A refusal from the service, with the HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talk to one :class:`~repro.service.http.ExperimentService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8471,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: str | bytes | None = None
+    ) -> dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status >= 400:
+                raise ServiceError(
+                    response.status,
+                    payload.get("error", {}).get(
+                        "message", f"HTTP {response.status}"
+                    ),
+                )
+            return payload
+        finally:
+            connection.close()
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Liveness + store counters (``GET /health``)."""
+        return self._request("GET", "/health")
+
+    def submit(self, spec: "CampaignSpec | str | bytes") -> dict[str, Any]:
+        """Submit a campaign; returns its status (with ``id``).
+
+        Accepts a :class:`~repro.service.campaign.CampaignSpec` or an
+        already-serialized submission document. Resubmitting a spec
+        the store has served before is the resume idiom — the status
+        will show every job as ``cached``.
+        """
+        body = spec.to_json() if isinstance(spec, CampaignSpec) else spec
+        return self._request("POST", "/campaigns", body)
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        """Status snapshots of every campaign the service knows."""
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def status(self, ident: str) -> dict[str, Any]:
+        """One campaign's status snapshot (``GET /campaigns/{id}``)."""
+        return self._request("GET", f"/campaigns/{ident}")
+
+    def jobs(self, ident: str) -> list[dict[str, Any]]:
+        """The campaign's job coordinates -> report-digest map."""
+        return self._request("GET", f"/campaigns/{ident}/jobs")["jobs"]
+
+    def cancel(self, ident: str) -> dict[str, Any]:
+        """Request cancellation; landed jobs stay in the store."""
+        return self._request("POST", f"/campaigns/{ident}/cancel")
+
+    def fetch_document(self, digest: str) -> dict[str, Any]:
+        """The raw stored report document of one job digest."""
+        return self._request("GET", f"/reports/{digest}")
+
+    def fetch_report(self, digest: str) -> RunReport:
+        """The stored :class:`~repro.api.report.RunReport` of a digest,
+        decoded from the wire form (outcome-equal to the original)."""
+        report = decode_value(self.fetch_document(digest)["report"])
+        if not isinstance(report, RunReport):
+            raise ServiceError(
+                500,
+                f"report document {digest!r} decoded to "
+                f"{type(report).__name__!r}, expected RunReport",
+            )
+        return report
+
+    # -- composites ---------------------------------------------------
+
+    def stream(self, ident: str) -> Iterator[dict[str, Any]]:
+        """Yield status snapshots from the chunked stream endpoint
+        until the campaign settles (``http.client`` de-chunks)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", f"/campaigns/{ident}/stream")
+            response = connection.getresponse()
+            if response.status >= 400:
+                payload = json.loads(response.read())
+                raise ServiceError(
+                    response.status,
+                    payload.get("error", {}).get(
+                        "message", f"HTTP {response.status}"
+                    ),
+                )
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(
+        self, ident: str, timeout: float = 600.0, poll: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the campaign settles; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(ident)
+            if status["state"] in ("completed", "cancelled", "failed") \
+                    or status.get("error"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    408,
+                    f"campaign {ident!r} did not settle within "
+                    f"{timeout}s ({status['completed']}/"
+                    f"{status['total']} jobs done)",
+                )
+            time.sleep(poll)

@@ -1,0 +1,236 @@
+"""Content-addressed RunReport store: run once, serve forever.
+
+The service's core bet is that a Monte-Carlo campaign is a *pure
+function* of its coordinates: a seeded protocol run is bit-identical
+given ``(protocol, graph, seed, resolved policy, faults)`` — the
+equivalence suites pin exactly that. So the store keys every
+:class:`~repro.api.report.RunReport` by the :class:`JobKey` of those
+five coordinates (graph by corpus content digest, seed by the
+``(base seed, trial index)`` pair that determines its
+``SeedSequence`` child, policy and faults by content digests) and a
+repeated request is a cache hit — no re-execution, and a campaign
+killed mid-flight resumes from whatever its first life persisted.
+
+Entries are one JSON document each (the :mod:`repro.api.wire` tagged
+format plus the key's own fields for listing), written atomically via
+tempfile + ``os.replace`` exactly like
+:class:`~repro.corpus.store.CorpusStore` entries: two processes
+racing to persist the same job write the same bytes, and a crash
+never leaves a half-readable entry. Documents are sharded into
+two-hex-character subdirectories so a million-report store does not
+put a million files in one directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Iterator
+
+from ..api.report import RunReport
+from ..api.wire import decode_value, encode_value
+from ..engine.policy import ExecutionPolicy
+from ..radio.errors import ProtocolError
+
+__all__ = [
+    "JobKey",
+    "ReportStore",
+    "faults_digest",
+    "policy_digest",
+]
+
+#: Digest value standing for "no fault schedule" (or an empty one —
+#: pinned bit-identical to none by the fault layer, so they must
+#: share a cache key).
+NO_FAULTS = "none"
+
+
+def policy_digest(policy: ExecutionPolicy, n: int | None = None) -> str:
+    """Content digest of the **resolved** execution policy, hex.
+
+    Resolution (:meth:`~repro.engine.policy.ExecutionPolicy.resolve`
+    against the graph size) happens first, so ``"auto"`` knobs and the
+    process-wide budget fold in — the digest names what would actually
+    execute. The fault schedule is stripped: faults are the key's own
+    fifth coordinate (:func:`faults_digest`), not part of the policy
+    digest, mirroring the key layout in the issue contract.
+    """
+    resolved = dataclasses.replace(policy.resolve(n), faults=None)
+    doc = json.dumps(encode_value(resolved), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()[:16]
+
+
+def faults_digest(policy: ExecutionPolicy) -> str:
+    """Digest of the policy's effective fault schedule (:data:`NO_FAULTS`
+    for fault-free runs, including empty schedules — which the fault
+    layer pins bit-identical to none, so they share a key)."""
+    schedule = policy.fault_schedule()
+    if schedule is None or schedule.is_empty:
+        return NO_FAULTS
+    return schedule.digest()
+
+
+@dataclasses.dataclass(frozen=True)
+class JobKey:
+    """The five coordinates that determine one seeded run exactly.
+
+    ``seed`` and ``trial`` together name the rng stream: trial ``t`` of
+    a campaign runs on ``np.random.SeedSequence(seed).spawn(n)[t]`` —
+    the same seeding contract as
+    :func:`~repro.analysis.experiments.run_report_trials`, so the
+    store serves those trials too.
+    """
+
+    protocol: str
+    graph: str
+    seed: int
+    trial: int
+    policy: str
+    faults: str = NO_FAULTS
+
+    def __post_init__(self) -> None:
+        if not self.protocol or not isinstance(self.protocol, str):
+            raise ProtocolError(
+                f"JobKey.protocol must be a protocol name, "
+                f"got {self.protocol!r}"
+            )
+        if not self.graph or not isinstance(self.graph, str):
+            raise ProtocolError(
+                f"JobKey.graph must be a corpus content digest, "
+                f"got {self.graph!r}"
+            )
+        for field in ("seed", "trial"):
+            value = getattr(self, field)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(
+                    f"JobKey.{field} must be an integer, got {value!r}"
+                )
+        if self.trial < 0:
+            raise ProtocolError(
+                f"JobKey.trial must be >= 0, got {self.trial}"
+            )
+
+    @property
+    def digest(self) -> str:
+        """sha256 over the canonical key document (the entry address)."""
+        doc = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(doc.encode()).hexdigest()
+
+    def asdict(self) -> dict[str, Any]:
+        """Plain-JSON form (stored beside the report for listing)."""
+        return dataclasses.asdict(self)
+
+
+class ReportStore:
+    """A directory of report entries, addressed by :class:`JobKey` digest.
+
+    Plain files, no index: ``get`` is a stat + read, ``put`` an atomic
+    rename, and concurrent writers of the same key race benignly
+    (content-addressed — same key, same resolved coordinates, same
+    report outcome). ``hits``/``misses``/``writes`` counters feed the
+    campaign engine's dedupe accounting and the service's status
+    endpoint.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def path_for(self, key: "JobKey | str") -> pathlib.Path:
+        """Entry path of a key (or raw digest): sharded by prefix."""
+        digest = key.digest if isinstance(key, JobKey) else key
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, (JobKey, str)):
+            return False
+        return self.path_for(key).is_file()
+
+    def get(self, key: "JobKey | str") -> RunReport | None:
+        """The stored report of ``key``, or ``None`` (counted) on a miss."""
+        path = self.path_for(key)
+        try:
+            document = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        report = decode_value(document["report"])
+        if not isinstance(report, RunReport):
+            raise ProtocolError(
+                f"store entry {path.name} decoded to "
+                f"{type(report).__name__!r}, expected RunReport"
+            )
+        return report
+
+    def get_document(self, digest: str) -> dict[str, Any] | None:
+        """The raw stored document (key fields + tagged report) of a
+        digest — what the fetch-report HTTP endpoint serves verbatim."""
+        path = self.path_for(digest)
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def put(self, key: JobKey, report: RunReport) -> pathlib.Path:
+        """Persist ``report`` under ``key`` atomically; return the path.
+
+        An existing entry wins (content-addressed: it records the same
+        outcome); the write is tempfile + ``os.replace`` in the entry's
+        own shard directory, so readers never observe a partial file
+        and a crashed writer leaves only an orphaned dotfile.
+        """
+        if not isinstance(report, RunReport):
+            raise ProtocolError(
+                f"ReportStore.put takes a RunReport, "
+                f"got {type(report).__name__}"
+            )
+        path = self.path_for(key)
+        if path.is_file():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "format": 1,
+            "key": key.asdict(),
+            "digest": key.digest,
+            "report": encode_value(report),
+        }
+        fd, tmp = tempfile.mkstemp(
+            prefix=".tmp-", suffix=".json", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - crash path
+                os.unlink(tmp)
+        self.writes += 1
+        return path
+
+    def digests(self) -> Iterator[str]:
+        """Every stored entry digest (no particular order)."""
+        if not self.directory.is_dir():
+            return
+        for shard in sorted(self.directory.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/write counters plus the current entry count."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self),
+        }

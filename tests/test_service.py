@@ -1,0 +1,847 @@
+"""Tests for the experiment service (repro.service) and its wire format.
+
+The load-bearing contracts:
+
+1. **Wire round-trip** — ``RunReport.from_json(r.to_json()) == r``
+   under the report's own outcome equality, for reports carrying
+   ndarray payloads, nested dataclasses, sets, and fault provenance;
+   the codec refuses foreign dataclasses and malformed documents by
+   name.
+2. **Pure-function store** — a job is determined by its
+   :class:`~repro.service.JobKey`; the store serves repeats as cache
+   hits, writes atomically, and two racing writers of one key are
+   benign.
+3. **Campaign = harness** — a store-backed campaign over one cell is
+   bit-identical, report for report and aggregate for aggregate, to
+   :func:`~repro.analysis.experiments.run_report_trials` — pooled or
+   serial, uninterrupted or killed-and-resumed.
+4. **HTTP front** — submit/status/stream/jobs/fetch/cancel over a live
+   asyncio server, uniform ``ProtocolError``-shaped refusals on 4xx,
+   and resubmission of a completed campaign is pure cache hits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro import graphs
+from repro.analysis.experiments import (
+    TrialStats,
+    run_report_trials,
+    summarize_reports,
+)
+from repro.api.report import RunReport
+from repro.api.wire import decode_value, encode_value
+from repro.corpus.generate import random_udg_csr
+from repro.corpus.store import CorpusStore
+from repro.engine.policy import ExecutionPolicy
+from repro.faults import FaultSchedule
+from repro.radio.errors import ProtocolError
+from repro.service import (
+    Campaign,
+    CampaignSpec,
+    JobKey,
+    ReportStore,
+    ServiceClient,
+    ServiceError,
+    faults_digest,
+    policy_digest,
+    run_campaign,
+    start_in_thread,
+)
+
+
+@pytest.fixture(scope="module")
+def stores(tmp_path_factory):
+    """One corpus with two small graphs, shared across the module."""
+    root = tmp_path_factory.mktemp("service")
+    corpus = CorpusStore(root / "corpus")
+    g1 = random_udg_csr(60, 5.0, np.random.default_rng(1))
+    g2 = random_udg_csr(40, 4.0, np.random.default_rng(2))
+    return corpus, corpus.add(g1), corpus.add(g2)
+
+
+# ---------------------------------------------------------------------------
+# wire format
+
+
+class TestWire:
+    def test_mis_report_round_trips(self):
+        report = api.run("mis", graphs.random_udg(50, 4.0, np.random.default_rng(3)),
+                         rng=np.random.default_rng(7))
+        again = RunReport.from_json(report.to_json())
+        assert again == report  # outcome equality: arrays byte-exact
+        assert np.array_equal(
+            np.asarray(again.result.mis), np.asarray(report.result.mis)
+        )
+
+    def test_decay_report_with_faults_round_trips(self):
+        graph = graphs.random_udg(40, 4.0, np.random.default_rng(5))
+        faults = FaultSchedule.sample(40, 64, seed=9, crash_rate=0.2)
+        report = api.run(
+            "decay", graph, rng=np.random.default_rng(1),
+            policy=ExecutionPolicy(faults=faults),
+        )
+        again = RunReport.from_json(report.to_json())
+        assert again == report
+        assert again.provenance["faults"]["digest"] == \
+            report.provenance["faults"]["digest"]
+
+    def test_round_trip_preserves_measurements(self):
+        report = api.run("decay", graphs.random_udg(30, 4.0, np.random.default_rng(1)),
+                         rng=np.random.default_rng(0))
+        again = RunReport.from_json(report.to_json())
+        # Excluded from ==, so pin them explicitly.
+        assert again.wall_time_s == report.wall_time_s
+        assert again.peak_mem_bytes == report.peak_mem_bytes
+
+    def test_scalar_and_container_kinds_round_trip(self):
+        value = {
+            "array": np.arange(7, dtype=np.int32),
+            "floats": np.linspace(0, 1, 5),
+            "set": {3, 1, 2},
+            "frozen": frozenset({"b", "a"}),
+            "tuple": (1, "two", None),
+            "bytes": b"\x00\xff",
+            "intkeys": {0: "zero", 1: "one"},
+        }
+        again = decode_value(json.loads(json.dumps(encode_value(value))))
+        assert again["set"] == value["set"]
+        assert isinstance(again["frozen"], frozenset)
+        assert again["tuple"] == value["tuple"]
+        assert again["bytes"] == value["bytes"]
+        assert again["intkeys"] == value["intkeys"]
+        assert np.array_equal(again["array"], value["array"])
+        assert again["array"].dtype == np.int32
+
+    def test_foreign_dataclass_refused_by_name(self):
+        @dataclasses.dataclass
+        class Foreign:
+            x: int = 1
+
+        with pytest.raises(ProtocolError, match="repro"):
+            encode_value(Foreign())
+
+    def test_decode_refuses_unknown_class_and_fields(self):
+        doc = encode_value(ExecutionPolicy())
+        hostile = dict(doc, **{"class": "os:system"})
+        with pytest.raises(ProtocolError, match="repro"):
+            decode_value(hostile)
+        bad_fields = json.loads(json.dumps(doc))
+        bad_fields["fields"]["not_a_field"] = 1
+        with pytest.raises(ProtocolError, match="not_a_field"):
+            decode_value(bad_fields)
+
+    def test_from_json_refuses_non_report_documents(self):
+        with pytest.raises(ProtocolError, match="RunReport"):
+            RunReport.from_json(json.dumps(encode_value({"a": 1})))
+        with pytest.raises(ProtocolError, match="JSON"):
+            RunReport.from_json("{not json")
+
+
+# ---------------------------------------------------------------------------
+# TrialStats.merge + empty-aggregate refusals (satellite bugfix)
+
+
+class TestAggregates:
+    def test_merge_matches_from_values(self):
+        rng = np.random.default_rng(11)
+        values = rng.normal(5.0, 2.0, size=37)
+        whole = TrialStats.from_values(values)
+        merged = TrialStats.from_values(values[:13]).merge(
+            TrialStats.from_values(values[13:])
+        )
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert math.isclose(merged.mean, whole.mean, rel_tol=1e-12)
+        assert math.isclose(merged.std, whole.std, rel_tol=1e-12)
+
+    def test_merge_single_values_chain(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        stats = TrialStats.from_values(values[:1])
+        for v in values[1:]:
+            stats = stats.merge(TrialStats.from_values([v]))
+        whole = TrialStats.from_values(values)
+        assert stats.count == whole.count
+        assert math.isclose(stats.mean, whole.mean, rel_tol=1e-12)
+        assert math.isclose(stats.std, whole.std, rel_tol=1e-12)
+
+    def test_merge_refuses_non_stats(self):
+        stats = TrialStats.from_values([1.0])
+        with pytest.raises(ProtocolError, match="TrialStats"):
+            stats.merge({"mean": 0.0})
+
+    def test_from_values_refuses_empty(self):
+        with pytest.raises(ProtocolError, match="zero trials"):
+            TrialStats.from_values([])
+
+    def test_summarize_reports_refuses_empty(self):
+        with pytest.raises(ProtocolError, match="zero reports"):
+            summarize_reports([])
+
+
+# ---------------------------------------------------------------------------
+# store
+
+
+class TestStore:
+    def _key(self, **kw):
+        base = dict(protocol="decay", graph="ab" * 8, seed=0, trial=0,
+                    policy=policy_digest(ExecutionPolicy(), 64))
+        base.update(kw)
+        return JobKey(**base)
+
+    def test_key_digest_is_stable_and_distinct(self):
+        a, b = self._key(), self._key()
+        assert a.digest == b.digest
+        assert a.digest != self._key(trial=1).digest
+        assert a.digest != self._key(seed=1).digest
+        assert a.digest != self._key(faults="f" * 16).digest
+
+    def test_key_refusals_name_the_field(self):
+        with pytest.raises(ProtocolError, match="protocol"):
+            self._key(protocol="")
+        with pytest.raises(ProtocolError, match="trial"):
+            self._key(trial=-1)
+        with pytest.raises(ProtocolError, match="seed"):
+            self._key(seed="zero")
+
+    def test_policy_digest_resolves_and_strips_faults(self):
+        auto = ExecutionPolicy()
+        pinned = auto.resolve(64)
+        assert policy_digest(auto, 64) == policy_digest(pinned, 64)
+        faults = FaultSchedule.sample(64, 32, seed=1, crash_rate=0.5)
+        with_faults = dataclasses.replace(auto, faults=faults)
+        assert policy_digest(with_faults, 64) == policy_digest(auto, 64)
+        assert faults_digest(with_faults) == faults.digest()
+        assert faults_digest(auto) == "none"
+
+    def test_put_get_round_trip_and_counters(self, tmp_path):
+        store = ReportStore(tmp_path / "reports")
+        report = api.run("decay", graphs.random_udg(30, 4.0, np.random.default_rng(1)),
+                         rng=np.random.default_rng(0))
+        key = self._key()
+        assert store.get(key) is None
+        assert key not in store
+        path = store.put(key, report)
+        assert path.is_file()
+        assert key in store
+        assert store.get(key) == report
+        assert store.stats() == {
+            "hits": 1, "misses": 1, "writes": 1, "entries": 1,
+        }
+        assert list(store.digests()) == [key.digest]
+
+    def test_existing_entry_wins(self, tmp_path):
+        store = ReportStore(tmp_path / "reports")
+        report = api.run("decay", graphs.random_udg(30, 4.0, np.random.default_rng(1)),
+                         rng=np.random.default_rng(0))
+        key = self._key()
+        path = store.put(key, report)
+        stamp = path.stat().st_mtime_ns
+        store.put(key, report)  # no rewrite
+        assert path.stat().st_mtime_ns == stamp
+        assert store.writes == 1
+
+    def test_get_document_serves_key_fields(self, tmp_path):
+        store = ReportStore(tmp_path / "reports")
+        report = api.run("decay", graphs.random_udg(30, 4.0, np.random.default_rng(1)),
+                         rng=np.random.default_rng(0))
+        key = self._key()
+        store.put(key, report)
+        document = store.get_document(key.digest)
+        assert document["key"] == key.asdict()
+        assert document["digest"] == key.digest
+        assert store.get_document("ff" * 32) is None
+
+    def test_put_refuses_non_reports(self, tmp_path):
+        store = ReportStore(tmp_path / "reports")
+        with pytest.raises(ProtocolError, match="RunReport"):
+            store.put(self._key(), {"steps": 3})
+
+
+# ---------------------------------------------------------------------------
+# campaign spec
+
+
+class TestCampaignSpec:
+    def test_refusals_name_the_problem(self, stores):
+        _corpus, digest, _ = stores
+        with pytest.raises(ProtocolError, match="unknown protocol"):
+            CampaignSpec(protocol="nope", corpus=(digest,), n_trials=1)
+        with pytest.raises(ProtocolError, match="corpus"):
+            CampaignSpec(protocol="decay", corpus=(), n_trials=1)
+        with pytest.raises(ProtocolError, match="n_trials"):
+            CampaignSpec(protocol="decay", corpus=(digest,), n_trials=0)
+        with pytest.raises(ProtocolError, match="policies"):
+            CampaignSpec(protocol="decay", corpus=(digest,), n_trials=1,
+                         policies=())
+        with pytest.raises(ProtocolError, match="campaign"):
+            CampaignSpec(protocol="partition", corpus=(digest,), n_trials=1)
+        with pytest.raises(ProtocolError, match="config"):
+            CampaignSpec(protocol="decay", corpus=(digest,), n_trials=1,
+                         config=object())
+
+    def test_tagged_json_round_trips_with_faults(self, stores):
+        _corpus, digest, _ = stores
+        faults = FaultSchedule.sample(60, 64, seed=4, churn=0.3)
+        spec = CampaignSpec(
+            protocol="mis", corpus=(digest,), n_trials=4, seed=9,
+            policies=(ExecutionPolicy(),
+                      ExecutionPolicy(faults=faults)),
+        )
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.policies[1].faults.digest() == faults.digest()
+
+    def test_plain_form_accepts_curl_shapes(self, stores):
+        _corpus, digest, _ = stores
+        spec = CampaignSpec.from_json(json.dumps({
+            "protocol": "decay",
+            "corpus": digest,
+            "n_trials": 3,
+            "policies": [{"engine": "windowed", "mem_budget": "64M"}],
+        }))
+        assert spec.corpus == (digest,)
+        assert spec.policies[0].mem_budget == 64 * 1024 * 1024
+
+    def test_plain_form_refusals(self, stores):
+        _corpus, digest, _ = stores
+        with pytest.raises(ProtocolError, match="missing"):
+            CampaignSpec.from_json('{"protocol": "decay"}')
+        with pytest.raises(ProtocolError, match="unknown field"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest],
+                "n_trials": 1, "bogus": True,
+            }))
+        with pytest.raises(ProtocolError, match="valid JSON"):
+            CampaignSpec.from_json("{nope")
+        with pytest.raises(ProtocolError, match="fault"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "policies": [{"faults": {}}],
+            }))
+        with pytest.raises(ProtocolError, match="field dict"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "config": 7,
+            }))
+
+    def test_scalar_field_refusals(self, stores):
+        _corpus, digest, _ = stores
+        with pytest.raises(ProtocolError, match="seed"):
+            CampaignSpec(protocol="decay", corpus=(digest,), n_trials=1,
+                         seed="zero")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            CampaignSpec.from_json("[1, 2]")
+        with pytest.raises(ProtocolError, match="CampaignSpec"):
+            CampaignSpec.from_json(
+                json.dumps(encode_value(ExecutionPolicy()))
+            )
+        with pytest.raises(ProtocolError, match="protocol"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": 7, "corpus": [digest], "n_trials": 1,
+            }))
+        with pytest.raises(ProtocolError, match="bad config"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "config": {"not_a_decay_field": 1},
+            }))
+        with pytest.raises(ProtocolError, match="policies must be"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "policies": {"engine": "windowed"},
+            }))
+        with pytest.raises(ProtocolError, match="field dict"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "policies": ["windowed"],
+            }))
+        with pytest.raises(ProtocolError, match="bad policy"):
+            CampaignSpec.from_json(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 1,
+                "policies": [{"enginee": "windowed"}],
+            }))
+
+    def test_total_jobs(self, stores):
+        _corpus, d1, d2 = stores
+        spec = CampaignSpec(
+            protocol="decay", corpus=(d1, d2), n_trials=5,
+            policies=(ExecutionPolicy(), ExecutionPolicy(delivery="dense")),
+        )
+        assert spec.total_jobs == 2 * 2 * 5
+
+
+# ---------------------------------------------------------------------------
+# campaign engine
+
+
+class TestCampaign:
+    def test_matches_run_report_trials_bit_identically(self, stores, tmp_path):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=6, seed=42)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                corpus=corpus)
+        baseline = run_report_trials(
+            "decay", corpus.load(digest), n_trials=6, seed=42
+        )
+        assert all(a == b for a, b in zip(campaign.reports, baseline))
+        summary = summarize_reports(baseline)
+        final = campaign.final_summary()
+        assert final["steps"] == summary["steps"]
+
+    def test_resubmission_is_pure_cache_hits(self, stores, tmp_path):
+        corpus, digest, _ = stores
+        store = ReportStore(tmp_path / "r")
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=6, seed=42)
+        first = run_campaign(spec, store, corpus=corpus)
+        again = run_campaign(spec, store, corpus=corpus)
+        status = again.status()
+        assert status["cached"] == 6 and status["executed"] == 0
+        assert again.final_summary() == first.final_summary()
+        assert all(a == b for a, b in zip(again.reports, first.reports))
+
+    def test_pooled_matches_serial(self, stores, tmp_path):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(
+            protocol="decay", corpus=(digest,), n_trials=4, seed=3,
+            policies=(ExecutionPolicy(), ExecutionPolicy(delivery="dense")),
+        )
+        pooled = run_campaign(spec, ReportStore(tmp_path / "pool"),
+                              corpus=corpus, workers=2)
+        serial = run_campaign(spec, ReportStore(tmp_path / "serial"),
+                              corpus=corpus, workers=1)
+        assert pooled.status()["state"] == "completed"
+        # Outcome fields are bit-identical; provenance names the
+        # transport faithfully (shm vs mmap), so whole-report equality
+        # is deliberately not asserted across pool boundaries.
+        for a, b in zip(pooled.reports, serial.reports):
+            assert a.result == b.result
+            assert a.steps == b.steps
+            assert a.trace == b.trace
+        assert pooled.final_summary()["steps"] == \
+            serial.final_summary()["steps"]
+
+    def test_kill_and_resume_bit_identical(self, stores, tmp_path):
+        """The issue's resume contract: kill mid-campaign, restart,
+        completed jobs are store hits, aggregates bit-identical."""
+        corpus, d1, d2 = stores
+        spec = CampaignSpec(protocol="decay", corpus=(d1, d2),
+                            n_trials=5, seed=17)
+        uninterrupted = run_campaign(
+            spec, ReportStore(tmp_path / "ref"), corpus=corpus
+        )
+
+        store = ReportStore(tmp_path / "killed")
+        landed = [0]
+
+        def count_and_die():
+            landed[0] += 1
+
+        first = run_campaign(
+            spec, store, corpus=corpus,
+            should_stop=lambda: landed[0] >= 4,
+            on_update=count_and_die,
+        )
+        status = first.status()
+        assert status["state"] == "cancelled"
+        assert 0 < status["completed"] < spec.total_jobs
+
+        resumed = run_campaign(spec, ReportStore(tmp_path / "killed"),
+                               corpus=corpus)
+        final = resumed.status()
+        assert final["state"] == "completed"
+        assert final["cached"] == status["completed"]
+        assert final["executed"] == spec.total_jobs - status["completed"]
+        # Deterministic aggregates are bit-identical to the
+        # uninterrupted run (wall_time_s is a measurement — it differs
+        # on every execution by nature, like RunReport equality says).
+        assert resumed.final_summary()["steps"] == \
+            uninterrupted.final_summary()["steps"]
+        assert all(
+            a == b
+            for a, b in zip(resumed.reports, uninterrupted.reports)
+        )
+
+    def test_streaming_summary_counts_every_landed_job(
+        self, stores, tmp_path
+    ):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=5, seed=1)
+        campaign = Campaign(spec, ReportStore(tmp_path / "r"),
+                            corpus=corpus)
+        seen = []
+        campaign.run(on_update=lambda: seen.append(
+            campaign.streaming_summary().get("steps")
+        ))
+        counts = [s.count for s in seen if s is not None]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+        # Same mean as the canonical summary (order-insensitive).
+        assert math.isclose(
+            seen[-1].mean, campaign.final_summary()["steps"].mean,
+            rel_tol=1e-12,
+        )
+
+    def test_refusals(self, stores, tmp_path):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,), n_trials=1)
+        with pytest.raises(ProtocolError, match="ReportStore"):
+            Campaign(spec, {})
+        with pytest.raises(ProtocolError, match="workers"):
+            Campaign(spec, ReportStore(tmp_path / "r"), corpus=corpus,
+                     workers=0)
+        with pytest.raises(ProtocolError, match="resolve"):
+            run_campaign(
+                CampaignSpec(protocol="decay", corpus=("f00dfeed",),
+                             n_trials=1),
+                ReportStore(tmp_path / "r"), corpus=corpus,
+            )
+        with pytest.raises(ProtocolError, match="corpus store"):
+            run_campaign(spec, ReportStore(tmp_path / "r"), corpus=None)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                corpus=corpus)
+        with pytest.raises(ProtocolError, match="already ran"):
+            campaign.run()
+
+    def test_entry_directory_paths_resolve_without_store(
+        self, stores, tmp_path
+    ):
+        corpus, digest, _ = stores
+        path = corpus.path(digest)
+        spec = CampaignSpec(protocol="decay", corpus=(str(path),),
+                            n_trials=2, seed=8)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"))
+        assert campaign.status()["state"] == "completed"
+
+    def test_corpus_directory_path_resolves_digests(
+        self, stores, tmp_path
+    ):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=1, seed=8)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                corpus=str(corpus.directory))
+        assert campaign.status()["state"] == "completed"
+
+    def test_worker_attaches_shared_handles(self, stores):
+        """The pool worker body, exercised in-process with a handle."""
+        from repro.corpus.shm import SharedGraph
+        from repro.service.campaign import _execute_job
+
+        corpus, digest, _ = stores
+        graph = corpus.load(digest)
+        shared = SharedGraph.publish(graph)
+        try:
+            report = _execute_job((
+                "decay", shared.handle,
+                np.random.SeedSequence(5).spawn(1)[0],
+                None, ExecutionPolicy(), None, None,
+            ))
+            assert report.protocol == "decay"
+            assert report.provenance["corpus"]["source"] == "shm"
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_graphs_without_digest_refused(self, stores, tmp_path,
+                                           monkeypatch):
+        import repro.service.campaign as campaign_mod
+
+        corpus, digest, _ = stores
+        bare = corpus.load(digest)
+        bare.graph.pop("digest", None)
+        monkeypatch.setattr(
+            campaign_mod, "_resolve_corpus_entries",
+            lambda entries, corpus: [bare],
+        )
+        spec = CampaignSpec(protocol="decay", corpus=(digest,), n_trials=1)
+        with pytest.raises(ProtocolError, match="content"):
+            Campaign(spec, ReportStore(tmp_path / "r"), corpus=corpus)
+
+    def test_failing_jobs_are_recorded_not_fatal(
+        self, stores, tmp_path, monkeypatch
+    ):
+        import repro.service.campaign as campaign_mod
+
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,), n_trials=3)
+
+        def explode(payload):
+            raise RuntimeError("worker fell over")
+
+        monkeypatch.setattr(campaign_mod, "_execute_job", explode)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                corpus=corpus)
+        status = campaign.status()
+        assert status["state"] == "failed"
+        assert status["failed"] == 3
+        assert "worker fell over" in status["errors"][0]
+        with pytest.raises(ProtocolError, match="no completed jobs"):
+            campaign.final_summary()
+
+    def test_spec_level_refusal_fails_the_campaign(
+        self, stores, tmp_path
+    ):
+        # decay implements windowed/reference only; a fused policy is
+        # a spec problem, surfaced as a refusal, not a failure count.
+        corpus, digest, _ = stores
+        spec = CampaignSpec(
+            protocol="decay", corpus=(digest,), n_trials=2,
+            policies=(ExecutionPolicy(engine="fused"),),
+        )
+        campaign = Campaign(spec, ReportStore(tmp_path / "r"),
+                            corpus=corpus)
+        with pytest.raises(ProtocolError, match="fused"):
+            campaign.run()
+        assert campaign.status()["state"] == "failed"
+
+    def test_unpicklable_payload_degrades_to_serial(
+        self, stores, tmp_path, monkeypatch
+    ):
+        import pickle as pickle_mod
+
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=3, seed=6)
+
+        def refuse(obj, *a, **kw):
+            raise TypeError("cannot pickle this payload")
+
+        monkeypatch.setattr(pickle_mod, "dumps", refuse)
+        with pytest.warns(RuntimeWarning, match="serial"):
+            campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                    corpus=corpus, workers=2)
+        assert campaign.status()["state"] == "completed"
+
+    def test_broken_pool_degrades_to_serial(
+        self, stores, tmp_path, monkeypatch
+    ):
+        import concurrent.futures.process as process_mod
+
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=3, seed=6)
+
+        def broken(self, pending, shared, should_stop, notify):
+            raise process_mod.BrokenProcessPool("no forks here")
+
+        monkeypatch.setattr(Campaign, "_drain_pool", broken)
+        campaign = run_campaign(spec, ReportStore(tmp_path / "r"),
+                                corpus=corpus, workers=2)
+        status = campaign.status()
+        assert status["state"] == "completed"
+        assert status["executed"] == 3
+
+    def test_pooled_cancel_keeps_landed_work(self, stores, tmp_path):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=24, seed=13)
+        store = ReportStore(tmp_path / "r")
+        landed = [0]
+        campaign = Campaign(spec, store, corpus=corpus, workers=2)
+        campaign.run(
+            should_stop=lambda: landed[0] >= 3,
+            on_update=lambda: landed.__setitem__(0, landed[0] + 1),
+        )
+        status = campaign.status()
+        assert status["state"] == "cancelled"
+        assert status["completed"] < spec.total_jobs
+        # Everything recorded is persisted: a resume serves it back.
+        resumed = run_campaign(spec, ReportStore(tmp_path / "r"),
+                               corpus=corpus)
+        assert resumed.status()["cached"] >= status["completed"]
+
+    def test_peak_memory_aggregates_when_measured(
+        self, stores, tmp_path
+    ):
+        corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=2, seed=1)
+        campaign = Campaign(spec, ReportStore(tmp_path / "r"),
+                            corpus=corpus)
+        report = api.run("decay", corpus.load(digest),
+                         rng=np.random.default_rng(0))
+        for job, peak in zip(campaign.jobs, (1024, 2048)):
+            campaign._record(
+                job, dataclasses.replace(report, peak_mem_bytes=peak),
+                cached=False,
+            )
+        assert campaign.streaming_summary()["peak_mem_bytes"].count == 2
+        summary = campaign.final_summary()
+        assert summary["peak_mem_bytes"].maximum == 2048.0
+
+
+# ---------------------------------------------------------------------------
+# HTTP service + client
+
+
+@pytest.fixture(scope="module")
+def service(stores, tmp_path_factory):
+    corpus, _d1, _d2 = stores
+    root = tmp_path_factory.mktemp("service-http")
+    with start_in_thread(root / "reports", corpus, workers=1) as handle:
+        yield ServiceClient(port=handle.port)
+
+
+class TestService:
+    def test_health(self, service):
+        health = service.health()
+        assert health["ok"] is True
+        assert set(health["store"]) == {
+            "hits", "misses", "writes", "entries",
+        }
+
+    def test_submit_stream_fetch_resubmit(self, service, stores):
+        _corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=6, seed=23)
+        submitted = service.submit(spec)
+        assert submitted["state"] in ("pending", "running", "completed")
+        snapshots = list(service.stream(submitted["id"]))
+        assert snapshots[-1]["state"] == "completed"
+        final = service.wait(submitted["id"], timeout=120)
+        assert final["completed"] == 6
+        assert final["summary"]["steps"]["count"] == 6
+
+        jobs = service.jobs(submitted["id"])
+        assert len(jobs) == 6 and all(j["completed"] for j in jobs)
+        report = service.fetch_report(jobs[0]["digest"])
+        assert report.protocol == "decay"
+        document = service.fetch_document(jobs[0]["digest"])
+        assert document["digest"] == jobs[0]["digest"]
+
+        # Resubmit: every job a store hit, summary identical.
+        again = service.wait(service.submit(spec)["id"], timeout=120)
+        assert again["cached"] == 6 and again["executed"] == 0
+        assert again["summary"] == final["summary"]
+
+    def test_identical_inflight_spec_deduplicates(self, service, stores):
+        _corpus, _d1, digest = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=30, seed=77)
+        first = service.submit(spec)
+        second = service.submit(spec)
+        if second.get("deduplicated"):
+            assert second["id"] == first["id"]
+        service.wait(first["id"], timeout=120)
+
+    def test_cancel_endpoint(self, service, stores):
+        _corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=200, seed=131)
+        submitted = service.submit(spec)
+        status = service.cancel(submitted["id"])
+        assert "state" in status
+        final = service.wait(submitted["id"], timeout=120)
+        assert final["state"] in ("cancelled", "completed")
+
+    def test_refusals_are_protocol_error_shaped(self, service):
+        with pytest.raises(ServiceError, match="unknown protocol") as e:
+            service.submit('{"protocol":"nope","corpus":["x"],"n_trials":1}')
+        assert e.value.status == 400
+        with pytest.raises(ServiceError, match="no campaign") as e:
+            service.status("c0ffee")
+        assert e.value.status == 404
+        with pytest.raises(ServiceError, match="no stored report"):
+            service.fetch_document("deadbeef")
+        with pytest.raises(ServiceError, match="JSON body"):
+            service.submit("")
+        with pytest.raises(ServiceError, match="no such endpoint"):
+            service._request("GET", "/bogus")
+        with pytest.raises(ServiceError, match="not supported") as e:
+            service._request("DELETE", "/campaigns")
+        assert e.value.status == 405
+
+    def test_campaign_listing(self, service):
+        listed = service.campaigns()
+        assert isinstance(listed, list)
+        assert all("id" in entry for entry in listed)
+
+    def test_stream_of_unknown_campaign_refuses(self, service):
+        with pytest.raises(ServiceError, match="no campaign"):
+            list(service.stream("cnope"))
+
+    def test_wait_timeout_names_progress(self, service, stores):
+        _corpus, digest, _ = stores
+        spec = CampaignSpec(protocol="decay", corpus=(digest,),
+                            n_trials=500, seed=991)
+        submitted = service.submit(spec)
+        if submitted["state"] in ("pending", "running"):
+            with pytest.raises(ServiceError, match="did not settle"):
+                service.wait(submitted["id"], timeout=0.0)
+        service.cancel(submitted["id"])
+        service.wait(submitted["id"], timeout=120)
+
+    def test_service_errors_are_protocol_errors(self):
+        assert issubclass(ServiceError, ProtocolError)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+class TestCLI:
+    def test_serve_and_campaign_round_trip(
+        self, stores, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        corpus, digest, _ = stores
+        with start_in_thread(tmp_path / "reports", corpus) as handle:
+            spec_path = tmp_path / "spec.json"
+            spec_path.write_text(json.dumps({
+                "protocol": "decay", "corpus": [digest], "n_trials": 3,
+            }))
+            rc = main([
+                "campaign", "submit", str(spec_path),
+                "--port", str(handle.port), "--wait", "--json",
+            ])
+            assert rc == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["state"] == "completed"
+
+            assert main([
+                "campaign", "status", status["id"],
+                "--port", str(handle.port),
+            ]) == 0
+            assert "state: completed" in capsys.readouterr().out
+
+            assert main([
+                "campaign", "watch", status["id"],
+                "--port", str(handle.port),
+            ]) == 0
+            assert "3/3" in capsys.readouterr().out
+
+    def test_campaign_refusals_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "nope.json"
+        missing.write_text('{"protocol":"nope","corpus":["x"],"n_trials":1}')
+        with start_in_thread(tmp_path / "reports") as handle:
+            assert main([
+                "campaign", "submit", str(missing),
+                "--port", str(handle.port),
+            ]) == 2
+            assert "unknown protocol" in capsys.readouterr().err
+            assert main([
+                "campaign", "status", "cbad", "--port", str(handle.port),
+            ]) == 2
+
+    def test_campaign_unreachable_service_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "campaign", "status", "c1", "--port", "1",
+        ]) == 2
+        assert "cannot reach" in capsys.readouterr().err

@@ -62,6 +62,24 @@ EXPECTED_API_ALL = [
     "run",
 ]
 
+#: The pinned public surface of repro.service — the hosted-campaign
+#: layer is a supported import root with the same drift discipline.
+EXPECTED_SERVICE_ALL = [
+    "Campaign",
+    "CampaignJob",
+    "CampaignSpec",
+    "ExperimentService",
+    "JobKey",
+    "ReportStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "faults_digest",
+    "policy_digest",
+    "run_campaign",
+    "start_in_thread",
+]
+
 #: Package surfaces user-facing material may import from. One level
 #: below ``repro`` only — anything deeper is an internal module.
 ALLOWED_ROOTS = {
@@ -75,16 +93,18 @@ ALLOWED_ROOTS = {
     "repro.faults",
     "repro.graphs",
     "repro.radio",
+    "repro.service",
 }
 
 
-def check_api_all() -> list[str]:
-    """Pin ``repro.api.__all__`` without importing the package.
+def _check_all_pin(package: str, expected: list[str]) -> list[str]:
+    """Pin one package's ``__all__`` without importing it.
 
     Parsed from source (AST), so the check needs no dependencies and
     cannot be fooled by import-time mutation.
     """
-    tree = ast.parse((SRC / "repro" / "api" / "__init__.py").read_text())
+    init = SRC.joinpath(*package.split("."), "__init__.py")
+    tree = ast.parse(init.read_text())
     for node in ast.walk(tree):
         if isinstance(node, ast.Assign) and any(
             isinstance(t, ast.Name) and t.id == "__all__"
@@ -94,20 +114,28 @@ def check_api_all() -> list[str]:
                 elt.value
                 for elt in node.value.elts  # type: ignore[attr-defined]
             ]
-            if actual != EXPECTED_API_ALL:
-                unexpected = sorted(set(actual) - set(EXPECTED_API_ALL))
-                missing = sorted(set(EXPECTED_API_ALL) - set(actual))
+            if actual != expected:
+                unexpected = sorted(set(actual) - set(expected))
+                missing = sorted(set(expected) - set(actual))
                 detail = (
                     f"unexpected={unexpected}, missing={missing}"
                     if unexpected or missing
                     else "same names, different order"
                 )
                 return [
-                    "repro.api.__all__ drifted from the pin in "
+                    f"{package}.__all__ drifted from the pin in "
                     f"tools/check_api_surface.py ({detail})"
                 ]
             return []
-    return ["repro/api/__init__.py has no literal __all__ to pin"]
+    return [f"{init.relative_to(REPO_ROOT)} has no literal __all__ to pin"]
+
+
+def check_api_all() -> list[str]:
+    """Pin the public ``__all__`` of every supported import root that
+    declares one explicitly."""
+    return _check_all_pin("repro.api", EXPECTED_API_ALL) + _check_all_pin(
+        "repro.service", EXPECTED_SERVICE_ALL
+    )
 
 
 def _imported_modules(tree: ast.AST) -> list[tuple[str, str]]:
@@ -179,8 +207,9 @@ def main() -> int:
         return 1
     print(
         "api surface OK: __all__ pinned "
-        f"({len(EXPECTED_API_ALL)} names), examples and doc snippets "
-        "import public surfaces only"
+        f"({len(EXPECTED_API_ALL)} api + {len(EXPECTED_SERVICE_ALL)} "
+        "service names), examples and doc snippets import public "
+        "surfaces only"
     )
     return 0
 

@@ -36,7 +36,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 ENGINE_DIR = (REPO_ROOT / "src" / "repro" / "engine").resolve()
 FAULTS_DIR = (REPO_ROOT / "src" / "repro" / "faults").resolve()
 CORPUS_DIR = (REPO_ROOT / "src" / "repro" / "corpus").resolve()
-TRACKED_DIRS = (ENGINE_DIR, FAULTS_DIR, CORPUS_DIR)
+SERVICE_DIR = (REPO_ROOT / "src" / "repro" / "service").resolve()
+TRACKED_DIRS = (ENGINE_DIR, FAULTS_DIR, CORPUS_DIR, SERVICE_DIR)
 
 #: Overall executable-line coverage the engine package must keep.
 FLOOR = 0.90
@@ -71,6 +72,9 @@ TEST_FILES = [
     # The fused pipeline tier (fused coin/fault/delivery pass, COO
     # kernels, per-phase timing, provenance counters) — ISSUE 9.
     "tests/test_pipeline.py",
+    # The experiment service (report store, campaign engine, HTTP
+    # front, client) — ISSUE 10.
+    "tests/test_service.py",
 ]
 
 #: Comment marker excluding a statement (and its whole block) from the
@@ -99,6 +103,12 @@ def _start_settrace() -> None:
 
         return local_trace
 
+    # sys.settrace hooks only the calling thread; the service layer
+    # executes on asyncio/server and campaign-executor threads, which
+    # threading.settrace covers (installed into each thread at start).
+    import threading
+
+    threading.settrace(global_trace)
     sys.settrace(global_trace)
 
 
