@@ -4,8 +4,8 @@ Four layers, bottom up:
 
 - :mod:`repro.service.store` — the content-addressed
   :class:`ReportStore`, keyed by :class:`JobKey` (protocol, graph
-  digest, seed, resolved-policy digest, faults digest). Run once,
-  serve forever.
+  digest, seed, trial, resolved-policy digest, faults digest, config
+  digest). Run once, serve forever.
 - :mod:`repro.service.campaign` — :class:`CampaignSpec` (the
   declarative grid) and :class:`Campaign` (expand, dedupe against the
   store, fan out across the shared-memory worker pool, stream
@@ -23,7 +23,13 @@ campaign killed at any point resumes by resubmitting its spec.
 from .campaign import Campaign, CampaignJob, CampaignSpec, run_campaign
 from .client import ServiceClient, ServiceError
 from .http import ExperimentService, ServiceThread, start_in_thread
-from .store import JobKey, ReportStore, faults_digest, policy_digest
+from .store import (
+    JobKey,
+    ReportStore,
+    config_digest,
+    faults_digest,
+    policy_digest,
+)
 
 __all__ = [
     "Campaign",
@@ -35,6 +41,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceThread",
+    "config_digest",
     "faults_digest",
     "policy_digest",
     "run_campaign",

@@ -56,7 +56,13 @@ from ..engine.policy import ExecutionPolicy, parse_mem_budget
 from ..engine.streaming import memory_budget
 from ..faults import default_faults
 from ..radio.errors import ProtocolError
-from .store import JobKey, ReportStore, faults_digest, policy_digest
+from .store import (
+    JobKey,
+    ReportStore,
+    config_digest,
+    faults_digest,
+    policy_digest,
+)
 
 __all__ = ["Campaign", "CampaignJob", "CampaignSpec", "run_campaign"]
 
@@ -407,10 +413,13 @@ class Campaign:
 
         Key digests resolve each policy against each graph's size (the
         resolved-policy digest is per ``(graph, policy)`` — streamed
-        slab heights depend on ``n``).
+        slab heights depend on ``n``); the spec's shared config digests
+        once and rides every key, so campaigns differing only in
+        config occupy distinct store cells.
         """
         jobs = []
         index = 0
+        cfg_dig = config_digest(self.spec.config)
         for graph in self._graphs:
             graph_dig = graph.graph.get("digest")
             if not graph_dig:
@@ -436,6 +445,7 @@ class Campaign:
                                 trial=trial,
                                 policy=pol_dig,
                                 faults=flt_dig,
+                                config=cfg_dig,
                             ),
                         )
                     )
@@ -686,15 +696,20 @@ class Campaign:
                     # Record whatever still lands while the pool
                     # drains — the work is done; wasting it would
                     # just grow the resume tail.
-                    for future, job in list(futures.items()):
-                        if future.done() and not future.cancelled():
-                            try:
-                                report = future.result()
-                            except Exception as exc:
-                                self._record_failure(job, exc)
-                            else:
-                                self.store.put(job.key, report)
-                                self._record(job, report, cached=False)
+                    concurrent.futures.wait(futures)
+                    for future, job in futures.items():
+                        if future.cancelled():
+                            continue
+                        try:
+                            report = future.result()
+                        except concurrent.futures.process.BrokenProcessPool:
+                            raise
+                        except Exception as exc:
+                            self._record_failure(job, exc)
+                        else:
+                            self.store.put(job.key, report)
+                            self._record(job, report, cached=False)
+                        notify()
                     return
                 submit_up_to_bound()
 

@@ -221,7 +221,16 @@ class ExperimentService:
                 continue
             name, _, value = line.partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            length = -1
+        if length < 0:
+            raise _Refusal(
+                400,
+                f"malformed Content-Length header: {raw_length!r}",
+            )
         if length > MAX_BODY_BYTES:
             raise _Refusal(
                 413,

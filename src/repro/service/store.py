@@ -2,12 +2,13 @@
 
 The service's core bet is that a Monte-Carlo campaign is a *pure
 function* of its coordinates: a seeded protocol run is bit-identical
-given ``(protocol, graph, seed, resolved policy, faults)`` — the
-equivalence suites pin exactly that. So the store keys every
+given ``(protocol, graph, seed, resolved policy, faults, config)`` —
+the equivalence suites pin exactly that. So the store keys every
 :class:`~repro.api.report.RunReport` by the :class:`JobKey` of those
-five coordinates (graph by corpus content digest, seed by the
+six coordinates (graph by corpus content digest, seed by the
 ``(base seed, trial index)`` pair that determines its
-``SeedSequence`` child, policy and faults by content digests) and a
+``SeedSequence`` child, policy, faults, and protocol config by
+content digests) and a
 repeated request is a cache hit — no re-execution, and a campaign
 killed mid-flight resumes from whatever its first life persisted.
 
@@ -39,6 +40,7 @@ from ..radio.errors import ProtocolError
 __all__ = [
     "JobKey",
     "ReportStore",
+    "config_digest",
     "faults_digest",
     "policy_digest",
 ]
@@ -48,6 +50,10 @@ __all__ = [
 #: share a cache key).
 NO_FAULTS = "none"
 
+#: Digest value standing for "no protocol config" — the protocol's
+#: registered defaults.
+NO_CONFIG = "none"
+
 
 def policy_digest(policy: ExecutionPolicy, n: int | None = None) -> str:
     """Content digest of the **resolved** execution policy, hex.
@@ -56,7 +62,7 @@ def policy_digest(policy: ExecutionPolicy, n: int | None = None) -> str:
     against the graph size) happens first, so ``"auto"`` knobs and the
     process-wide budget fold in — the digest names what would actually
     execute. The fault schedule is stripped: faults are the key's own
-    fifth coordinate (:func:`faults_digest`), not part of the policy
+    coordinate (:func:`faults_digest`), not part of the policy
     digest, mirroring the key layout in the issue contract.
     """
     resolved = dataclasses.replace(policy.resolve(n), faults=None)
@@ -74,15 +80,32 @@ def faults_digest(policy: ExecutionPolicy) -> str:
     return schedule.digest()
 
 
+def config_digest(config: Any) -> str:
+    """Digest of the protocol config (:data:`NO_CONFIG` for ``None`` —
+    the protocol's registered defaults).
+
+    Hashes the tagged wire form (:mod:`repro.api.wire`) with sorted
+    keys, so two configs share a digest exactly when they would travel
+    the wire identically — campaigns differing only in config land in
+    distinct store cells instead of colliding on a cached report.
+    """
+    if config is None:
+        return NO_CONFIG
+    doc = json.dumps(encode_value(config), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()[:16]
+
+
 @dataclasses.dataclass(frozen=True)
 class JobKey:
-    """The five coordinates that determine one seeded run exactly.
+    """The six coordinates that determine one seeded run exactly.
 
     ``seed`` and ``trial`` together name the rng stream: trial ``t`` of
     a campaign runs on ``np.random.SeedSequence(seed).spawn(n)[t]`` —
     the same seeding contract as
     :func:`~repro.analysis.experiments.run_report_trials`, so the
-    store serves those trials too.
+    store serves those trials too. ``config`` is the protocol config's
+    :func:`config_digest` (:data:`NO_CONFIG` for defaults): campaigns
+    that differ only in config must not share cache entries.
     """
 
     protocol: str
@@ -91,6 +114,7 @@ class JobKey:
     trial: int
     policy: str
     faults: str = NO_FAULTS
+    config: str = NO_CONFIG
 
     def __post_init__(self) -> None:
         if not self.protocol or not isinstance(self.protocol, str):

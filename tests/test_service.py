@@ -50,6 +50,7 @@ from repro.service import (
     ReportStore,
     ServiceClient,
     ServiceError,
+    config_digest,
     faults_digest,
     policy_digest,
     run_campaign,
@@ -204,6 +205,14 @@ class TestStore:
         assert a.digest != self._key(trial=1).digest
         assert a.digest != self._key(seed=1).digest
         assert a.digest != self._key(faults="f" * 16).digest
+        assert a.digest != self._key(config="c" * 16).digest
+
+    def test_config_digest_separates_configs(self):
+        assert config_digest(None) == "none"
+        one = config_digest(api.DecayConfig(iterations=1))
+        assert one == config_digest(api.DecayConfig(iterations=1))
+        assert one != config_digest(api.DecayConfig(iterations=3))
+        assert one != "none"
 
     def test_key_refusals_name_the_field(self):
         with pytest.raises(ProtocolError, match="protocol"):
@@ -409,6 +418,36 @@ class TestCampaign:
         assert status["cached"] == 6 and status["executed"] == 0
         assert again.final_summary() == first.final_summary()
         assert all(a == b for a, b in zip(again.reports, first.reports))
+
+    def test_distinct_configs_occupy_distinct_store_cells(
+        self, stores, tmp_path
+    ):
+        """The review contract: two campaigns differing only in config
+        must not collide in the store — the second runs, it is not
+        served the first's cached reports."""
+        corpus, digest, _ = stores
+        store = ReportStore(tmp_path / "r")
+        base = dict(protocol="decay", corpus=(digest,), n_trials=2, seed=5)
+        short = run_campaign(
+            CampaignSpec(config=api.DecayConfig(iterations=1), **base),
+            store, corpus=corpus,
+        )
+        long = run_campaign(
+            CampaignSpec(config=api.DecayConfig(iterations=3), **base),
+            store, corpus=corpus,
+        )
+        status = long.status()
+        assert status["cached"] == 0 and status["executed"] == 2
+        digests = {
+            job.key.digest for c in (short, long) for job in c.jobs
+        }
+        assert len(digests) == 4
+        assert len(store) == 4
+        # And the cells hold genuinely different outcomes.
+        assert long.reports[0].steps > short.reports[0].steps
+        # Defaults (config=None) are their own cell too.
+        bare = run_campaign(CampaignSpec(**base), store, corpus=corpus)
+        assert bare.status()["cached"] == 0
 
     def test_pooled_matches_serial(self, stores, tmp_path):
         corpus, digest, _ = stores
@@ -762,6 +801,25 @@ class TestService:
         with pytest.raises(ServiceError, match="not supported") as e:
             service._request("DELETE", "/campaigns")
         assert e.value.status == 405
+
+    def test_malformed_content_length_is_a_client_refusal(self, service):
+        import http.client
+
+        for bad in ("banana", "-5"):
+            conn = http.client.HTTPConnection(
+                service.host, service.port, timeout=30
+            )
+            try:
+                conn.putrequest("POST", "/campaigns",
+                                skip_accept_encoding=True)
+                conn.putheader("Content-Length", bad)
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 400
+                payload = json.loads(response.read())
+                assert "Content-Length" in payload["error"]["message"]
+            finally:
+                conn.close()
 
     def test_campaign_listing(self, service):
         listed = service.campaigns()

@@ -74,6 +74,7 @@ EXPECTED_SERVICE_ALL = [
     "ServiceClient",
     "ServiceError",
     "ServiceThread",
+    "config_digest",
     "faults_digest",
     "policy_digest",
     "run_campaign",
